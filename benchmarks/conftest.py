@@ -1,0 +1,42 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench writes its rendered table/figure data under
+``results/`` and prints it, so a full ``pytest benchmarks/
+--benchmark-only`` run regenerates the paper's evaluation artifacts.
+
+Scale is environment-controlled (see :mod:`repro.bench`): the defaults
+keep a full run laptop-sized; export ``REPRO_SIM_BUDGET`` /
+``REPRO_SEEDS`` / ``REPRO_EXEC_CAP_*`` for deeper campaigns.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.profuzzbench import BenchConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig()
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Write a text artifact to results/ and echo it to stdout."""
+    def _save(name: str, content: str) -> None:
+        path = results_dir / name
+        path.write_text(content + "\n")
+        print("\n" + content)
+        print("[saved %s]" % path)
+    return _save

@@ -1,0 +1,74 @@
+"""§5.4-5.6 case studies: MySQL client, Lighttpd, Firefox IPC.
+
+* MySQL client (§5.4): client-mode fuzzing, the fuzzer plays the
+  server; the paper found an out-of-bounds read "after a few minutes
+  of fuzzing on 52 cores".
+* Lighttpd (§5.5): "a memory corruption issue where a negative amount
+  of memory could be allocated under specific circumstances."
+* Firefox IPC (§5.6): multi-channel message fuzzing; "we found three
+  bugs" (null derefs) "and the Firefox team found two additional
+  security issues" (the deeper exploitable ones).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.fuzz.campaign import build_campaign
+from repro.targets import PROFILES
+
+
+def _fuzz(target: str, seed: int, max_execs: int, policy="aggressive"):
+    handles = build_campaign(PROFILES[target], policy=policy, seed=seed,
+                             time_budget=1e9, max_execs=max_execs)
+    handles.fuzzer.run_campaign()
+    return handles.fuzzer
+
+
+def test_case_study_mysql_client(benchmark, save_artifact):
+    fuzzer = benchmark.pedantic(lambda: _fuzz("mysql-client", 3, 2500),
+                                rounds=1, iterations=1)
+    bugs = fuzzer.crashes.unique_bugs
+    save_artifact("case_mysql_client.txt",
+                  "MySQL client bugs: %s (execs=%d, sim t=%.1fs)"
+                  % (bugs, fuzzer.stats.execs, fuzzer.stats.end_time))
+    assert any("mysql-client-column-oob" in b for b in bugs), \
+        "the §5.4 out-of-bounds read should be found"
+
+
+def test_case_study_lighttpd(benchmark, save_artifact):
+    def hunt():
+        # The paper found this bug "after a few minutes on 52 cores";
+        # our single-core stand-in hunts across a few campaign seeds.
+        bugs, execs = set(), 0
+        for seed in range(4):
+            fuzzer = _fuzz("lighttpd", seed, 8000)
+            bugs.update(fuzzer.crashes.unique_bugs)
+            execs += fuzzer.stats.execs
+            if bugs:
+                break
+        return bugs, execs
+
+    bugs, execs = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    save_artifact("case_lighttpd.txt",
+                  "Lighttpd bugs: %s (total execs=%d)" % (sorted(bugs), execs))
+    assert any("lighttpd-range-underflow" in b for b in bugs), \
+        "the §5.5 negative-allocation bug should be found"
+
+
+def test_case_study_firefox_ipc(benchmark, save_artifact):
+    def run():
+        found = set()
+        fuzzers = []
+        for seed in (0, 1):
+            fuzzer = _fuzz("firefox-ipc", seed, 3000)
+            found.update(fuzzer.crashes.unique_bugs)
+            fuzzers.append(fuzzer)
+        return found, fuzzers
+
+    found, fuzzers = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[bug] for bug in sorted(found)]
+    save_artifact("case_firefox_ipc.txt",
+                  format_table(["unique bug"], rows, "Firefox IPC findings"))
+    null_derefs = [b for b in found if b.startswith("null-deref")]
+    # The paper reports three NULL derefs found by the authors.
+    assert len(null_derefs) >= 2, found

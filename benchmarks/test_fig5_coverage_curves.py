@@ -1,0 +1,65 @@
+"""Figures 5 and 7: median branch coverage over time, all fuzzers.
+
+Emits the full coverage-over-time series as CSV (the plotting input)
+plus an ASCII summary, and asserts the headline curve shape: Nyx-Net
+reaches AFLNet's 24h-equivalent coverage early in the campaign
+("on around half of the targets, Nyx-Net finds more coverage in the
+first five minutes than AFLNet in 24 hours" — five minutes of the
+paper's day ≈ 0.35% of the budget).
+"""
+
+from __future__ import annotations
+
+from repro.bench.profuzzbench import run_matrix
+from repro.bench.reporting import coverage_series_csv, format_table
+from repro.targets import PROFUZZBENCH
+
+
+def test_fig5_coverage_over_time(benchmark, bench_config, save_artifact):
+    from repro.bench.plots import coverage_chart
+    matrix = benchmark.pedantic(
+        lambda: run_matrix(config=bench_config), rounds=1, iterations=1)
+    save_artifact("fig5_coverage_series.csv", coverage_series_csv(matrix))
+
+    charts = []
+    for target in PROFUZZBENCH:
+        runs = {}
+        for fuzzer in ("aflnet", "aflnwe", "nyx-balanced"):
+            for run in matrix.of(fuzzer, target)[:1]:
+                runs[fuzzer] = run.stats.coverage_series
+        if runs:
+            charts.append(coverage_chart(runs, target,
+                                         matrix.config.sim_budget))
+    save_artifact("fig5_ascii_charts.txt", "\n\n".join(charts))
+
+    # ASCII summary: coverage at 1%, 10%, 100% of the budget.
+    budget = matrix.config.sim_budget
+    checkpoints = [0.01, 0.10, 1.00]
+    headers = ["target", "fuzzer"] + ["t=%d%%" % int(c * 100)
+                                      for c in checkpoints]
+    rows = []
+    early_wins = 0
+    for target in PROFUZZBENCH:
+        aflnet_final = max(
+            (r.stats.final_edges for r in matrix.of("aflnet", target)),
+            default=0)
+        for fuzzer in ("aflnet", "nyx-balanced"):
+            runs = matrix.of(fuzzer, target)
+            if not runs:
+                continue
+            run = runs[0]
+            row = [target, fuzzer]
+            for checkpoint in checkpoints:
+                row.append(str(run.stats.edges_at(budget * checkpoint)))
+            rows.append(row)
+        nyx_runs = matrix.of("nyx-balanced", target)
+        if nyx_runs and aflnet_final and \
+                nyx_runs[0].stats.edges_at(budget * 0.01) >= aflnet_final:
+            early_wins += 1
+    save_artifact("fig5_summary.txt",
+                  format_table(headers, rows,
+                               "Figure 5 summary: coverage at budget "
+                               "checkpoints"))
+    assert early_wins >= len(PROFUZZBENCH) // 3, (
+        "Nyx-Net should match AFLNet's final coverage within 1%% of the "
+        "budget on several targets (got %d)" % early_wins)

@@ -1,0 +1,157 @@
+"""Figure 6: incremental snapshot create/load vs dirty pages.
+
+"Measuring the throughput of creating/loading incremental snapshots
+with n dirty pages on VMs with 512MB and 4GB memory respectively."
+
+Nyx-Net (dirty-page stack, CoW mirror, fast device reset) is compared
+against the Agamotto implementation (whole-bitmap walks, snapshot
+tree, QEMU-style device serialization) on the same guest memory.  Both
+the simulated cost and the real host time are recorded — the *shapes*
+match the paper either way: Nyx ≈ O(dirty pages), Agamotto pays an
+O(total pages) bitmap walk, so the gap closes only when nearly all
+memory is dirty.
+
+VM sizes are scaled to 128 MiB / 1 GiB (vs the paper's 512 MiB / 4 GiB)
+to keep host memory in check; the total/dirty ratio spans the same
+range.  Override with REPRO_FIG6_MB (comma-separated MiB values).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines.agamotto import AgamottoSnapshotter
+from repro.vm.machine import Machine
+from repro.vm.memory import PAGE_SIZE
+
+
+def _vm_sizes():
+    raw = os.environ.get("REPRO_FIG6_MB", "128,1024")
+    return [int(x) for x in raw.split(",")]
+
+
+def _dirty_counts():
+    raw = os.environ.get("REPRO_FIG6_DIRTY", "100,1000,10000")
+    return [int(x) for x in raw.split(",")]
+
+
+_RESULTS = []
+
+
+def _dirty_pages(machine: Machine, n: int) -> None:
+    blob = b"\xAA" * 64
+    for page in range(n):
+        machine.memory.write(page * PAGE_SIZE, blob)
+
+
+def _record(impl, vm_mb, n, op, sim_cost, benchmark):
+    _RESULTS.append((impl, vm_mb, n, op, sim_cost,
+                     benchmark.stats.stats.mean if benchmark.stats else 0.0))
+
+
+@pytest.mark.parametrize("vm_mb", _vm_sizes())
+@pytest.mark.parametrize("n_dirty", _dirty_counts())
+def test_nyx_create(benchmark, vm_mb, n_dirty):
+    machine = Machine(memory_bytes=vm_mb * 1024 * 1024)
+    if n_dirty > machine.memory.num_pages:
+        pytest.skip("VM too small for %d dirty pages" % n_dirty)
+    machine.capture_root()
+
+    def op():
+        _dirty_pages(machine, n_dirty)
+        t0 = machine.clock.now
+        machine.create_incremental()
+        cost = machine.clock.now - t0
+        machine.restore_root()
+        return cost
+
+    sim_cost = benchmark.pedantic(op, rounds=5, iterations=1)
+    _record("nyx-net", vm_mb, n_dirty, "create", sim_cost, benchmark)
+
+
+@pytest.mark.parametrize("vm_mb", _vm_sizes())
+@pytest.mark.parametrize("n_dirty", _dirty_counts())
+def test_nyx_restore(benchmark, vm_mb, n_dirty):
+    machine = Machine(memory_bytes=vm_mb * 1024 * 1024)
+    if n_dirty > machine.memory.num_pages:
+        pytest.skip("VM too small")
+    machine.capture_root()
+    machine.create_incremental()
+
+    def op():
+        _dirty_pages(machine, n_dirty)
+        t0 = machine.clock.now
+        machine.restore_incremental()
+        return machine.clock.now - t0
+
+    sim_cost = benchmark.pedantic(op, rounds=5, iterations=1)
+    _record("nyx-net", vm_mb, n_dirty, "restore", sim_cost, benchmark)
+
+
+@pytest.mark.parametrize("vm_mb", _vm_sizes())
+@pytest.mark.parametrize("n_dirty", _dirty_counts())
+def test_agamotto_create(benchmark, vm_mb, n_dirty):
+    machine = Machine(memory_bytes=vm_mb * 1024 * 1024)
+    if n_dirty > machine.memory.num_pages:
+        pytest.skip("VM too small")
+    snapshotter = AgamottoSnapshotter(machine)
+
+    def op():
+        _dirty_pages(machine, n_dirty)
+        t0 = machine.clock.now
+        snap = snapshotter.create_snapshot()
+        cost = machine.clock.now - t0
+        snapshotter.restore(0)
+        snapshotter._snapshots.pop(snap, None)
+        snapshotter.current = 0
+        return cost
+
+    sim_cost = benchmark.pedantic(op, rounds=5, iterations=1)
+    _record("agamotto", vm_mb, n_dirty, "create", sim_cost, benchmark)
+
+
+@pytest.mark.parametrize("vm_mb", _vm_sizes())
+@pytest.mark.parametrize("n_dirty", _dirty_counts())
+def test_agamotto_restore(benchmark, vm_mb, n_dirty):
+    machine = Machine(memory_bytes=vm_mb * 1024 * 1024)
+    if n_dirty > machine.memory.num_pages:
+        pytest.skip("VM too small")
+    snapshotter = AgamottoSnapshotter(machine)
+    _dirty_pages(machine, n_dirty)
+    snap = snapshotter.create_snapshot()
+
+    def op():
+        _dirty_pages(machine, n_dirty)
+        t0 = machine.clock.now
+        snapshotter.restore(snap)
+        return machine.clock.now - t0
+
+    sim_cost = benchmark.pedantic(op, rounds=5, iterations=1)
+    _record("agamotto", vm_mb, n_dirty, "restore", sim_cost, benchmark)
+
+
+def test_zz_fig6_report(benchmark, save_artifact):
+    """Render the collected Figure 6 data (runs last)."""
+    from repro.bench.plots import fig6_chart
+    lines = ["impl,vm_mb,n_dirty,op,sim_seconds,host_seconds"]
+    for impl, vm_mb, n, op, sim, host in _RESULTS:
+        lines.append("%s,%d,%d,%s,%.9f,%.9f" % (impl, vm_mb, n, op, sim, host))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_artifact("fig6_snapshot_overhead.csv", "\n".join(lines))
+    charts = [fig6_chart(_RESULTS, op=op, vm_mb=vm_mb)
+              for op in ("create", "restore") for vm_mb in _vm_sizes()]
+    save_artifact("fig6_ascii_charts.txt", "\n\n".join(charts))
+    # Shape assertions: Nyx beats Agamotto in the relevant range.
+    by_key = {(i, m, n, o): s for i, m, n, o, s, _h in _RESULTS}
+    for vm_mb in _vm_sizes():
+        for n in _dirty_counts():
+            for op in ("create", "restore"):
+                nyx = by_key.get(("nyx-net", vm_mb, n, op))
+                aga = by_key.get(("agamotto", vm_mb, n, op))
+                if nyx is None or aga is None:
+                    continue
+                assert nyx < aga, (
+                    "nyx should be faster at %d dirty pages (%s, %dMB)"
+                    % (n, op, vm_mb))

@@ -1,0 +1,59 @@
+"""Table 1: crashes found by each fuzzer in ProFuzzBench.
+
+Paper shape to reproduce:
+
+* dcmtk, dnsmasq, live555, tinydtls crash under the AFL family *and*
+  Nyx-Net (dcmtk only reliably with ASAN for Nyx — the (✓) footnote);
+* exim and proftpd crash **only** under Nyx-Net ("Nyx-Net managed to
+  find bugs in two targets of ProFuzzBench that no other fuzzer is
+  able to uncover");
+* pure-ftpd's internal OOM is only reached by AFLNET-no-state (the *
+  footnote);
+* AFL++ + desock is n/a on most targets.
+"""
+
+from __future__ import annotations
+
+from repro.bench.profuzzbench import run_matrix
+from repro.bench.reporting import crash_matrix, crash_table
+
+
+def _found(matrix_bugs, fuzzers, target, bug_fragment):
+    return any(
+        any(bug_fragment in bug for bug in matrix_bugs.get((f, target), []))
+        for f in fuzzers)
+
+
+NYX = ("nyx-none", "nyx-balanced", "nyx-aggressive")
+AFL_FAMILY = ("aflnet", "aflnet-no-state", "aflnwe")
+
+
+def test_table1_crash_matrix(benchmark, bench_config, save_artifact):
+    matrix = benchmark.pedantic(
+        lambda: run_matrix(config=bench_config), rounds=1, iterations=1)
+    save_artifact("table1_crashes.txt", crash_table(matrix))
+    bugs = crash_matrix(matrix)
+
+    # Shared shallow bugs: both families find them.
+    for target, fragment in (("dnsmasq", "dnsmasq-ptrloop"),
+                             ("tinydtls", "tinydtls-frag"),
+                             ("live555", "live555-url"),
+                             ("dcmtk", "dcmtk-userinfo")):
+        assert _found(bugs, NYX, target, fragment), \
+            "Nyx-Net should crash %s" % target
+        assert _found(bugs, AFL_FAMILY, target, fragment), \
+            "the AFL family should crash %s" % target
+
+    # Nyx-only bugs (exim, proftpd).
+    nyx_only = 0
+    for target, fragment in (("exim", "exim-spool"),
+                             ("proftpd", "proftpd-deflate")):
+        assert not _found(bugs, AFL_FAMILY + ("afl++",), target, fragment), \
+            "%s bug must stay out of reach of the AFL family" % target
+        if _found(bugs, NYX, target, fragment):
+            nyx_only += 1
+    assert nyx_only >= 1, \
+        "Nyx-Net should uncover at least one of the two deep bugs"
+
+    # pure-ftpd: the internal OOM belongs to AFLNET-no-state alone.
+    assert not _found(bugs, NYX + ("aflnet",), "pure-ftpd", "oom")

@@ -1,0 +1,48 @@
+"""Table 3: test throughput (executions per second).
+
+Paper shape: AFLNet/AFLNwe in the 0.3-38 execs/s band, AFL++ somewhat
+higher where it runs at all, Nyx-Net orders of magnitude above (13 to
+~2700), with the aggressive snapshot policy fastest on most targets
+and the biggest gains coming from the root snapshot itself.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.profuzzbench import run_matrix
+from repro.bench.reporting import throughput_table
+from repro.targets import PROFUZZBENCH
+
+
+def _mean_rate(matrix, fuzzer, target):
+    runs = [r for r in matrix.of(fuzzer, target) if not r.not_applicable]
+    if not runs:
+        return None
+    return statistics.fmean(r.execs_per_second for r in runs)
+
+
+def test_table3_throughput(benchmark, bench_config, save_artifact):
+    matrix = benchmark.pedantic(
+        lambda: run_matrix(config=bench_config), rounds=1, iterations=1)
+    save_artifact("table3_throughput.txt", throughput_table(matrix))
+
+    speedups = []
+    for target in PROFUZZBENCH:
+        aflnet = _mean_rate(matrix, "aflnet", target)
+        nyx = _mean_rate(matrix, "nyx-none", target)
+        assert aflnet and nyx
+        # Nyx-Net beats AFLNet by 1-3 orders of magnitude everywhere.
+        assert nyx > aflnet * 5, (target, nyx, aflnet)
+        speedups.append(nyx / aflnet)
+    # "improve test throughput by up to 300x" — the max speedup must
+    # be deep into the hundreds.
+    assert max(speedups) > 100
+
+    # Incremental snapshots help on multi-packet targets: aggressive
+    # should beat none somewhere (Table 3's uniform ordering).
+    wins = sum(
+        1 for target in PROFUZZBENCH
+        if (_mean_rate(matrix, "nyx-aggressive", target) or 0)
+        > (_mean_rate(matrix, "nyx-none", target) or 0))
+    assert wins >= 3

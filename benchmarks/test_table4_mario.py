@@ -1,0 +1,95 @@
+"""Table 4: time to solve Super Mario levels.
+
+Paper shape: IJON slowest on every level; Nyx-Net-none a modest
+speedup; aggressive the fastest on most levels (up to ~30x); level
+2-1 unsolvable without the wall-jump glitch (IJON never solves it,
+Nyx-Net sometimes does).
+
+The level list is scaled down by default (REPRO_MARIO_LEVELS to
+extend); times are medians over REPRO_MARIO_RUNS attempts, matching
+the paper's median-of-three.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+
+from repro.bench.reporting import format_table
+from repro.mario.solver import MODES, solve_level
+
+
+def _levels():
+    raw = os.environ.get("REPRO_MARIO_LEVELS", "1-1,1-2,4-4")
+    return [level.strip() for level in raw.split(",") if level.strip()]
+
+
+def _runs():
+    return int(os.environ.get("REPRO_MARIO_RUNS", "3"))
+
+
+def _cap():
+    return int(os.environ.get("REPRO_MARIO_EXECS", "6000"))
+
+
+def _fmt(seconds):
+    if seconds is None:
+        return "-"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    return "%02d:%02d:%02d" % (hours, minutes, secs)
+
+
+def test_table4_mario_time_to_solve(benchmark, save_artifact):
+    def run_experiment():
+        table = {}
+        for level in _levels():
+            for mode in MODES:
+                times = []
+                solved = 0
+                for seed in range(_runs()):
+                    result = solve_level(level, mode, seed=seed,
+                                         max_execs=_cap())
+                    if result.solved:
+                        solved += 1
+                        times.append(result.time_to_solve)
+                table[(level, mode)] = (
+                    statistics.median(times) if times else None, solved)
+        return table
+
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    headers = ["level"] + list(MODES)
+    rows = []
+    for level in _levels():
+        row = [level]
+        for mode in MODES:
+            t, solved = table[(level, mode)]
+            cell = _fmt(t)
+            if 0 < solved < _runs():
+                cell += " (%d/%d)" % (solved, _runs())
+            row.append(cell)
+        rows.append(row)
+    save_artifact("table4_mario.txt",
+                  format_table(headers, rows,
+                               "Table 4: Super Mario time to solve "
+                               "(median of %d, HH:MM:SS simulated)"
+                               % _runs()))
+
+    # Shape: on levels every mode solves, IJON is the slowest and the
+    # best Nyx policy beats it clearly.
+    comparable = 0
+    nyx_faster = 0
+    for level in _levels():
+        ijon_t, ijon_solved = table[(level, "ijon")]
+        nyx_times = [table[(level, m)][0] for m in MODES if m != "ijon"]
+        nyx_times = [t for t in nyx_times if t is not None]
+        if ijon_t is None or not nyx_times:
+            continue
+        comparable += 1
+        if min(nyx_times) < ijon_t:
+            nyx_faster += 1
+    if comparable:
+        assert nyx_faster >= max(1, comparable - 1), (
+            "Nyx-Net should out-solve IJON on most levels "
+            "(%d of %d)" % (nyx_faster, comparable))

@@ -1,0 +1,44 @@
+"""Table 5: time for Nyx-Net to reach AFLNet's final coverage.
+
+Paper shape: speedups between 1x and ~1400x, with most targets in the
+double-to-triple digits ("on around half of the targets, Nyx-Net finds
+more coverage in the first five minutes than AFLNet in 24 hours").
+"""
+
+from __future__ import annotations
+
+from repro.bench.profuzzbench import run_matrix
+from repro.bench.reporting import time_to_coverage_table
+from repro.targets import PROFUZZBENCH
+
+
+def test_table5_time_to_equal_coverage(benchmark, bench_config, save_artifact):
+    matrix = benchmark.pedantic(
+        lambda: run_matrix(config=bench_config), rounds=1, iterations=1)
+    save_artifact("table5_time_to_coverage.txt",
+                  time_to_coverage_table(matrix))
+
+    # Shape: on most targets some Nyx variant reaches AFLNet's final
+    # coverage at least 10x faster in simulated time.
+    big_speedups = 0
+    for target in PROFUZZBENCH:
+        base_runs = matrix.of("aflnet", target)
+        if not base_runs:
+            continue
+        base = max(base_runs, key=lambda r: r.final_coverage)
+        if not base.stats.coverage_series:
+            continue
+        base_cov = base.final_coverage
+        base_time = base.stats.coverage_series[-1][0]
+        for fuzzer in ("nyx-none", "nyx-balanced", "nyx-aggressive"):
+            for run in matrix.of(fuzzer, target):
+                t = run.stats.time_to_edges(base_cov)
+                if t is not None and t > 0 and base_time / t >= 10:
+                    big_speedups += 1
+                    break
+            else:
+                continue
+            break
+    assert big_speedups >= len(PROFUZZBENCH) // 2, (
+        "expected >=10x time-to-coverage speedups on at least half the "
+        "targets, got %d" % big_speedups)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Corpus management workflow: pack → fuzz → distill → persist → replay.
+
+Shows the operational side of the reproduction: bundling a target's
+campaign inputs into a share folder (§5.4 step 4), fuzzing from it,
+shrinking the resulting corpus with afl-cmin-style distillation, and
+persisting everything for a later resume.
+
+Run:  python examples/corpus_workflow.py [workdir]
+"""
+
+import sys
+import tempfile
+
+from repro import PROFILES, build_campaign
+from repro.fuzz.persist import load_corpus, save_campaign
+from repro.fuzz.trim import distill_corpus, trim_input
+from repro.spec.nodes import default_network_spec
+from repro.spec.share import load_share, pack_share
+
+
+def main() -> None:
+    workdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-corpus-")
+    profile = PROFILES["lightftp"]
+
+    # 1. Pack the share folder and load the campaign back from it.
+    written = pack_share(profile, default_network_spec(),
+                         workdir + "/share")
+    manifest, _spec, seeds, _dict, _surface = load_share(workdir + "/share")
+    print("packed %d files; loaded %d seeds for %s"
+          % (written, len(seeds), manifest["target"]))
+
+    # 2. Fuzz from the share's seeds.
+    handles = build_campaign(profile, policy="balanced", seed=5,
+                             time_budget=60.0, max_execs=1200, seeds=seeds)
+    stats = handles.fuzzer.run_campaign()
+    print(stats.summary())
+
+    # 3. Trim the biggest corpus entry, then distill the whole corpus.
+    entries = handles.fuzzer.corpus.entries
+    biggest = max(entries, key=lambda e: e.input.total_payload_bytes())
+    trimmed, execs = trim_input(handles.executor, biggest.input)
+    print("trimmed largest entry: %d -> %d packets (%d execs)"
+          % (biggest.input.num_packets, trimmed.num_packets, execs))
+    chosen = distill_corpus(handles.executor, [e.input for e in entries])
+    print("distilled corpus: %d -> %d inputs" % (len(entries), len(chosen)))
+
+    # 4. Persist, then prove the corpus reloads.
+    save_campaign(handles.fuzzer, workdir + "/campaign")
+    reloaded = load_corpus(workdir + "/campaign")
+    print("persisted and reloaded %d corpus entries under %s"
+          % (len(reloaded), workdir))
+
+
+if __name__ == "__main__":
+    main()

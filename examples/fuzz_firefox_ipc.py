@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The §5.6 case study: fuzzing Firefox's IPC layer.
+
+The privileged parent process serves several Unix-domain channels
+(content, gfx) used by sandboxed child processes; the threat model
+assumes a compromised child, so everything on those channels is
+attacker-controlled.  The agent hooks the channels and the fuzzer
+plays the child, mutating tagged actor messages.
+
+The paper: "While fuzzing Firefox, we found three bugs and the Firefox
+team found two additional security issues" — our planted bugs mirror
+that: three NULL derefs at increasing protocol depth plus a deeper
+exploitable use-after-free in actor teardown.
+
+Run:  python examples/fuzz_firefox_ipc.py
+"""
+
+from repro import PROFILES, build_campaign
+
+
+def main() -> None:
+    profile = PROFILES["firefox-ipc"]
+    print("Target: %s" % profile.notes)
+    print("Channels under fuzz: content + gfx Unix sockets")
+    print()
+
+    found = {}
+    for seed in range(3):
+        handles = build_campaign(profile, policy="aggressive", seed=seed,
+                                 time_budget=120.0, max_execs=2500)
+        stats = handles.fuzzer.run_campaign()
+        for bug, record in handles.fuzzer.crashes.records.items():
+            found.setdefault(bug, record.found_at)
+        print("seed %d: %5d execs, %3d edges, bugs so far: %d"
+              % (seed, stats.execs, stats.final_edges, len(found)))
+
+    print()
+    print("unique findings (cf. §5.6/§5.7 of the paper):")
+    for bug, t in sorted(found.items(), key=lambda kv: kv[1]):
+        severity = ("exploitable" if "use-after-free" in bug
+                    else "high (null deref)")
+        print("  %-40s t=%6.2fs  severity: %s" % (bug, t, severity))
+    if not any("use-after-free" in bug for bug in found):
+        print("  (the deep actor-teardown UAF needs longer campaigns — "
+              "the two 'additional' Mozilla findings were deeper, too)")
+
+
+if __name__ == "__main__":
+    main()

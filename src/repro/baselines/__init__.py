@@ -1,0 +1,29 @@
+"""Baseline fuzzers the paper compares against.
+
+Full re-implementations, not mock numbers: each baseline runs the same
+guest targets on the same guest OS with the same coverage tracer, but
+pays its own structural costs and uses its own feedback/mutation model:
+
+* :mod:`repro.baselines.aflnet` — AFLNet: a persistent server, real
+  network packets with inter-packet sleeps, a cleanup script, response-
+  code state-machine feedback.
+* :mod:`repro.baselines.aflnwe` — AFLNwe: AFLNet's network transport
+  with plain byte-level mutation (no packet structure, no state).
+* :mod:`repro.baselines.aflpp_desock` — AFL++ with libpreeny's desock:
+  forkserver resets, the whole input as a single de-socketed stream;
+  incompatible with many targets.
+* :mod:`repro.baselines.agamotto` — Agamotto-style incremental
+  snapshots (bitmap walks, snapshot trees, LRU eviction) for the
+  Figure 6 comparison.
+* :mod:`repro.baselines.ijon` — IJON's state-feedback fuzzing of Super
+  Mario (Table 4).
+"""
+
+from repro.baselines.common import BaselineStats
+from repro.baselines.aflnet import AflNetFuzzer, AflNetConfig
+from repro.baselines.aflnwe import AflNweFuzzer
+from repro.baselines.aflpp_desock import AflPlusPlusDesockFuzzer, DesockError
+from repro.baselines.agamotto import AgamottoSnapshotter
+
+__all__ = ["BaselineStats", "AflNetFuzzer", "AflNetConfig", "AflNweFuzzer",
+           "AflPlusPlusDesockFuzzer", "DesockError", "AgamottoSnapshotter"]

@@ -1,0 +1,208 @@
+"""AFLNet: the state-machine-aware network fuzzer (Pham et al.).
+
+Faithful to the workflow §2.1 describes (and criticizes):
+
+* the server runs *persistently*; each test case opens a fresh TCP/UDP
+  connection through the (simulated) real network stack;
+* fixed sleeps: a server-wait after every (re)start and an inter-packet
+  delay so responses can arrive;
+* a user-supplied **cleanup script** runs periodically to roll back
+  external state (we model it as a full state reset + its cost);
+* response codes form a state machine; inputs reaching new states are
+  favored (the ``state_aware`` flag off gives AFLNET-no-state);
+* mutation is region-based over the dissected packets (we reuse the
+  packet-level mutation engine, without Nyx's spec dictionary).
+
+The persistent server is exactly what makes AFLNet noisy: in-process
+state (spool buffers, corruption) accumulates across test cases until
+a restart — reproducing the dcmtk and pure-ftpd rows of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.common import (BaselineHarness, boot_target, drain_crash,
+                                    respond_payloads)
+from repro.coverage.bitmap import CoverageMap
+from repro.fuzz.crash import CrashDatabase
+from repro.fuzz.input import FuzzInput
+from repro.fuzz.mutators import MutationEngine
+from repro.fuzz.queue import Corpus
+from repro.fuzz.stats import CampaignStats
+from repro.guestos.errors import GuestError
+from repro.sim.rng import DeterministicRandom
+from repro.targets.base import TargetProfile
+
+
+@dataclass
+class AflNetConfig:
+    """Tunables for an AFLNet campaign."""
+
+    seed: int = 0
+    time_budget: float = 60.0
+    max_execs: Optional[int] = None
+    #: Use response-code state feedback (False = AFLNET-no-state).
+    state_aware: bool = True
+    #: Restart the server + run the cleanup script every N tests.
+    #: The no-state variant never restarts voluntarily — which is how
+    #: it (alone) reaches pure-ftpd's internal OOM (Table 1 *).
+    restart_interval: int = 50
+    #: Run the periodic restart/cleanup regardless of state awareness
+    #: (AFLNwe keeps the cleanup script but drops the state machine).
+    periodic_restart: bool = None  # type: ignore[assignment]
+    mutations_per_entry: int = 20
+
+    def __post_init__(self) -> None:
+        if self.periodic_restart is None:
+            self.periodic_restart = self.state_aware
+
+
+class AflNetFuzzer:
+    """One AFLNet campaign against one target."""
+
+    name = "aflnet"
+
+    def __init__(self, profile: TargetProfile, config: Optional[AflNetConfig] = None,
+                 asan: bool = False) -> None:
+        self.profile = profile
+        self.config = config or AflNetConfig()
+        self.harness: BaselineHarness = boot_target(profile, asan=asan)
+        self.rng = DeterministicRandom(self.config.seed)
+        self.mutator = MutationEngine(self.rng)  # no spec dictionary
+        self.coverage = CoverageMap()
+        self.corpus = Corpus(self.rng)
+        self.crashes = CrashDatabase()
+        variant = "aflnet" if self.config.state_aware else "aflnet-no-state"
+        self.stats = CampaignStats(fuzzer_name=variant,
+                                   target_name=profile.name)
+        #: Response-code state machine: set of state sequences seen.
+        self.states_seen: set = set()
+        self._tests_since_restart = 0
+        self._dgram = profile.surface().datagram
+        # AFLNet pays the initial server start + wait once up front.
+        self.harness.machine.clock.charge(
+            self.harness.machine.costs.aflnet_server_wait)
+
+    @property
+    def clock(self):
+        return self.harness.machine.clock
+
+    # ------------------------------------------------------------------
+    # campaign
+    # ------------------------------------------------------------------
+
+    def run_campaign(self) -> CampaignStats:
+        for seed_input in self.profile.seeds():
+            if self._budget_exhausted():
+                break
+            self._run_and_process(seed_input, force_keep=True)
+        while not self._budget_exhausted():
+            if not self.corpus.entries:
+                self._run_and_process(FuzzInput([]), force_keep=True)
+                continue
+            entry = self.corpus.next_entry()
+            for _ in range(self.config.mutations_per_entry):
+                if self._budget_exhausted():
+                    break
+                child = self.mutator.mutate(
+                    entry.input, splice_donor=self.corpus.splice_donor(entry))
+                self._run_and_process(child)
+            self.stats.record_execs(self.clock.now)
+        self.stats.end_time = self.clock.now
+        self.stats.queue_size = len(self.corpus)
+        return self.stats
+
+    def _budget_exhausted(self) -> bool:
+        if self.clock.now >= self.config.time_budget:
+            return True
+        cap = self.config.max_execs
+        return cap is not None and self.stats.execs >= cap
+
+    # ------------------------------------------------------------------
+    # one test case over the real network path
+    # ------------------------------------------------------------------
+
+    def _run_and_process(self, input_: FuzzInput, force_keep: bool = False) -> None:
+        trace, states, crash = self._execute(input_)
+        self.stats.execs += 1
+        now = self.clock.now
+        if crash is not None and self.crashes.add(crash, input_, now):
+            self.stats.record_crash(crash.dedup_key, now)
+        new_cov = self.coverage.has_new_bits(trace)
+        new_state = (self.config.state_aware and states is not None
+                     and states not in self.states_seen)
+        if states is not None:
+            self.states_seen.add(states)
+        if new_cov == CoverageMap.NEW_EDGE or new_state or force_keep:
+            self.stats.record_coverage(now, self.coverage.edge_count())
+            self.corpus.add(input_.copy(), exec_time=0.0,
+                            new_edges=self.coverage.edge_count(), found_at=now)
+        elif new_cov == CoverageMap.NEW_COUNT:
+            self.stats.record_coverage(now, self.coverage.edge_count())
+
+    def _execute(self, input_: FuzzInput) -> Tuple[dict, Optional[tuple], object]:
+        harness = self.harness
+        kernel = harness.kernel
+        machine = harness.machine
+        costs = machine.costs
+        self._maybe_restart()
+        harness.tracer.begin()
+        crash = None
+        responses: List[bytes] = []
+        try:
+            conn = kernel.external_connect(
+                self.profile.surface().addresses[0], dgram=self._dgram)
+        except GuestError:
+            # Server is down (previous crash): restart and count the
+            # test as a failed run — AFLNet's restart path.
+            self._restart_server()
+            self.stats.record_execs(self.clock.now)
+            return harness.tracer.take_trace(), None, None
+        for payload in respond_payloads(input_.ops):
+            machine.clock.charge(costs.aflnet_packet_delay)
+            try:
+                conn.send(payload)
+            except GuestError:
+                break  # connection died mid-test
+            kernel.run()
+            responses.extend(conn.recv())
+            if kernel.crash_reports:
+                break
+        try:
+            conn.close()
+        except GuestError:
+            pass
+        kernel.run()
+        crash = drain_crash(kernel)
+        self._tests_since_restart += 1
+        states = tuple(r[:3] for r in responses[:16]) if responses else ()
+        if crash is not None:
+            self._restart_server()
+        elif not self._server_alive():
+            self._restart_server()
+        return harness.tracer.take_trace(), states, crash
+
+    # ------------------------------------------------------------------
+    # restart / cleanup
+    # ------------------------------------------------------------------
+
+    def _server_alive(self) -> bool:
+        return any(p.alive for p in self.harness.kernel.processes.values())
+
+    def _maybe_restart(self) -> None:
+        if not self.config.periodic_restart:
+            return  # no-state: keeps the dirty server running forever
+        if self._tests_since_restart >= self.config.restart_interval:
+            self._restart_server(run_cleanup=True)
+
+    def _restart_server(self, run_cleanup: bool = True) -> None:
+        """Kill + restart the server; optionally run the cleanup script."""
+        harness = self.harness
+        harness.silent_restore()
+        charge = harness.respawn_server_cost()
+        if run_cleanup:
+            charge += harness.machine.costs.aflnet_cleanup_script
+        harness.machine.clock.charge(charge)
+        self._tests_since_restart = 0

@@ -1,0 +1,56 @@
+"""AFLNwe: AFL with network sending, no protocol/state awareness.
+
+AFLNwe (the ProFuzzBench baseline) treats the input as one flat byte
+blob, mutates it with plain AFL havoc, and streams it to the target in
+fixed-size writes over a fresh connection.  No packet structure means
+no message-boundary preservation and no state feedback — which is why
+it loses badly on stateful targets (Table 2: up to -53% vs AFLNet).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.aflnet import AflNetConfig, AflNetFuzzer
+from repro.fuzz.input import FuzzInput, packets_input
+from repro.targets.base import TargetProfile
+
+#: AFLNwe streams the blob in chunks of this size.
+CHUNK = 512
+
+
+class AflNweFuzzer(AflNetFuzzer):
+    """AFLNwe = AFLNet transport minus structure minus state."""
+
+    name = "aflnwe"
+
+    def __init__(self, profile: TargetProfile,
+                 config: Optional[AflNetConfig] = None,
+                 asan: bool = False) -> None:
+        config = config or AflNetConfig()
+        config.state_aware = False
+        config.periodic_restart = True  # keeps ProFuzzBench's cleanup
+        super().__init__(profile, config, asan=asan)
+        self.stats.fuzzer_name = "aflnwe"
+
+    def run_campaign(self):
+        # Seeds are flattened to blobs before fuzzing begins.
+        self._flat_seeds = [self._flatten(s) for s in self.profile.seeds()]
+        return super().run_campaign()
+
+    def _run_and_process(self, input_: FuzzInput, force_keep: bool = False) -> None:
+        super()._run_and_process(self._flatten(input_), force_keep)
+
+    def _flatten(self, input_: FuzzInput) -> FuzzInput:
+        """Concatenate all payloads, then re-chunk at CHUNK bytes.
+
+        This is the structural information AFLNwe throws away: the
+        re-chunked writes no longer align with protocol messages.
+        """
+        blob = b"".join(
+            bytes(arg) for op in input_.ops for arg in op.args
+            if isinstance(arg, (bytes, bytearray)))
+        chunks = [blob[i:i + CHUNK] for i in range(0, len(blob), CHUNK)] or [b""]
+        flat = packets_input(chunks)
+        flat.origin = input_.origin
+        return flat

@@ -1,0 +1,137 @@
+"""AFL++ with libpreeny's desock: socket-to-stdin fuzzing.
+
+libpreeny's ``desock.c`` hooks ``accept()`` and hands the target a
+descriptor whose reads come from stdin (§2.1, §5.1).  Consequences we
+model faithfully:
+
+* only targets whose accept/recv loop tolerates a plain stream can run
+  at all — forking servers, multi-socket targets and clients fail to
+  even start (the "n/a" rows of Tables 2 and 3);
+* the whole test case is a single byte blob delivered as one stream:
+  **message boundaries vanish**, so multi-message protocols parse the
+  concatenation (often only the first message survives framing);
+* per-exec resets come from the forkserver (process state only); the
+  de-socketed server then lingers until AFL++'s exec timeout, which
+  dominates the cost per execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.common import (BaselineHarness, boot_target, drain_crash)
+from repro.coverage.bitmap import CoverageMap
+from repro.fuzz.crash import CrashDatabase
+from repro.fuzz.input import FuzzInput
+from repro.fuzz.mutators import MutationEngine
+from repro.fuzz.queue import Corpus
+from repro.fuzz.stats import CampaignStats
+from repro.sim.rng import DeterministicRandom
+from repro.targets.base import TargetProfile
+
+
+class DesockError(Exception):
+    """The target cannot run under desock at all (an "n/a" row)."""
+
+
+@dataclass
+class DesockConfig:
+    seed: int = 0
+    time_budget: float = 60.0
+    max_execs: Optional[int] = None
+    mutations_per_entry: int = 25
+
+
+class AflPlusPlusDesockFuzzer:
+    """AFL++ + libpreeny driving one de-socketed target."""
+
+    name = "aflpp-desock"
+
+    def __init__(self, profile: TargetProfile,
+                 config: Optional[DesockConfig] = None,
+                 asan: bool = False) -> None:
+        if not profile.libpreeny_compatible:
+            raise DesockError("%s cannot run under desock (n/a)" % profile.name)
+        self.profile = profile
+        self.config = config or DesockConfig()
+        # Reuse the emulation interceptor purely as the desock shim: a
+        # single fabricated connection whose reads come from "stdin".
+        # It must be installed before the server binds.
+        self.harness: BaselineHarness = boot_target(profile, asan=asan,
+                                                    with_interceptor=True)
+        self.interceptor = self.harness.interceptor
+        self.rng = DeterministicRandom(self.config.seed)
+        self.mutator = MutationEngine(self.rng)
+        self.coverage = CoverageMap()
+        self.corpus = Corpus(self.rng)
+        self.crashes = CrashDatabase()
+        self.stats = CampaignStats(fuzzer_name="afl++-desock",
+                                   target_name=profile.name)
+
+    @property
+    def clock(self):
+        return self.harness.machine.clock
+
+    def run_campaign(self) -> CampaignStats:
+        for seed in self.profile.seeds():
+            if self._budget_exhausted():
+                break
+            self._run_and_process(seed, force_keep=True)
+        while not self._budget_exhausted():
+            if not self.corpus.entries:
+                break
+            entry = self.corpus.next_entry()
+            for _ in range(self.config.mutations_per_entry):
+                if self._budget_exhausted():
+                    break
+                child = self.mutator.mutate(
+                    entry.input, splice_donor=self.corpus.splice_donor(entry))
+                self._run_and_process(child)
+            self.stats.record_execs(self.clock.now)
+        self.stats.end_time = self.clock.now
+        self.stats.queue_size = len(self.corpus)
+        return self.stats
+
+    def _budget_exhausted(self) -> bool:
+        if self.clock.now >= self.config.time_budget:
+            return True
+        cap = self.config.max_execs
+        return cap is not None and self.stats.execs >= cap
+
+    def _run_and_process(self, input_: FuzzInput, force_keep: bool = False) -> None:
+        harness = self.harness
+        kernel = harness.kernel
+        machine = harness.machine
+        harness.tracer.begin()
+        self.interceptor.reset_for_test()
+        # Forkserver exec: fixed dispatch cost + stdin delivery of the
+        # whole blob as ONE chunk (boundaries destroyed), then the
+        # linger timeout while the server waits for more network data.
+        machine.clock.charge(machine.costs.forkserver_exec)
+        blob = b"".join(bytes(arg) for op in input_.ops for arg in op.args
+                        if isinstance(arg, (bytes, bytearray)))
+        try:
+            self.interceptor.open_connection(0)
+            if blob:
+                self.interceptor.queue_packet(0, blob)
+            self.interceptor.close_connection(0)
+        except Exception:
+            pass  # no surface this run; still costs an exec
+        kernel.run()
+        machine.clock.charge(machine.costs.desock_exec_linger)
+        crash = drain_crash(kernel)
+        trace = harness.tracer.take_trace()
+        kernel.flush_to_memory()
+        harness.silent_restore()  # the forkserver's reset (cost above)
+        self.stats.execs += 1
+        now = self.clock.now
+        if crash is not None and self.crashes.add(crash, input_, now):
+            self.stats.record_crash(crash.dedup_key, now)
+        verdict = self.coverage.has_new_bits(trace)
+        if verdict == CoverageMap.NEW_EDGE or force_keep:
+            self.stats.record_coverage(now, self.coverage.edge_count())
+            self.corpus.add(input_.copy(), new_edges=self.coverage.edge_count(),
+                            found_at=now)
+        elif verdict == CoverageMap.NEW_COUNT:
+            self.stats.record_coverage(now, self.coverage.edge_count())

@@ -1,0 +1,29 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+:mod:`repro.bench.profuzzbench` runs the fuzzer × target campaign
+matrix (with memoization so the table benches share one run), and
+:mod:`repro.bench.reporting` renders the paper's tables (1, 2, 3, 4, 5)
+and figure data (5, 6, 7) from the results.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SIM_BUDGET`` — simulated seconds per campaign (default 600).
+* ``REPRO_SEEDS`` — repetitions per configuration (default 2; the
+  paper uses 10 and Mann-Whitney U at p<0.05 — with fewer than 4
+  seeds the test cannot reach significance and the tables say so).
+* ``REPRO_EXEC_CAP_NYX`` / ``REPRO_EXEC_CAP_AFL`` — host-side exec
+  caps keeping laptop runtimes bounded.
+"""
+
+from repro.bench.profuzzbench import (BenchConfig, MatrixResult, RunResult,
+                                      run_fuzzer_once, run_matrix,
+                                      FUZZER_NAMES)
+from repro.bench.reporting import (mann_whitney_u, median, format_table,
+                                   coverage_table, throughput_table,
+                                   crash_table, time_to_coverage_table,
+                                   coverage_series_csv)
+
+__all__ = ["BenchConfig", "MatrixResult", "RunResult", "run_fuzzer_once",
+           "run_matrix", "FUZZER_NAMES", "mann_whitney_u", "median",
+           "format_table", "coverage_table", "throughput_table",
+           "crash_table", "time_to_coverage_table", "coverage_series_csv"]

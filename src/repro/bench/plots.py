@@ -1,0 +1,106 @@
+"""Dependency-free ASCII plotting for the reproduced figures.
+
+The paper's figures are matplotlib plots; offline we render compact
+ASCII charts into ``results/`` so a terminal user can eyeball the
+curve shapes (the CSVs remain the plot-ready ground truth).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_GLYPHS = "o*x+#@%&"
+
+
+def _log_or_linear(values: List[float], log: bool) -> List[float]:
+    if not log:
+        return values
+    return [math.log10(v) if v > 0 else 0.0 for v in values]
+
+
+def ascii_chart(series: Dict[str, Series], width: int = 72, height: int = 16,
+                title: str = "", x_label: str = "", y_label: str = "",
+                log_x: bool = False, log_y: bool = False) -> str:
+    """Render named (x, y) series as an ASCII scatter/step chart."""
+    points = [(x, y) for s in series.values() for x, y in s]
+    if not points:
+        return title + "\n(no data)"
+    xs = _log_or_linear([p[0] for p in points], log_x)
+    ys = _log_or_linear([p[1] for p in points], log_y)
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, data) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append("%s %s" % (glyph, name))
+        last_col_row = None
+        for x, y in data:
+            fx = _log_or_linear([x], log_x)[0]
+            fy = _log_or_linear([y], log_y)[0]
+            col = int((fx - x_min) / x_span * (width - 1))
+            row = height - 1 - int((fy - y_min) / y_span * (height - 1))
+            grid[row][col] = glyph
+            # Step-connect horizontally from the previous point.
+            if last_col_row is not None:
+                pcol, prow = last_col_row
+                for c in range(min(pcol, col) + 1, max(pcol, col)):
+                    if grid[prow][c] == " ":
+                        grid[prow][c] = "."
+            last_col_row = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi = "%.3g" % (10 ** y_max if log_y else y_max)
+    y_lo = "%.3g" % (10 ** y_min if log_y else y_min)
+    label_width = max(len(y_hi), len(y_lo), len(y_label))
+    for i, row in enumerate(grid):
+        prefix = y_hi if i == 0 else (y_lo if i == height - 1 else
+                                      (y_label if i == height // 2 else ""))
+        lines.append(prefix.rjust(label_width) + " |" + "".join(row))
+    x_hi = "%.3g" % (10 ** x_max if log_x else x_max)
+    x_lo = "%.3g" % (10 ** x_min if log_x else x_min)
+    lines.append(" " * label_width + " +" + "-" * width)
+    axis = x_lo + x_label.center(width - len(x_lo) - len(x_hi)) + x_hi
+    lines.append(" " * label_width + "  " + axis)
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def coverage_chart(runs: Dict[str, Series], target: str,
+                   budget: float) -> str:
+    """Figure 5-style chart: coverage over (log) time for one target."""
+    # Extend every series to the full budget (step function).
+    extended = {}
+    for name, data in runs.items():
+        data = list(data)
+        if data and data[-1][0] < budget:
+            data.append((budget, data[-1][1]))
+        extended[name] = [(max(t, 1e-3), e) for t, e in data]
+    return ascii_chart(extended, title="coverage over time — %s" % target,
+                       x_label="sim seconds (log)", y_label="edges",
+                       log_x=True)
+
+
+def fig6_chart(rows: Sequence[Tuple[str, int, int, str, float, float]],
+               op: str, vm_mb: int, use_host_time: bool = False) -> str:
+    """Figure 6-style chart from the snapshot-overhead CSV rows."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for impl, mb, n, row_op, sim, host in rows:
+        if row_op != op or mb != vm_mb:
+            continue
+        value = host if use_host_time else sim
+        series.setdefault(impl, []).append((float(n), value))
+    for data in series.values():
+        data.sort()
+    unit = "host s" if use_host_time else "sim s"
+    return ascii_chart(series,
+                       title="snapshot %s, %d MiB VM (%s)" % (op, vm_mb, unit),
+                       x_label="dirty pages (log)", log_x=True, log_y=True)

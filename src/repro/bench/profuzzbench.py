@@ -1,0 +1,177 @@
+"""The ProFuzzBench campaign matrix (Tables 1-3, 5; Figures 5/7).
+
+Runs every (fuzzer, target, seed) campaign with a shared simulated
+time budget, memoizing results so the table-specific benches reuse one
+matrix run.  All seven fuzzer configurations of the paper are driven
+through their real implementations:
+
+    aflnet, aflnet-no-state, aflnwe, afl++ (libpreeny desock),
+    nyx-none, nyx-balanced, nyx-aggressive
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.aflnet import AflNetConfig, AflNetFuzzer
+from repro.baselines.aflnwe import AflNweFuzzer
+from repro.baselines.aflpp_desock import (AflPlusPlusDesockFuzzer,
+                                          DesockConfig, DesockError)
+from repro.fuzz.campaign import build_campaign
+from repro.fuzz.stats import CampaignStats
+from repro.targets import PROFILES, PROFUZZBENCH
+
+FUZZER_NAMES = ("aflnet", "aflnet-no-state", "aflnwe", "afl++",
+                "nyx-none", "nyx-balanced", "nyx-aggressive")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scale parameters for a matrix run."""
+
+    sim_budget: float = _env_float("REPRO_SIM_BUDGET", 600.0)
+    seeds: int = _env_int("REPRO_SEEDS", 2)
+    exec_cap_nyx: int = _env_int("REPRO_EXEC_CAP_NYX", 6000)
+    exec_cap_afl: int = _env_int("REPRO_EXEC_CAP_AFL", 2200)
+    exec_cap_aflpp: int = _env_int("REPRO_EXEC_CAP_AFLPP", 1200)
+    #: ASAN on for Nyx (its crash-detection mode in Table 1); the
+    #: AFL-family ProFuzzBench binaries run without it.
+    asan_nyx: bool = True
+
+    def scaled(self, factor: float) -> "BenchConfig":
+        return BenchConfig(
+            sim_budget=self.sim_budget * factor,
+            seeds=self.seeds,
+            exec_cap_nyx=max(100, int(self.exec_cap_nyx * factor)),
+            exec_cap_afl=max(50, int(self.exec_cap_afl * factor)),
+            exec_cap_aflpp=max(50, int(self.exec_cap_aflpp * factor)),
+            asan_nyx=self.asan_nyx)
+
+
+@dataclass
+class RunResult:
+    """One campaign's outcome."""
+
+    fuzzer: str
+    target: str
+    seed: int
+    stats: CampaignStats
+    crashes: Tuple[str, ...]
+    not_applicable: bool = False
+
+    @property
+    def final_coverage(self) -> int:
+        return self.stats.final_edges
+
+    @property
+    def execs_per_second(self) -> float:
+        return self.stats.execs_per_second()
+
+
+@dataclass
+class MatrixResult:
+    """All runs, indexed by (fuzzer, target)."""
+
+    config: BenchConfig
+    runs: Dict[Tuple[str, str], List[RunResult]] = field(default_factory=dict)
+
+    def of(self, fuzzer: str, target: str) -> List[RunResult]:
+        return self.runs.get((fuzzer, target), [])
+
+    def add(self, result: RunResult) -> None:
+        self.runs.setdefault((result.fuzzer, result.target), []).append(result)
+
+
+def run_fuzzer_once(fuzzer: str, target: str, seed: int,
+                    config: BenchConfig) -> RunResult:
+    """Run a single campaign; returns an n/a result where the tool
+    cannot run the target at all (AFL++ + desock)."""
+    profile = PROFILES[target]
+    if fuzzer in ("nyx-none", "nyx-balanced", "nyx-aggressive"):
+        policy = fuzzer.split("-", 1)[1]
+        handles = build_campaign(profile, policy=policy, seed=seed,
+                                 time_budget=config.sim_budget,
+                                 max_execs=config.exec_cap_nyx,
+                                 asan=config.asan_nyx)
+        stats = handles.fuzzer.run_campaign()
+        crashes = tuple(sorted(handles.fuzzer.crashes.records))
+        stats.fuzzer_name = fuzzer
+        return RunResult(fuzzer, target, seed, stats, crashes)
+    if fuzzer in ("aflnet", "aflnet-no-state"):
+        afl_config = AflNetConfig(seed=seed, time_budget=config.sim_budget,
+                                  max_execs=config.exec_cap_afl,
+                                  state_aware=(fuzzer == "aflnet"))
+        runner = AflNetFuzzer(profile, afl_config)
+        stats = runner.run_campaign()
+        return RunResult(fuzzer, target, seed, stats,
+                         tuple(sorted(runner.crashes.records)))
+    if fuzzer == "aflnwe":
+        afl_config = AflNetConfig(seed=seed, time_budget=config.sim_budget,
+                                  max_execs=config.exec_cap_afl)
+        runner = AflNweFuzzer(profile, afl_config)
+        stats = runner.run_campaign()
+        return RunResult(fuzzer, target, seed, stats,
+                         tuple(sorted(runner.crashes.records)))
+    if fuzzer == "afl++":
+        try:
+            runner = AflPlusPlusDesockFuzzer(
+                profile, DesockConfig(seed=seed,
+                                      time_budget=config.sim_budget,
+                                      max_execs=config.exec_cap_aflpp))
+        except DesockError:
+            return RunResult(fuzzer, target, seed,
+                             CampaignStats(fuzzer_name="afl++-desock",
+                                           target_name=target),
+                             (), not_applicable=True)
+        stats = runner.run_campaign()
+        return RunResult(fuzzer, target, seed, stats,
+                         tuple(sorted(runner.crashes.records)))
+    raise ValueError("unknown fuzzer %r" % fuzzer)
+
+
+# Memoized matrix runs keyed by (config, fuzzers, targets) so the
+# table benches share one expensive pass.
+_MATRIX_CACHE: Dict[tuple, MatrixResult] = {}
+
+
+def run_matrix(targets: Optional[Sequence[str]] = None,
+               fuzzers: Sequence[str] = FUZZER_NAMES,
+               config: Optional[BenchConfig] = None,
+               progress: bool = False) -> MatrixResult:
+    """Run (or reuse) the full campaign matrix."""
+    config = config or BenchConfig()
+    targets = tuple(targets if targets is not None else PROFUZZBENCH)
+    fuzzers = tuple(fuzzers)
+    key = (config, fuzzers, targets)
+    cached = _MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    matrix = MatrixResult(config)
+    for target in targets:
+        for fuzzer in fuzzers:
+            for seed in range(config.seeds):
+                result = run_fuzzer_once(fuzzer, target, seed, config)
+                matrix.add(result)
+                if progress:  # pragma: no cover - console feedback
+                    print("  %-14s %-18s seed=%d  cov=%-5d execs/s=%.1f %s"
+                          % (target, fuzzer, seed, result.final_coverage,
+                             result.execs_per_second,
+                             "n/a" if result.not_applicable else ""))
+    _MATRIX_CACHE[key] = matrix
+    return matrix

@@ -1,0 +1,267 @@
+"""Statistics and table rendering for the reproduced evaluation.
+
+Implements the paper's methodology: medians across repetitions,
+Mann-Whitney U significance marking (Klees et al.'s recommendation,
+§5.1), percentage deltas against the AFLNet column (Table 2), mean ±
+std throughput (Table 3), the crash matrix (Table 1) and
+time-to-equal-coverage speedups (Table 5).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bench.profuzzbench import FUZZER_NAMES, MatrixResult
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    return statistics.median(values)
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sided Mann-Whitney U p-value (normal approximation).
+
+    Uses the tie-corrected normal approximation; exact enough for the
+    significance marking the tables need.  Returns 1.0 when a sample
+    is empty or too small to ever reach significance.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        return 1.0
+    pooled = [(value, 0) for value in a] + [(value, 1) for value in b]
+    pooled.sort(key=lambda pair: pair[0])
+    # Mid-ranks with tie groups.
+    ranks = [0.0] * len(pooled)
+    i = 0
+    tie_term = 0.0
+    while i < len(pooled):
+        j = i
+        while j + 1 < len(pooled) and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = rank
+        t = j - i + 1
+        tie_term += t ** 3 - t
+        i = j + 1
+    r1 = sum(rank for rank, (_v, group) in zip(ranks, pooled) if group == 0)
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    n = n1 + n2
+    sigma_sq = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma_sq <= 0:
+        return 1.0
+    z = (u1 - mu) / math.sqrt(sigma_sq)
+    # Two-sided p from the normal CDF.
+    p = 2.0 * (1.0 - _phi(abs(z)))
+    return min(max(p, 0.0), 1.0)
+
+
+def _phi(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+# ----------------------------------------------------------------------
+# generic table rendering
+# ----------------------------------------------------------------------
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: str = "") -> str:
+    """Plain-text table with aligned columns."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Table 2: median branch coverage vs AFLNet
+# ----------------------------------------------------------------------
+
+
+def coverage_table(matrix: MatrixResult,
+                   fuzzers: Sequence[str] = FUZZER_NAMES) -> str:
+    """Median coverage; AFLNet absolute, others as % delta (Table 2)."""
+    targets = sorted({target for _f, target in matrix.runs})
+    headers = ["target", "aflnet"] + [f for f in fuzzers if f != "aflnet"]
+    rows = []
+    for target in targets:
+        base_runs = matrix.of("aflnet", target)
+        base_cov = [r.final_coverage for r in base_runs]
+        base_median = median(base_cov) if base_cov else 0.0
+        row = [target, "%.1f" % base_median]
+        for fuzzer in fuzzers:
+            if fuzzer == "aflnet":
+                continue
+            runs = matrix.of(fuzzer, target)
+            if not runs or all(r.not_applicable for r in runs):
+                row.append("n/a")
+                continue
+            cov = [r.final_coverage for r in runs]
+            if base_median <= 0:
+                row.append("+inf")
+                continue
+            delta = (median(cov) - base_median) / base_median * 100.0
+            p = mann_whitney_u(base_cov, cov)
+            marker = "*" if p < 0.05 else ""
+            row.append("%+.1f%%%s" % (delta, marker))
+        rows.append(row)
+    note = ("\n(* = significant at p<0.05, Mann-Whitney U; needs >=4 "
+            "seeds per config to be reachable — %d used)"
+            % matrix.config.seeds)
+    return format_table(headers, rows,
+                        "Table 2: median branch coverage vs AFLNet") + note
+
+
+# ----------------------------------------------------------------------
+# Table 3: throughput
+# ----------------------------------------------------------------------
+
+
+def throughput_table(matrix: MatrixResult,
+                     fuzzers: Sequence[str] = FUZZER_NAMES) -> str:
+    """Mean ± std executions per simulated second (Table 3)."""
+    targets = sorted({target for _f, target in matrix.runs})
+    headers = ["target"] + list(fuzzers)
+    rows = []
+    for target in targets:
+        row = [target]
+        for fuzzer in fuzzers:
+            runs = matrix.of(fuzzer, target)
+            if not runs or all(r.not_applicable for r in runs):
+                row.append("-")
+                continue
+            rates = [r.execs_per_second for r in runs]
+            mean = statistics.fmean(rates)
+            std = statistics.pstdev(rates) if len(rates) > 1 else 0.0
+            row.append("%.1f ± %.1f" % (mean, std))
+        rows.append(row)
+    return format_table(headers, rows,
+                        "Table 3: test throughput (execs / simulated second)")
+
+
+# ----------------------------------------------------------------------
+# Table 1: crash matrix
+# ----------------------------------------------------------------------
+
+
+def crash_table(matrix: MatrixResult,
+                fuzzers: Sequence[str] = FUZZER_NAMES) -> str:
+    """Which fuzzers crashed which targets (Table 1)."""
+    targets = sorted({target for _f, target in matrix.runs})
+    headers = ["target"] + list(fuzzers)
+    rows = []
+    for target in targets:
+        row = [target]
+        any_crash = False
+        for fuzzer in fuzzers:
+            runs = matrix.of(fuzzer, target)
+            if not runs or all(r.not_applicable for r in runs):
+                row.append("n/a")
+                continue
+            bugs = sorted({bug for r in runs for bug in r.crashes
+                           if not bug.startswith("solved:")})
+            if bugs:
+                any_crash = True
+                row.append("X (%s)" % ",".join(b.split(":")[1] for b in bugs))
+            else:
+                row.append("-")
+        if any_crash:
+            rows.append(row)
+    return format_table(
+        headers, rows,
+        "Table 1: crashes found (targets with no findings omitted)")
+
+
+def crash_matrix(matrix: MatrixResult) -> Dict[Tuple[str, str], List[str]]:
+    """Raw (fuzzer, target) -> unique bug ids, for assertions."""
+    out: Dict[Tuple[str, str], List[str]] = {}
+    for (fuzzer, target), runs in matrix.runs.items():
+        bugs = sorted({bug for r in runs for bug in r.crashes})
+        out[(fuzzer, target)] = bugs
+    return out
+
+
+# ----------------------------------------------------------------------
+# Table 5: time to equal coverage
+# ----------------------------------------------------------------------
+
+
+def time_to_coverage_table(matrix: MatrixResult,
+                           nyx_fuzzers: Sequence[str] = (
+                               "nyx-none", "nyx-balanced",
+                               "nyx-aggressive")) -> str:
+    """When AFLNet reached its final coverage vs Nyx-Net (Table 5)."""
+    targets = sorted({target for _f, target in matrix.runs})
+    headers = ["target", "aflnet t_final"] + ["%s speedup" % f
+                                              for f in nyx_fuzzers]
+    rows = []
+    for target in targets:
+        base_runs = matrix.of("aflnet", target)
+        if not base_runs:
+            continue
+        base = max(base_runs, key=lambda r: r.final_coverage)
+        base_cov = base.final_coverage
+        base_time = (base.stats.coverage_series[-1][0]
+                     if base.stats.coverage_series else 0.0)
+        row = [target, "%.1fs" % base_time]
+        for fuzzer in nyx_fuzzers:
+            runs = matrix.of(fuzzer, target)
+            speedups = []
+            for run in runs:
+                t = run.stats.time_to_edges(base_cov)
+                if t is not None and t > 0:
+                    speedups.append(base_time / t)
+            if speedups:
+                row.append("%.0fx" % median(speedups))
+            else:
+                row.append("-")  # never matched AFLNet's coverage
+        rows.append(row)
+    return format_table(headers, rows,
+                        "Table 5: time to reach AFLNet's final coverage")
+
+
+# ----------------------------------------------------------------------
+# Figures 5/7: coverage over time
+# ----------------------------------------------------------------------
+
+
+def coverage_series_csv(matrix: MatrixResult,
+                        fuzzers: Sequence[str] = FUZZER_NAMES) -> str:
+    """Coverage-over-time series as CSV (the Figure 5/7 data)."""
+    lines = ["target,fuzzer,seed,sim_time,edges"]
+    for (fuzzer, target), runs in sorted(matrix.runs.items()):
+        if fuzzer not in fuzzers:
+            continue
+        for run in runs:
+            for t, edges in run.stats.coverage_series:
+                lines.append("%s,%s,%d,%.3f,%d"
+                             % (target, fuzzer, run.seed, t, edges))
+    return "\n".join(lines)
+
+
+def median_final_coverage(matrix: MatrixResult, fuzzer: str,
+                          target: str) -> float:
+    runs = matrix.of(fuzzer, target)
+    if not runs:
+        return 0.0
+    return median([r.final_coverage for r in runs])

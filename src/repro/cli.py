@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``targets`` — list the available fuzz targets.
+* ``fuzz <target>`` — run a Nyx-Net campaign against one target.
+* ``mario <level>`` — run the Table 4 time-to-solve comparison on one
+  Super Mario level.
+* ``bench`` — run the ProFuzzBench matrix and print Tables 1-3.
+* ``replay <target> <file.nyx>`` — replay a persisted input (e.g. a
+  crash reproducer) against a fresh target VM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_targets(args: argparse.Namespace) -> int:
+    from repro.targets import PROFILES, PROFUZZBENCH
+    print("%-14s %-8s %-5s %s" % ("target", "proto", "bugs", "notes"))
+    for name in sorted(PROFILES):
+        profile = PROFILES[name]
+        tag = "pfb" if name in PROFUZZBENCH else "case"
+        print("%-14s %-8s %-5d [%s] %s"
+              % (name, profile.protocol, len(profile.planted_bugs), tag,
+                 profile.notes[:70]))
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import build_campaign
+    from repro.fuzz.persist import save_campaign
+    from repro.targets import PROFILES
+    profile = PROFILES.get(args.target)
+    if profile is None:
+        print("unknown target %r (see `repro targets`)" % args.target,
+              file=sys.stderr)
+        return 2
+    handles = build_campaign(profile, policy=args.policy, seed=args.seed,
+                             time_budget=args.time, max_execs=args.execs,
+                             asan=not args.no_asan)
+    print("fuzzing %s with nyx-net-%s (sim budget %.0fs, cap %s execs)"
+          % (args.target, args.policy, args.time, args.execs))
+    stats = handles.fuzzer.run_campaign()
+    print(stats.summary())
+    for bug in handles.fuzzer.crashes.unique_bugs:
+        record = handles.fuzzer.crashes.records[bug]
+        print("  CRASH %-40s t=%.2fs x%d" % (bug, record.found_at,
+                                             record.count))
+    if args.distill:
+        from repro.fuzz.trim import distill_corpus
+        inputs = [e.input for e in handles.fuzzer.corpus.entries]
+        chosen = distill_corpus(handles.executor, inputs)
+        handles.fuzzer.corpus.entries = [
+            e for e in handles.fuzzer.corpus.entries if e.input in chosen]
+        print("distilled corpus: %d -> %d entries"
+              % (len(inputs), len(chosen)))
+    if args.out:
+        written = save_campaign(handles.fuzzer, args.out)
+        print("saved %d files to %s" % (written, args.out))
+    return 0
+
+
+def _cmd_mario(args: argparse.Namespace) -> int:
+    from repro.mario.solver import MODES, solve_level
+    modes = args.modes.split(",") if args.modes else list(MODES)
+    for mode in modes:
+        result = solve_level(args.level, mode, seed=args.seed,
+                             max_execs=args.execs)
+        if result.solved:
+            print("%-16s solved in %8.1fs (sim), %6d execs"
+                  % (mode, result.time_to_solve, result.execs))
+        else:
+            print("%-16s unsolved after %d execs" % (mode, result.execs))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.profuzzbench import BenchConfig, run_matrix
+    from repro.bench.reporting import (coverage_table, crash_table,
+                                       throughput_table)
+    config = BenchConfig()
+    targets = args.targets.split(",") if args.targets else None
+    matrix = run_matrix(targets=targets, config=config, progress=True)
+    for table in (crash_table(matrix), coverage_table(matrix),
+                  throughput_table(matrix)):
+        print()
+        print(table)
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.spec.nodes import default_network_spec
+    from repro.spec.share import pack_share
+    from repro.targets import PROFILES
+    profile = PROFILES.get(args.target)
+    if profile is None:
+        print("unknown target %r" % args.target, file=sys.stderr)
+        return 2
+    written = pack_share(profile, default_network_spec(), args.out)
+    print("packed %d files into share folder %s" % (written, args.out))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import build_campaign
+    from repro.fuzz.input import FuzzInput
+    from repro.spec.bytecode import deserialize
+    from repro.spec.nodes import default_network_spec
+    from repro.targets import PROFILES
+    profile = PROFILES.get(args.target)
+    if profile is None:
+        print("unknown target %r" % args.target, file=sys.stderr)
+        return 2
+    with open(args.input, "rb") as handle:
+        ops = deserialize(default_network_spec(), handle.read())
+    handles = build_campaign(profile, policy="none", seed=0,
+                             time_budget=1e9, max_execs=1)
+    result = handles.executor.run_full(FuzzInput(ops))
+    print("replayed %d ops (%d packets consumed)"
+          % (result.ops_executed, result.packets_consumed))
+    if result.crash is not None:
+        print("CRASH: %s (%s)" % (result.crash.dedup_key,
+                                  result.crash.detail))
+        return 1
+    print("no crash")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nyx-Net reproduction: snapshot fuzzing on a "
+                    "simulated VM")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list fuzz targets")
+
+    fuzz = sub.add_parser("fuzz", help="fuzz one target")
+    fuzz.add_argument("target")
+    fuzz.add_argument("--policy", default="aggressive",
+                      choices=["none", "balanced", "aggressive"])
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--time", type=float, default=600.0,
+                      help="simulated seconds")
+    fuzz.add_argument("--execs", type=int, default=5000,
+                      help="host-side execution cap")
+    fuzz.add_argument("--no-asan", action="store_true")
+    fuzz.add_argument("--distill", action="store_true",
+                      help="afl-cmin the corpus before saving")
+    fuzz.add_argument("--out", help="directory to persist corpus+crashes")
+
+    mario = sub.add_parser("mario", help="Table 4 on one level")
+    mario.add_argument("level", nargs="?", default="1-1")
+    mario.add_argument("--modes", help="comma list (default: all four)")
+    mario.add_argument("--seed", type=int, default=0)
+    mario.add_argument("--execs", type=int, default=10000)
+
+    bench = sub.add_parser("bench", help="run the campaign matrix")
+    bench.add_argument("--targets", help="comma list (default: all 13)")
+
+    replay = sub.add_parser("replay", help="replay a .nyx input")
+    replay.add_argument("target")
+    replay.add_argument("input")
+
+    pack = sub.add_parser("pack", help="bundle a share folder (§5.4)")
+    pack.add_argument("target")
+    pack.add_argument("out")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "targets": _cmd_targets,
+        "fuzz": _cmd_fuzz,
+        "mario": _cmd_mario,
+        "bench": _cmd_bench,
+        "replay": _cmd_replay,
+        "pack": _cmd_pack,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

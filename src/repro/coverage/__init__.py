@@ -1,0 +1,15 @@
+"""Coverage feedback: AFL-style bitmaps over a Python edge tracer.
+
+The paper's prototype supports Intel PT and AFL's compile-time
+instrumentation (§4.5); our substitute traces the *actual Python code*
+of the guest targets with :mod:`sys.settrace` and folds (prev, cur)
+line transitions into a classic 64 KiB AFL hit-count bitmap with the
+standard bucketing semantics.
+"""
+
+from repro.coverage.bitmap import (MAP_SIZE, classify_counts, count_bits,
+                                   CoverageMap)
+from repro.coverage.tracer import EdgeTracer
+
+__all__ = ["MAP_SIZE", "classify_counts", "count_bits", "CoverageMap",
+           "EdgeTracer"]

@@ -1,0 +1,111 @@
+"""AFL-style coverage bitmaps over sparse traces.
+
+Semantics follow AFL: a 64 Ki-entry map of edge hit counts, bucketed
+into power-of-two classes before novelty comparison, and a *virgin map*
+accumulating everything ever seen.  ``has_new_bits`` distinguishes
+"new edge" from "new hit-count bucket on a known edge".
+
+One deviation for host performance: per-execution traces are **sparse**
+(dict of edge index -> raw hit count) rather than dense byte arrays, so
+the common "nothing new" case costs O(edges executed), not O(map size).
+The virgin map itself stays dense and byte-compatible with AFL's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+MAP_SIZE = 1 << 16
+
+#: AFL's count classes: observed hit count (clamped to 255) -> bucket bit.
+BUCKET_LOOKUP = bytearray(256)
+for _count in range(256):
+    if _count == 0:
+        _bucket = 0
+    elif _count == 1:
+        _bucket = 1
+    elif _count == 2:
+        _bucket = 2
+    elif _count == 3:
+        _bucket = 4
+    elif _count <= 7:
+        _bucket = 8
+    elif _count <= 15:
+        _bucket = 16
+    elif _count <= 31:
+        _bucket = 32
+    elif _count <= 127:
+        _bucket = 64
+    else:
+        _bucket = 128
+    BUCKET_LOOKUP[_count] = _bucket
+
+
+def classify_counts(trace: Dict[int, int]) -> Dict[int, int]:
+    """Map a sparse trace's raw hit counts to AFL bucket values."""
+    lookup = BUCKET_LOOKUP
+    return {idx: lookup[count if count < 256 else 255]
+            for idx, count in trace.items()}
+
+
+def count_bits(bitmap: Iterable[int]) -> int:
+    """Number of non-zero entries (edges) in a dense map."""
+    return sum(1 for b in bitmap if b)
+
+
+class CoverageMap:
+    """The fuzzer's accumulated ("virgin") coverage state."""
+
+    NEW_NOTHING = 0
+    NEW_COUNT = 1
+    NEW_EDGE = 2
+
+    def __init__(self, size: int = MAP_SIZE) -> None:
+        self.size = size
+        self.virgin = bytearray(size)
+        #: Number of distinct edges ever observed.
+        self.edges_seen = 0
+
+    def has_new_bits(self, trace: Dict[int, int], update: bool = True) -> int:
+        """Compare a sparse raw trace against the virgin map.
+
+        Returns NEW_EDGE if a never-seen edge fired, NEW_COUNT if only
+        a new hit-count bucket appeared on a known edge, NEW_NOTHING
+        otherwise.  When ``update`` is set, the virgin map absorbs the
+        trace.
+        """
+        verdict = self.NEW_NOTHING
+        virgin = self.virgin
+        lookup = BUCKET_LOOKUP
+        for idx, count in trace.items():
+            bucket = lookup[count if count < 256 else 255]
+            if not bucket:
+                continue
+            old = virgin[idx % self.size]
+            if bucket & ~old:
+                if old == 0:
+                    verdict = self.NEW_EDGE
+                    self.edges_seen += 1
+                elif verdict == self.NEW_NOTHING:
+                    verdict = self.NEW_COUNT
+                if update:
+                    virgin[idx % self.size] = old | bucket
+        return verdict
+
+    def edge_count(self) -> int:
+        """Distinct edges covered so far (the paper's "branches")."""
+        return self.edges_seen
+
+    def checksum(self, trace: Dict[int, int]) -> int:
+        """Cheap, order-independent hash of a classified trace."""
+        lookup = BUCKET_LOOKUP
+        total = 0
+        for idx, count in trace.items():
+            total ^= hash((idx, lookup[count if count < 256 else 255]))
+        return total
+
+    def copy(self) -> "CoverageMap":
+        clone = CoverageMap(self.size)
+        clone.virgin = bytearray(self.virgin)
+        clone.edges_seen = self.edges_seen
+        return clone

@@ -1,0 +1,115 @@
+"""``sys.settrace``-based edge tracer for guest target code.
+
+This is the reproduction's stand-in for AFL compile-time
+instrumentation (§4.5): instead of instrumenting basic blocks at
+compile time, we trace line events of the target's *actual Python
+code* and fold ``(previous site, current site)`` transitions into a
+sparse AFL-style trace, using AFL's ``cur ^ (prev >> 1)`` edge formula.
+
+Only code whose filename matches the configured path fragments is
+traced, so the kernel, fuzzer and harness never pollute coverage —
+the analogue of only instrumenting the target binary.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.coverage.bitmap import MAP_SIZE
+
+#: Path fragments identifying "instrumented" code.  The Mario *engine*
+#: is deliberately absent: like IJON's original experiment, game
+#: progress feedback comes from the IJON state annotation, not from
+#: line coverage of the physics loop (and tracing 2,000 frames of
+#: physics per execution would dominate host time).
+DEFAULT_TRACED_FRAGMENTS = ("/repro/targets/", "/repro/mario/target")
+
+#: Bitmap region where IJON state annotations land (distinct from the
+#: hash range used by code edges only probabilistically, like IJON).
+IJON_BASE = 0xF000
+
+
+class EdgeTracer:
+    """Collects sparse edge traces from traced module code."""
+
+    def __init__(self, traced_fragments: Tuple[str, ...] = DEFAULT_TRACED_FRAGMENTS,
+                 map_size: int = MAP_SIZE) -> None:
+        self.traced_fragments = traced_fragments
+        self.map_size = map_size
+        #: Sparse trace of the current execution: edge index -> count.
+        self.trace: Dict[int, int] = {}
+        self._prev_site = 0
+        #: Per-code-object decision cache: id(code) -> bool.
+        self._code_cache: Dict[int, bool] = {}
+        self._depth = 0
+
+    # -- per-test lifecycle --------------------------------------------------
+
+    def begin(self) -> None:
+        """Reset the trace for a new test case."""
+        self.trace = {}
+        self._prev_site = 0
+
+    def take_trace(self) -> Dict[int, int]:
+        """Return the sparse trace collected since :meth:`begin`."""
+        return self.trace
+
+    def ijon_set(self, slot: int) -> None:
+        """IJON-style state feedback: mark a state slot as reached.
+
+        Mirrors IJON-SET/IJON-MAX: the annotated state value selects a
+        bitmap entry, so novel states look like novel edges to the
+        fuzzer's novelty check.
+        """
+        edge = (IJON_BASE + slot) % self.map_size
+        trace = self.trace
+        trace[edge] = trace.get(edge, 0) + 1
+
+    # -- execution wrapper --------------------------------------------------
+
+    def run(self, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` with tracing enabled.
+
+        Re-entrant: nested calls keep the existing trace hook.
+        """
+        if self._depth == 0:
+            sys.settrace(self._global_trace)
+        self._depth += 1
+        try:
+            fn(*args)
+        finally:
+            self._depth -= 1
+            if self._depth == 0:
+                sys.settrace(None)
+
+    # -- trace hooks -----------------------------------------------------------
+
+    def _is_traced(self, code) -> bool:
+        key = id(code)
+        cached = self._code_cache.get(key)
+        if cached is None:
+            filename = code.co_filename
+            cached = any(fragment in filename
+                         for fragment in self.traced_fragments)
+            self._code_cache[key] = cached
+        return cached
+
+    def _global_trace(self, frame, event, arg) -> Optional[Callable]:
+        if event == "call" and self._is_traced(frame.f_code):
+            # Record the call edge itself, then trace lines inside.
+            self._hit(hash((frame.f_code.co_filename, frame.f_code.co_firstlineno)))
+            return self._local_trace
+        return None
+
+    def _local_trace(self, frame, event, arg) -> Optional[Callable]:
+        if event == "line":
+            self._hit(hash((id(frame.f_code), frame.f_lineno)))
+        return self._local_trace
+
+    def _hit(self, site: int) -> None:
+        site &= 0xFFFFFFFF
+        edge = (site ^ (self._prev_site >> 1)) % self.map_size
+        self._prev_site = site
+        trace = self.trace
+        trace[edge] = trace.get(edge, 0) + 1

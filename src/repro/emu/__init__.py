@@ -1,0 +1,15 @@
+"""Selective network emulation (the paper's LD_PRELOAD agent, §3.3/§4.1).
+
+The :class:`~repro.emu.interceptor.Interceptor` hooks the guest
+kernel's socket syscalls, tracks which file descriptors belong to the
+external attack surface (across ``fork``/``dup``/fd-passing), feeds
+fuzzer-generated packets to ``recv``/``read`` on those descriptors,
+emulates ``select``/``poll``/``epoll`` readiness according to the input
+bytecode, and swallows responses — so a test case usually runs without
+touching the (simulated) real network path at all.
+"""
+
+from repro.emu.surface import AttackSurface, SurfaceMode
+from repro.emu.interceptor import Interceptor
+
+__all__ = ["AttackSurface", "SurfaceMode", "Interceptor"]

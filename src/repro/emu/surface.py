@@ -1,0 +1,61 @@
+"""Attack-surface configuration for the emulation layer.
+
+"We usually hook the first connection established via a given port and
+address" (§2.2).  An :class:`AttackSurface` names the addresses whose
+traffic is attacker-controlled; the interceptor marks sockets bound to
+(server mode) or connected towards (client mode) those addresses as
+surface sockets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Union
+
+Address = Union[int, str]
+
+
+class SurfaceMode(enum.Enum):
+    #: The target is a server; the fuzzer plays the client(s).
+    SERVER = "server"
+    #: The target is a client connecting out; the fuzzer plays the
+    #: server (the MySQL-client case study, §5.4).
+    CLIENT = "client"
+
+
+@dataclass
+class AttackSurface:
+    """Which addresses the fuzzer controls, and how."""
+
+    mode: SurfaceMode = SurfaceMode.SERVER
+    #: Addresses (ports or unix paths) that are attack surface.  Empty
+    #: means "hook the first bind/connect observed" (auto mode).
+    addresses: List[Address] = field(default_factory=list)
+    #: Whether the surface sockets are datagram sockets.
+    datagram: bool = False
+    #: Upper bound of simultaneously hooked connections (Firefox IPC
+    #: needed "many at the same time", §5.6).
+    max_connections: int = 16
+
+    def matches(self, addr: Address, seen_any: bool) -> bool:
+        """Whether ``addr`` belongs to the surface."""
+        if self.addresses:
+            return addr in self.addresses
+        return not seen_any  # auto mode: first address observed wins
+
+    @classmethod
+    def tcp_server(cls, *ports: int) -> "AttackSurface":
+        return cls(SurfaceMode.SERVER, list(ports))
+
+    @classmethod
+    def udp_server(cls, *ports: int) -> "AttackSurface":
+        return cls(SurfaceMode.SERVER, list(ports), datagram=True)
+
+    @classmethod
+    def unix_server(cls, *paths: str) -> "AttackSurface":
+        return cls(SurfaceMode.SERVER, list(paths))
+
+    @classmethod
+    def tcp_client(cls, *ports: int) -> "AttackSurface":
+        return cls(SurfaceMode.CLIENT, list(ports))

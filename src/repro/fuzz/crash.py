@@ -1,0 +1,52 @@
+"""Crash collection and deduplication.
+
+The evaluation counts *unique bugs* per target (Table 1), so crashes
+are deduplicated by their planted-bug identity plus crash kind —
+the analogue of the paper's manual triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashReport
+
+
+@dataclass
+class CrashRecord:
+    """First occurrence of one unique bug."""
+
+    report: CrashReport
+    input: Optional[FuzzInput]
+    found_at: float
+    count: int = 1
+
+
+class CrashDatabase:
+    """Unique-bug store for a campaign."""
+
+    def __init__(self) -> None:
+        self.records: Dict[str, CrashRecord] = {}
+
+    def add(self, report: CrashReport, input_: Optional[FuzzInput],
+            now: float) -> bool:
+        """Record a crash; returns True if it is a new unique bug."""
+        key = report.dedup_key
+        existing = self.records.get(key)
+        if existing is not None:
+            existing.count += 1
+            return False
+        self.records[key] = CrashRecord(report, input_, now)
+        return True
+
+    @property
+    def unique_bugs(self) -> List[str]:
+        return sorted(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.records

@@ -1,0 +1,229 @@
+"""Test-case execution inside the VM.
+
+The executor interprets input bytecode op by op, driving the
+interceptor (connections, packets, EOF), the guest scheduler and the
+snapshot machinery:
+
+* ``run_full`` executes an input from the top, optionally creating the
+  incremental snapshot after a chosen packet (the policy's pick, or an
+  explicit ``snapshot`` marker op in the input);
+* ``run_suffix`` re-executes only the ops after the snapshot point
+  against the incremental snapshot — the §3.4 fast path;
+* after every execution the VM is reset to whichever snapshot is
+  active, with the reset cost charged to the simulated clock.
+
+Targets with non-network vocabularies (e.g. Super Mario's button
+frames) register extra op handlers.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.coverage.tracer import EdgeTracer
+from repro.emu.interceptor import Interceptor
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashReport, GuestError
+from repro.guestos.kernel import Kernel
+from repro.vm.machine import Machine
+
+#: Handler signature: (executor, op, resolved connection id) -> None.
+OpHandler = Callable[["NyxExecutor", object, Optional[int]], None]
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one test-case execution."""
+
+    trace: Dict[int, int] = field(default_factory=dict)
+    crash: Optional[CrashReport] = None
+    exec_time: float = 0.0
+    ops_executed: int = 0
+    packets_sent: int = 0
+    #: Packets the target actually read (recv'd) during the run —
+    #: inputs that kill or stall the target stop consuming early.
+    packets_consumed: int = 0
+    #: True when the run only replayed a suffix from the incremental
+    #: snapshot.
+    suffix_run: bool = False
+
+
+@dataclass
+class _SuffixState:
+    """Captured host-side interceptor state at the snapshot point."""
+
+    resume_index: int
+    conns: Dict
+    sid_to_conn: Dict
+    values_produced: int
+
+
+class NyxExecutor:
+    """Executes inputs against one target VM."""
+
+    def __init__(self, machine: Machine, kernel: Kernel,
+                 interceptor: Interceptor, tracer: Optional[EdgeTracer] = None,
+                 max_ops: int = 512) -> None:
+        self.machine = machine
+        self.kernel = kernel
+        self.interceptor = interceptor
+        self.tracer = tracer
+        self.max_ops = max_ops
+        self.execs = 0
+        self._suffix: Optional[_SuffixState] = None
+        self.op_handlers: Dict[str, OpHandler] = {
+            "connection": _handle_connection,
+            "packet": _handle_packet,
+            "shutdown": _handle_shutdown,
+        }
+        if tracer is not None:
+            kernel.coverage = tracer
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+
+    def run_full(self, input_: FuzzInput,
+                 snapshot_after_packet: Optional[int] = None) -> ExecResult:
+        """Execute the whole input from the active snapshot (root).
+
+        ``snapshot_after_packet`` is a 0-based position into the
+        input's packet list; the incremental snapshot is created right
+        after that packet is consumed, and subsequent ``run_suffix``
+        calls replay only the remainder.
+        """
+        self._suffix = None
+        self.machine.snapshots.discard_incremental()
+        snapshot_op_index = None
+        if snapshot_after_packet is not None:
+            packets = input_.packet_indices()
+            if 0 <= snapshot_after_packet < len(packets):
+                snapshot_op_index = packets[snapshot_after_packet]
+        return self._run(input_, start=0, snapshot_op_index=snapshot_op_index)
+
+    def run_suffix(self, input_: FuzzInput) -> ExecResult:
+        """Execute only the ops after the incremental snapshot point."""
+        state = self._suffix
+        if state is None or not self.machine.snapshots.incremental_active:
+            raise RuntimeError("no incremental snapshot to fuzz from")
+        # Rebind the interceptor's host-side view of the guest sockets
+        # exactly as it was at the snapshot point.
+        self.interceptor._conns = copy.deepcopy(state.conns)
+        self.interceptor._sid_to_conn = dict(state.sid_to_conn)
+        result = self._run(input_, start=state.resume_index,
+                           snapshot_op_index=None,
+                           values_preassigned=state.values_produced)
+        result.suffix_run = True
+        return result
+
+    @property
+    def suffix_resume_index(self) -> Optional[int]:
+        return self._suffix.resume_index if self._suffix else None
+
+    # ------------------------------------------------------------------
+    # core interpreter
+    # ------------------------------------------------------------------
+
+    def _run(self, input_: FuzzInput, start: int,
+             snapshot_op_index: Optional[int],
+             values_preassigned: int = 0) -> ExecResult:
+        machine = self.machine
+        kernel = self.kernel
+        result = ExecResult()
+        t0 = machine.clock.now
+        packets_before = self.interceptor.stats_packets
+        if self.tracer is not None:
+            self.tracer.begin()
+        if start == 0:
+            self.interceptor.reset_for_test()
+        values = values_preassigned
+        spec_nodes = self.op_handlers
+        ops = input_.ops
+        for index in range(start, min(len(ops), start + self.max_ops)):
+            op = ops[index]
+            if op.is_snapshot_marker():
+                self._take_incremental(index + 1, values)
+                continue
+            handler = spec_nodes.get(op.node)
+            if handler is not None:
+                conn = op.refs[0] if op.refs else None
+                try:
+                    handler(self, op, conn)
+                except (GuestError, KeyError, ValueError):
+                    # Ill-formed mutation (bad conn ref, closed conn):
+                    # the op is a no-op, like a packet to a dead socket.
+                    pass
+            values += _outputs_of(op)
+            result.ops_executed += 1
+            if op.node == "packet":
+                result.packets_sent += 1
+            kernel.run()
+            if kernel.crash_reports:
+                break
+            if snapshot_op_index is not None and index == snapshot_op_index:
+                self._take_incremental(index + 1, values)
+                snapshot_op_index = None
+        # Let the target finish pending work (responses, cleanup).
+        kernel.run()
+        if kernel.crash_reports:
+            result.crash = kernel.crash_reports[0]
+            kernel.crash_reports.clear()
+        if self.tracer is not None:
+            result.trace = self.tracer.take_trace()
+        result.exec_time = machine.clock.now - t0
+        result.packets_consumed = (self.interceptor.stats_packets
+                                   - packets_before)
+        self.execs += 1
+        # Reset for the next test: the state churn of this execution is
+        # what the reset pays for.
+        kernel.flush_to_memory()
+        machine.reset_for_next_test()
+        return result
+
+    def _take_incremental(self, resume_index: int, values: int) -> None:
+        """Create the secondary snapshot at the current position."""
+        self.kernel.flush_to_memory()
+        self.machine.create_incremental()
+        self._suffix = _SuffixState(
+            resume_index=resume_index,
+            conns=copy.deepcopy(self.interceptor._conns),
+            sid_to_conn=dict(self.interceptor._sid_to_conn),
+            values_produced=values,
+        )
+
+    def finish_snapshot_cycle(self) -> None:
+        """Discard the incremental snapshot and return to the root
+        ("as soon as Nyx-Net wants to schedule another input, the
+        incremental snapshot is discarded", §3.4)."""
+        self._suffix = None
+        self.machine.snapshots.discard_incremental()
+        self.kernel.flush_to_memory()
+        self.machine.restore_root()
+
+
+def _outputs_of(op) -> int:
+    """Connections produced by an op (default spec: connection=1)."""
+    return 1 if op.node == "connection" else 0
+
+
+# ----------------------------------------------------------------------
+# default op handlers (the generic network spec)
+# ----------------------------------------------------------------------
+
+
+def _handle_connection(executor: NyxExecutor, op, conn: Optional[int]) -> None:
+    # The new connection's id is the index of the value it produces,
+    # which equals the number of connections opened so far this test.
+    conn_id = len(executor.interceptor._conns)
+    executor.interceptor.open_connection(conn_id)
+
+
+def _handle_packet(executor: NyxExecutor, op, conn: Optional[int]) -> None:
+    payload = op.args[0] if op.args else b""
+    executor.interceptor.queue_packet(conn or 0, bytes(payload))
+
+
+def _handle_shutdown(executor: NyxExecutor, op, conn: Optional[int]) -> None:
+    executor.interceptor.close_connection(conn or 0)

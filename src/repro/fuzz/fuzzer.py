@@ -1,0 +1,243 @@
+"""The Nyx-Net campaign loop.
+
+Ties together corpus scheduling, snapshot placement policies, the
+mutation engine, the executor and statistics:
+
+1. pick a queue entry;
+2. ask the policy for a snapshot index ("Each time a new input is
+   scheduled for fuzzing, we randomly decide whether to use
+   incremental snapshots for this input", §3.4);
+3. run the entry once from the root, creating the incremental snapshot
+   at the chosen packet;
+4. run a batch of suffix mutations against the incremental snapshot
+   (tens to hundreds — reuse ≥50 pays off per §3.4);
+5. feed coverage novelty back into the queue and the policy, then
+   discard the incremental snapshot and return to the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.coverage.bitmap import CoverageMap
+from repro.fuzz.crash import CrashDatabase
+from repro.fuzz.executor import ExecResult, NyxExecutor
+from repro.fuzz.input import FuzzInput, packets_input
+from repro.fuzz.mutators import MutationEngine
+from repro.fuzz.policies import SnapshotPolicy, make_policy
+from repro.fuzz.queue import Corpus, QueueEntry
+from repro.fuzz.stats import CampaignStats
+from repro.sim.rng import DeterministicRandom
+
+
+@dataclass
+class FuzzerConfig:
+    """Tunables for one campaign."""
+
+    policy: str = "balanced"
+    seed: int = 0
+    #: Suffix mutations per incremental snapshot cycle (§3.4: "even for
+    #: short state sequences reusing the snapshot as little as 50 times
+    #: yields significant performance increases").
+    iterations_per_snapshot: int = 50
+    #: Mutations per scheduled entry when running from the root.
+    iterations_root: int = 25
+    dictionary: Sequence[bytes] = ()
+    #: Stop conditions: simulated seconds and/or host-side exec count.
+    time_budget: float = 60.0
+    max_execs: Optional[int] = None
+    #: End the campaign at the first unique crash (time-to-solve /
+    #: time-to-crash experiments).
+    stop_on_first_crash: bool = False
+    #: Extra simulated cost charged per execution.  Used to model
+    #: harnesses with more expensive resets on the same executor
+    #: (e.g. IJON restarting the game process every run).
+    per_exec_surcharge: float = 0.0
+
+
+class NyxNetFuzzer:
+    """A coverage-guided snapshot fuzzer for one target VM."""
+
+    def __init__(self, executor: NyxExecutor, seeds: Sequence[FuzzInput],
+                 config: Optional[FuzzerConfig] = None) -> None:
+        self.executor = executor
+        self.config = config or FuzzerConfig()
+        self.rng = DeterministicRandom(self.config.seed)
+        self.policy: SnapshotPolicy = make_policy(self.config.policy)
+        self.coverage = CoverageMap()
+        self.corpus = Corpus(self.rng)
+        self.mutator = MutationEngine(self.rng, self.config.dictionary)
+        self.crashes = CrashDatabase()
+        self.stats = CampaignStats(
+            fuzzer_name="nyx-net-%s" % self.policy.name)
+        self._seeds = [s.copy() for s in seeds]
+
+    @property
+    def clock(self):
+        return self.executor.machine.clock
+
+    # ------------------------------------------------------------------
+    # campaign
+    # ------------------------------------------------------------------
+
+    def run_campaign(self) -> CampaignStats:
+        """Run until the time budget or exec cap is exhausted."""
+        self._import_seeds()
+        config = self.config
+        while self.clock.now < config.time_budget and not self._exec_capped():
+            if not self.corpus.entries:
+                # No seeds were provided: fall back to Nyx's purely
+                # generative mode — random well-typed op sequences from
+                # the spec (§2.2).
+                self._import_input(self._generate_input())
+                continue
+            entry = self.corpus.next_entry()
+            self._fuzz_entry(entry)
+            self.stats.record_execs(self.clock.now)
+        self.stats.end_time = self.clock.now
+        self.stats.queue_size = len(self.corpus)
+        return self.stats
+
+    def _exec_capped(self) -> bool:
+        cap = self.config.max_execs
+        if cap is not None and self.stats.execs >= cap:
+            return True
+        return (self.config.stop_on_first_crash
+                and len(self.crashes) > 0)
+
+    # ------------------------------------------------------------------
+    # per-entry fuzzing
+    # ------------------------------------------------------------------
+
+    def _fuzz_entry(self, entry: QueueEntry) -> None:
+        snapshot_packet = self.policy.choose(entry, self.rng)
+        if snapshot_packet is None:
+            self._fuzz_from_root(entry)
+        else:
+            self._fuzz_with_incremental(entry, snapshot_packet)
+
+    def _fuzz_from_root(self, entry: QueueEntry) -> None:
+        found_new = False
+        for _ in range(self.config.iterations_root):
+            if self._budget_exhausted():
+                break
+            child = self.mutator.mutate(
+                entry.input, from_index=0,
+                splice_donor=self.corpus.splice_donor(entry))
+            result = self.executor.run_full(child)
+            if self._process_result(child, result):
+                found_new = True
+        self.policy.feedback(entry, found_new, self.config.iterations_root)
+
+    def _fuzz_with_incremental(self, entry: QueueEntry,
+                               snapshot_packet: int) -> None:
+        # One full run creates the incremental snapshot after the
+        # chosen packet (and is itself a normal execution).
+        base = entry.input
+        result = self.executor.run_full(base, snapshot_after_packet=snapshot_packet)
+        self._process_result(base, result, count_as_new_input=False)
+        resume = self.executor.suffix_resume_index
+        found_new = False
+        iterations = self.config.iterations_per_snapshot
+        if resume is None:
+            # Snapshot creation failed (e.g. crash before the point);
+            # fall back to root fuzzing for this schedule.
+            self.policy.feedback(entry, False, 0)
+            self.executor.finish_snapshot_cycle()
+            return
+        for _ in range(iterations):
+            if self._budget_exhausted():
+                break
+            child = self.mutator.mutate(
+                base, from_index=resume,
+                splice_donor=self.corpus.splice_donor(entry))
+            result = self.executor.run_suffix(child)
+            self.stats.suffix_execs += 1
+            if self._process_result(child, result):
+                found_new = True
+        self.policy.feedback(entry, found_new, iterations)
+        # Scheduling moves on: drop the secondary snapshot.
+        self.executor.finish_snapshot_cycle()
+
+    def _budget_exhausted(self) -> bool:
+        return self.clock.now >= self.config.time_budget or self._exec_capped()
+
+    # ------------------------------------------------------------------
+    # result processing
+    # ------------------------------------------------------------------
+
+    def _process_result(self, input_: FuzzInput, result: ExecResult,
+                        count_as_new_input: bool = True) -> bool:
+        """Coverage/crash bookkeeping; returns True on novelty."""
+        self.stats.execs += 1
+        if self.config.per_exec_surcharge:
+            self.clock.charge(self.config.per_exec_surcharge)
+        now = self.clock.now
+        found_new = False
+        if result.crash is not None:
+            if self.crashes.add(result.crash, input_, now):
+                self.stats.record_crash(result.crash.dedup_key, now)
+                found_new = True
+        verdict = self.coverage.has_new_bits(result.trace)
+        if verdict != CoverageMap.NEW_NOTHING:
+            self.stats.record_coverage(now, self.coverage.edge_count())
+            if count_as_new_input and verdict == CoverageMap.NEW_EDGE:
+                self.corpus.add(input_.copy(), exec_time=result.exec_time,
+                                new_edges=self.coverage.edge_count(),
+                                found_at=now,
+                                checksum=self.coverage.checksum(result.trace),
+                                packets_consumed=result.packets_consumed)
+                found_new = True
+        return found_new
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+
+    def _import_seeds(self) -> None:
+        for seed in self._seeds:
+            if self._budget_exhausted():
+                break
+            self._import_input(seed)
+            # Also import a variant that closes the connection (the
+            # spec's shutdown opcode): servers have whole EOF-handling
+            # paths that never run if the fuzzer leaves sessions open.
+            variant = self._shutdown_variant(seed)
+            if variant is not None and not self._budget_exhausted():
+                self._import_input(variant)
+
+    def _generate_input(self) -> FuzzInput:
+        from repro.spec.generate import generate_input
+        from repro.spec.nodes import default_network_spec
+        ops = generate_input(default_network_spec(), self.rng,
+                             dictionary=list(self.config.dictionary) or None)
+        if not ops:
+            return packets_input([b"\x00" * 8])
+        generated = FuzzInput(ops, origin="generated")
+        return generated
+
+    @staticmethod
+    def _shutdown_variant(seed: FuzzInput) -> Optional[FuzzInput]:
+        from repro.spec.bytecode import Op
+        if any(op.node == "shutdown" for op in seed.ops):
+            return None
+        if not any(op.node == "connection" for op in seed.ops):
+            return None
+        variant = seed.copy()
+        variant.origin = "seed+shutdown"
+        variant.ops.append(Op("shutdown", (0,)))
+        return variant
+
+    def _import_input(self, seed: FuzzInput) -> None:
+        result = self.executor.run_full(seed)
+        self.stats.execs += 1
+        now = self.clock.now
+        if result.crash is not None and self.crashes.add(result.crash, seed, now):
+            self.stats.record_crash(result.crash.dedup_key, now)
+        self.coverage.has_new_bits(result.trace)
+        self.stats.record_coverage(now, self.coverage.edge_count())
+        self.corpus.add(seed, exec_time=result.exec_time,
+                        new_edges=self.coverage.edge_count(), found_at=now,
+                        checksum=self.coverage.checksum(result.trace),
+                        packets_consumed=result.packets_consumed)

@@ -1,0 +1,90 @@
+"""Corpus and crash persistence.
+
+Campaigns can save their queue and unique crashes to a directory (one
+flat-bytecode file per input, like Nyx's share-folder layout) and
+resume later campaigns from it.  Useful for long-running work and for
+shipping reproducers.
+
+Layout::
+
+    <dir>/queue/id_000000.nyx      flat bytecode (spec-checked on load)
+    <dir>/crashes/<dedup-key>.nyx  the first input triggering each bug
+    <dir>/crashes/<dedup-key>.txt  human-readable crash report
+    <dir>/stats.json               campaign summary
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Optional
+
+from repro.fuzz.fuzzer import NyxNetFuzzer
+from repro.fuzz.input import FuzzInput
+from repro.spec.bytecode import SpecError, deserialize, serialize
+from repro.spec.nodes import Spec, default_network_spec
+
+
+def save_campaign(fuzzer: NyxNetFuzzer, directory: str,
+                  spec: Optional[Spec] = None) -> int:
+    """Persist the corpus, crashes and stats; returns files written."""
+    spec = spec or default_network_spec()
+    root = pathlib.Path(directory)
+    queue_dir = root / "queue"
+    crash_dir = root / "crashes"
+    queue_dir.mkdir(parents=True, exist_ok=True)
+    crash_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for entry in fuzzer.corpus.entries:
+        path = queue_dir / ("id_%06d.nyx" % entry.entry_id)
+        try:
+            path.write_bytes(serialize(spec, entry.input.ops))
+        except SpecError:
+            continue  # inputs from foreign specs are skipped
+        written += 1
+    for key, record in fuzzer.crashes.records.items():
+        safe = key.replace(":", "_").replace("/", "_")
+        if record.input is not None:
+            try:
+                (crash_dir / (safe + ".nyx")).write_bytes(
+                    serialize(spec, record.input.ops))
+                written += 1
+            except SpecError:
+                pass
+        (crash_dir / (safe + ".txt")).write_text(
+            "bug:      %s\nkind:     %s\ndetail:   %s\nfound_at: %.3f "
+            "(simulated seconds)\ncount:    %d\n"
+            % (record.report.bug_id, record.report.kind.value,
+               record.report.detail, record.found_at, record.count))
+        written += 1
+    stats = fuzzer.stats
+    (root / "stats.json").write_text(json.dumps({
+        "fuzzer": stats.fuzzer_name,
+        "target": stats.target_name,
+        "execs": stats.execs,
+        "suffix_execs": stats.suffix_execs,
+        "edges": stats.final_edges,
+        "crashes": sorted(fuzzer.crashes.records),
+        "sim_seconds": stats.end_time,
+        "queue": len(fuzzer.corpus),
+    }, indent=2))
+    return written + 1
+
+
+def load_corpus(directory: str, spec: Optional[Spec] = None,
+                limit: Optional[int] = None) -> List[FuzzInput]:
+    """Load persisted queue entries as seed inputs."""
+    spec = spec or default_network_spec()
+    queue_dir = pathlib.Path(directory) / "queue"
+    seeds: List[FuzzInput] = []
+    if not queue_dir.is_dir():
+        return seeds
+    for path in sorted(queue_dir.glob("*.nyx")):
+        try:
+            ops = deserialize(spec, path.read_bytes())
+        except (SpecError, ValueError):
+            continue  # corrupt or foreign file: skip, never crash
+        seeds.append(FuzzInput(ops, origin="persisted"))
+        if limit is not None and len(seeds) >= limit:
+            break
+    return seeds

@@ -1,0 +1,123 @@
+"""Snapshot placement policies (§3.4 of the paper).
+
+A policy, given the queue entry about to be fuzzed, picks the *packet
+index* after which the incremental snapshot is taken — or ``None`` for
+the root snapshot.  The three shipped policies match the paper:
+
+* **none** — "a policy that always selects the root snapshot".
+* **balanced** — "On inputs with more than four packets, the balanced
+  policy chooses the root snapshot in 4% of the cases.  Otherwise it
+  selects a random index in the whole (50%), or only in the second
+  half (50%)."  Inputs of four or fewer packets use the root.
+* **aggressive** — "cycles all available indices [...]  The first time
+  an input is scheduled, it creates the snapshot at the end of the
+  input.  Each time no new inputs have been found by fuzzing this
+  snapshot for 50 iterations, we place the snapshot one packet
+  earlier.  When [it] reaches the smallest index, it starts again from
+  the end."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fuzz.queue import QueueEntry
+from repro.sim.rng import DeterministicRandom
+
+#: Minimum packet count before non-root snapshots are considered.
+MIN_PACKETS_FOR_SNAPSHOT = 5
+#: Aggressive policy: fruitless iterations before moving the cursor.
+AGGRESSIVE_PATIENCE = 50
+
+
+class SnapshotPolicy:
+    """Interface: choose a snapshot packet index for an entry."""
+
+    name = "abstract"
+
+    def choose(self, entry: QueueEntry, rng: DeterministicRandom) -> Optional[int]:
+        """Return a packet *position* (0-based, into the entry's packet
+        list) after which to snapshot, or None for the root."""
+        raise NotImplementedError
+
+    def feedback(self, entry: QueueEntry, found_new: bool,
+                 iterations: int) -> None:
+        """Called after a snapshot cycle with its outcome."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<policy %s>" % self.name
+
+
+class NonePolicy(SnapshotPolicy):
+    """Nyx-Net-none: always the root snapshot."""
+
+    name = "none"
+
+    def choose(self, entry: QueueEntry, rng: DeterministicRandom) -> Optional[int]:
+        return None
+
+
+class BalancedPolicy(SnapshotPolicy):
+    """Nyx-Net-balanced."""
+
+    name = "balanced"
+
+    def choose(self, entry: QueueEntry, rng: DeterministicRandom) -> Optional[int]:
+        n = entry.fuzzable_packets()
+        if n < MIN_PACKETS_FOR_SNAPSHOT:
+            return None
+        if rng.chance(0.04):
+            return None
+        if rng.chance(0.5):
+            return rng.randrange(n - 1)          # anywhere (not the very end,
+        return (n // 2) + rng.randrange(n - n // 2 - 1 or 1)  # second half
+
+    def feedback(self, entry: QueueEntry, found_new: bool,
+                 iterations: int) -> None:
+        pass  # stateless
+
+
+class AggressivePolicy(SnapshotPolicy):
+    """Nyx-Net-aggressive: cycle the cursor from the end towards 0."""
+
+    name = "aggressive"
+
+    def choose(self, entry: QueueEntry, rng: DeterministicRandom) -> Optional[int]:
+        n = entry.fuzzable_packets()
+        if n < MIN_PACKETS_FOR_SNAPSHOT:
+            return None
+        last = n - 2  # snapshot after the second-to-last packet at most:
+        # snapshotting after the final packet would leave nothing to fuzz.
+        if last < 0:
+            return None
+        if entry.aggr_cursor is None or entry.aggr_cursor > last:
+            entry.aggr_cursor = last
+        return entry.aggr_cursor
+
+    def feedback(self, entry: QueueEntry, found_new: bool,
+                 iterations: int) -> None:
+        if found_new:
+            entry.aggr_fruitless = 0
+            return
+        entry.aggr_fruitless += iterations
+        if entry.aggr_fruitless >= AGGRESSIVE_PATIENCE:
+            entry.aggr_fruitless = 0
+            if entry.aggr_cursor is None:
+                return
+            entry.aggr_cursor -= 1
+            if entry.aggr_cursor < 0:
+                entry.aggr_cursor = None  # wrap: back to the end next time
+
+
+def make_policy(name: str) -> SnapshotPolicy:
+    """Factory by paper name: none / balanced / aggressive."""
+    policies = {
+        "none": NonePolicy,
+        "balanced": BalancedPolicy,
+        "aggressive": AggressivePolicy,
+    }
+    try:
+        return policies[name.lower()]()
+    except KeyError:
+        raise ValueError("unknown policy %r (want none/balanced/aggressive)"
+                         % name)

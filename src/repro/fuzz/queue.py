@@ -1,0 +1,119 @@
+"""The corpus ("queue") of interesting inputs.
+
+AFL-style: every input that produced new coverage joins the queue;
+scheduling walks the queue in cycles, favoring fast/small entries.
+Entries also carry the per-input state the *aggressive* snapshot
+placement policy needs (its cursor and fruitless counter, §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.fuzz.input import FuzzInput
+from repro.sim.rng import DeterministicRandom
+
+
+@dataclass
+class QueueEntry:
+    """One corpus entry plus its scheduling metadata."""
+
+    entry_id: int
+    input: FuzzInput
+    exec_time: float = 0.0
+    new_edges: int = 0
+    favored: bool = False
+    times_scheduled: int = 0
+    found_at: float = 0.0
+    #: Packets the target actually consumed when this entry first ran
+    #: (0 = unknown).  Policies never place snapshots past this point:
+    #: packets the target no longer reads cannot hide progress.
+    effective_packets: int = 0
+    #: Aggressive-policy state: current snapshot index (None = start
+    #: from the end on first schedule) and fruitless-iteration count.
+    aggr_cursor: Optional[int] = None
+    aggr_fruitless: int = 0
+
+    def fuzzable_packets(self) -> int:
+        """Packets worth snapshotting over (consumed, else all)."""
+        n = self.input.num_packets
+        if self.effective_packets:
+            return min(n, self.effective_packets)
+        return n
+
+    @property
+    def score(self) -> float:
+        """Lower is better: prefer fast inputs that found much."""
+        return self.exec_time / (1.0 + self.new_edges)
+
+
+class Corpus:
+    """The fuzzer's queue of inputs."""
+
+    def __init__(self, rng: DeterministicRandom) -> None:
+        self.rng = rng
+        self.entries: List[QueueEntry] = []
+        self._next_id = 0
+        self._cursor = 0
+        self.cycles_done = 0
+        self._seen_checksums: set = set()
+
+    def add(self, input_: FuzzInput, exec_time: float = 0.0,
+            new_edges: int = 0, found_at: float = 0.0,
+            checksum: Optional[int] = None,
+            packets_consumed: int = 0) -> QueueEntry:
+        """Insert an input (dedup by coverage checksum if given)."""
+        if checksum is not None:
+            if checksum in self._seen_checksums:
+                # Same coverage signature; keep the corpus lean.
+                pass
+            self._seen_checksums.add(checksum)
+        entry = QueueEntry(self._next_id, input_, exec_time=exec_time,
+                           new_edges=new_edges, found_at=found_at,
+                           effective_packets=packets_consumed)
+        self._next_id += 1
+        self.entries.append(entry)
+        self._refresh_favored()
+        return entry
+
+    def _refresh_favored(self) -> None:
+        """Mark the best-scoring quartile as favored."""
+        if not self.entries:
+            return
+        ranked = sorted(self.entries, key=lambda e: e.score)
+        cutoff = max(1, len(ranked) // 4)
+        favored_ids = {e.entry_id for e in ranked[:cutoff]}
+        for entry in self.entries:
+            entry.favored = entry.entry_id in favored_ids
+
+    def next_entry(self) -> QueueEntry:
+        """Cycle through the queue, probabilistically skipping
+        non-favored entries (AFL's skip heuristic)."""
+        if not self.entries:
+            raise IndexError("corpus is empty")
+        for _ in range(len(self.entries) * 2):
+            if self._cursor >= len(self.entries):
+                self._cursor = 0
+                self.cycles_done += 1
+            entry = self.entries[self._cursor]
+            self._cursor += 1
+            if entry.favored or self.rng.chance(0.25):
+                entry.times_scheduled += 1
+                return entry
+        entry = self.entries[0]
+        entry.times_scheduled += 1
+        return entry
+
+    def random_entry(self) -> QueueEntry:
+        return self.rng.pick(self.entries)
+
+    def splice_donor(self, exclude: QueueEntry) -> Optional[FuzzInput]:
+        """A random other entry's input, for splicing."""
+        candidates = [e for e in self.entries if e.entry_id != exclude.entry_id]
+        if not candidates:
+            return None
+        return self.rng.pick(candidates).input
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,74 @@
+"""Campaign statistics: throughput, coverage-over-time, crash times.
+
+Times are *simulated* seconds (the cost model clock), which is what
+every reproduced table and figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CampaignStats:
+    """Time series and counters for one fuzzing campaign."""
+
+    fuzzer_name: str = "nyx-net"
+    target_name: str = ""
+    execs: int = 0
+    suffix_execs: int = 0
+    crashes_found: int = 0
+    queue_size: int = 0
+    #: (sim time, distinct edges) — sampled when coverage grows.
+    coverage_series: List[Tuple[float, int]] = field(default_factory=list)
+    #: (sim time, total execs) — sampled periodically.
+    exec_series: List[Tuple[float, int]] = field(default_factory=list)
+    #: dedup key -> sim time first seen.
+    crash_times: Dict[str, float] = field(default_factory=dict)
+    end_time: float = 0.0
+
+    def record_coverage(self, now: float, edges: int) -> None:
+        if not self.coverage_series or self.coverage_series[-1][1] != edges:
+            self.coverage_series.append((now, edges))
+
+    def record_execs(self, now: float) -> None:
+        self.exec_series.append((now, self.execs))
+
+    def record_crash(self, key: str, now: float) -> None:
+        if key not in self.crash_times:
+            self.crash_times[key] = now
+            self.crashes_found += 1
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def final_edges(self) -> int:
+        return self.coverage_series[-1][1] if self.coverage_series else 0
+
+    def execs_per_second(self) -> float:
+        if self.end_time <= 0:
+            return 0.0
+        return self.execs / self.end_time
+
+    def edges_at(self, time: float) -> int:
+        """Coverage at a given sim time (step function)."""
+        edges = 0
+        for t, e in self.coverage_series:
+            if t > time:
+                break
+            edges = e
+        return edges
+
+    def time_to_edges(self, edges: int) -> Optional[float]:
+        """First sim time at which coverage reached ``edges``."""
+        for t, e in self.coverage_series:
+            if e >= edges:
+                return t
+        return None
+
+    def summary(self) -> str:
+        return ("%s on %s: %d execs (%.1f/s), %d edges, %d crashes, "
+                "t=%.1fs" % (self.fuzzer_name, self.target_name, self.execs,
+                             self.execs_per_second(), self.final_edges,
+                             self.crashes_found, self.end_time))

@@ -1,0 +1,117 @@
+"""Input trimming and corpus distillation.
+
+Two classic corpus-hygiene tools adapted to packet-structured inputs:
+
+* :func:`trim_input` — afl-tmin style: drop packets (and shrink
+  payloads) while the input's coverage signature is preserved.
+  Shorter inputs replay faster and give snapshot placement fewer,
+  more meaningful positions.
+* :func:`distill_corpus` — afl-cmin style: greedy set cover selecting
+  a minimal subset of inputs that together retain every edge the
+  corpus reaches.  Useful before persisting a corpus as seeds.
+
+Both drive real executions through a :class:`NyxExecutor`, so they
+charge simulated time like any other fuzzing work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.coverage.bitmap import BUCKET_LOOKUP
+from repro.fuzz.executor import NyxExecutor
+from repro.fuzz.input import FuzzInput
+
+
+def _signature(trace: Dict[int, int], counts: bool = False) -> int:
+    """Order-independent hash of a trace.
+
+    By default the *edge set* is hashed: the Python line tracer's hit
+    counts shift with every replayed packet, so count-sensitive
+    trimming (afl-tmin's exact rule) would refuse nearly all removals.
+    Pass ``counts=True`` for the strict classified-count signature.
+    """
+    if not counts:
+        return hash(frozenset(trace))
+    lookup = BUCKET_LOOKUP
+    total = 0
+    for idx, count in trace.items():
+        total ^= hash((idx, lookup[count if count < 256 else 255]))
+    return total
+
+
+def trim_input(executor: NyxExecutor, input_: FuzzInput,
+               shrink_payloads: bool = True,
+               max_execs: int = 64) -> Tuple[FuzzInput, int]:
+    """Shrink an input while preserving its coverage signature.
+
+    Returns (trimmed input, executions spent).  The result is always
+    signature-equivalent to the original.
+    """
+    baseline = executor.run_full(input_)
+    target_sig = _signature(baseline.trace)
+    execs = 1
+    current = input_.copy()
+
+    # Pass 1: drop packets back to front (later packets depend on
+    # earlier state, not vice versa).
+    changed = True
+    while changed and execs < max_execs:
+        changed = False
+        for index in reversed(current.packet_indices()):
+            if len(current.packet_indices()) <= 1 or execs >= max_execs:
+                break
+            candidate = current.copy()
+            del candidate.ops[index]
+            result = executor.run_full(candidate)
+            execs += 1
+            if _signature(result.trace) == target_sig:
+                current = candidate
+                changed = True
+
+    # Pass 2: halve payloads while the signature holds.
+    if shrink_payloads:
+        for index in current.packet_indices():
+            payload = current.payload_of(index)
+            while len(payload) > 1 and execs < max_execs:
+                candidate = current.copy()
+                candidate.with_payload(index, payload[:len(payload) // 2])
+                result = executor.run_full(candidate)
+                execs += 1
+                if _signature(result.trace) != target_sig:
+                    break
+                current = candidate
+                payload = current.payload_of(index)
+
+    current.origin = "trimmed"
+    return current, execs
+
+
+def distill_corpus(executor: NyxExecutor,
+                   inputs: Sequence[FuzzInput]) -> List[FuzzInput]:
+    """Greedy set cover: the smallest subset retaining all edges.
+
+    Inputs are ranked by (edges contributed, then smaller first), the
+    classic afl-cmin strategy.
+    """
+    traced: List[Tuple[FuzzInput, frozenset]] = []
+    for input_ in inputs:
+        result = executor.run_full(input_)
+        traced.append((input_, frozenset(result.trace)))
+
+    universe = set()
+    for _input, edges in traced:
+        universe |= edges
+    chosen: List[FuzzInput] = []
+    covered: set = set()
+    remaining = list(traced)
+    while covered != universe and remaining:
+        remaining.sort(key=lambda pair: (-len(pair[1] - covered),
+                                         pair[0].total_payload_bytes()))
+        best_input, best_edges = remaining.pop(0)
+        gain = best_edges - covered
+        if not gain:
+            break
+        chosen.append(best_input)
+        covered |= best_edges
+    return chosen

@@ -1,0 +1,28 @@
+"""A tiny POSIX-ish guest operating system.
+
+This package substitutes for the Linux guest the paper runs inside the
+VM.  It provides processes with file-descriptor tables and ``fork()``,
+TCP/UDP/Unix-domain sockets with packet-boundary-preserving buffers, a
+select/poll/epoll readiness layer, a minimal disk-backed filesystem and
+timers.  All kernel and target state is serialized into guest memory
+regions after every scheduling step, so whole-VM snapshots genuinely
+capture and restore guest execution.
+"""
+
+from repro.guestos.errors import Errno, GuestError, GuestCrash, CrashKind
+from repro.guestos.kernel import Kernel
+from repro.guestos.process import Process, Program
+from repro.guestos.sockets import Socket, SockType, SockState
+
+__all__ = [
+    "Errno",
+    "GuestError",
+    "GuestCrash",
+    "CrashKind",
+    "Kernel",
+    "Process",
+    "Program",
+    "Socket",
+    "SockType",
+    "SockState",
+]

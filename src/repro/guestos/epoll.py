@@ -1,0 +1,56 @@
+"""select/poll/epoll readiness objects.
+
+The paper's emulation layer hooks "the select/poll/epoll interfaces to
+ensure compliant behavior" and uses them to signal which fd receives
+the next packet (§2.2, §3.3).  Here epoll instances are pure-state
+kernel objects referenced by fd; readiness evaluation is done by the
+kernel (which can resolve fds to sockets), optionally filtered by the
+interceptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+EPOLLIN = 0x001
+EPOLLOUT = 0x004
+EPOLLERR = 0x008
+EPOLLHUP = 0x010
+
+
+@dataclass
+class EpollInstance:
+    """An epoll interest list, keyed by registered fd."""
+
+    eid: int
+    #: fd -> event mask the process asked for.
+    interest: Dict[int, int] = field(default_factory=dict)
+    #: fd -> user data (epoll_data analogue).
+    userdata: Dict[int, int] = field(default_factory=dict)
+
+    def ctl_add(self, fd: int, events: int, data: int = 0) -> None:
+        self.interest[fd] = events
+        self.userdata[fd] = data
+
+    def ctl_mod(self, fd: int, events: int, data: int = 0) -> None:
+        if fd not in self.interest:
+            raise KeyError(fd)
+        self.interest[fd] = events
+        self.userdata[fd] = data
+
+    def ctl_del(self, fd: int) -> None:
+        self.interest.pop(fd, None)
+        self.userdata.pop(fd, None)
+
+    def watched_fds(self) -> List[int]:
+        return list(self.interest)
+
+
+@dataclass(frozen=True)
+class EpollEvent:
+    """One ready event returned by epoll_wait."""
+
+    fd: int
+    events: int
+    data: int = 0

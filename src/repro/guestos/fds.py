@@ -1,0 +1,95 @@
+"""Per-process file-descriptor tables.
+
+File descriptors map to *descriptions* that reference kernel objects by
+id (socket ids, file handles, epoll ids, pipe ids).  ``dup()``/``fork``
+duplicate the descriptor entries and bump the underlying object's
+refcount — the paper's interceptor hooks these exact calls "to keep
+track of aliasing file descriptors that are related to the targeted
+network connection" (§4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.guestos.errors import Errno, GuestError
+
+#: Per-process descriptor limit (RLIMIT_NOFILE analogue).
+MAX_FDS = 256
+
+
+class FdKind(enum.Enum):
+    SOCKET = "socket"
+    FILE = "file"
+    EPOLL = "epoll"
+    PIPE_R = "pipe_r"
+    PIPE_W = "pipe_w"
+
+
+@dataclass
+class FdEntry:
+    """One open file description as seen by a process."""
+
+    kind: FdKind
+    obj_id: int
+    #: File offset, for FILE descriptors.
+    offset: int = 0
+    flags: int = 0
+
+
+@dataclass
+class FdTable:
+    """A process's descriptor table (fds 0..2 reserved for stdio)."""
+
+    entries: Dict[int, FdEntry] = field(default_factory=dict)
+    next_fd: int = 3
+
+    def install(self, entry: FdEntry) -> int:
+        """Assign the lowest free fd ≥ next hint to ``entry``."""
+        if len(self.entries) >= MAX_FDS:
+            raise GuestError(Errno.EMFILE, "fd table full")
+        fd = self.next_fd
+        while fd in self.entries:
+            fd += 1
+        self.entries[fd] = entry
+        self.next_fd = fd + 1
+        return fd
+
+    def install_at(self, fd: int, entry: FdEntry) -> int:
+        """Place ``entry`` at a specific fd (dup2 target)."""
+        if fd < 0 or fd >= MAX_FDS:
+            raise GuestError(Errno.EBADF, "fd %d out of range" % fd)
+        self.entries[fd] = entry
+        return fd
+
+    def get(self, fd: int) -> FdEntry:
+        entry = self.entries.get(fd)
+        if entry is None:
+            raise GuestError(Errno.EBADF, "fd %d is not open" % fd)
+        return entry
+
+    def remove(self, fd: int) -> FdEntry:
+        entry = self.entries.pop(fd, None)
+        if entry is None:
+            raise GuestError(Errno.EBADF, "fd %d is not open" % fd)
+        if fd < self.next_fd:
+            self.next_fd = max(fd, 3)
+        return entry
+
+    def clone(self) -> "FdTable":
+        """Deep copy for fork(); entries are copied, ids shared."""
+        return FdTable(
+            entries={fd: FdEntry(e.kind, e.obj_id, e.offset, e.flags)
+                     for fd, e in self.entries.items()},
+            next_fd=self.next_fd,
+        )
+
+    def fds_for(self, kind: FdKind, obj_id: int) -> list:
+        """All fds referencing a given kernel object."""
+        return [fd for fd, e in self.entries.items()
+                if e.kind is kind and e.obj_id == obj_id]
+
+    def __len__(self) -> int:
+        return len(self.entries)

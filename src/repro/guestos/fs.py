@@ -1,0 +1,119 @@
+"""A minimal disk-backed guest filesystem.
+
+Targets that persist state across requests (FTP uploads, mail spools,
+databases) are exactly the cases where the paper's snapshot approach
+shines: AFLNet needs user-written cleanup scripts to roll such state
+back, while a VM snapshot resets it for free.  This filesystem stores
+file content on the :class:`~repro.vm.disk.EmulatedDisk` (exercising
+the sector-overlay snapshot path) and metadata in a kernel component
+that is serialized to guest memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.guestos.errors import Errno, GuestError
+from repro.vm.disk import SECTOR_SIZE, EmulatedDisk
+
+
+@dataclass
+class FsNode:
+    """Metadata for one file: its size and the sectors holding it."""
+
+    path: str
+    size: int = 0
+    sectors: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FileSystem:
+    """Pure-state filesystem metadata (content lives on the disk)."""
+
+    nodes: Dict[str, FsNode] = field(default_factory=dict)
+    next_sector: int = 16  # low sectors reserved for "boot blocks"
+    free_sectors: List[int] = field(default_factory=list)
+
+    # The disk is a host-side object; callers pass it in.  Keeping it
+    # out of the dataclass keeps FileSystem picklable.
+
+    def exists(self, path: str) -> bool:
+        return path in self.nodes
+
+    def listdir(self, prefix: str) -> List[str]:
+        """All paths under a directory prefix."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self.nodes if p.startswith(prefix))
+
+    def create(self, path: str) -> FsNode:
+        if path in self.nodes:
+            raise GuestError(Errno.EEXIST, path)
+        node = FsNode(path)
+        self.nodes[path] = node
+        return node
+
+    def _alloc_sector(self, disk: EmulatedDisk) -> int:
+        if self.free_sectors:
+            return self.free_sectors.pop()
+        if self.next_sector >= disk.num_sectors:
+            raise GuestError(Errno.ENOSPC, "disk full")
+        sector = self.next_sector
+        self.next_sector += 1
+        return sector
+
+    def write_file(self, disk: EmulatedDisk, path: str, data: bytes,
+                   append: bool = False) -> int:
+        """Write (or append) ``data``; returns bytes written."""
+        node = self.nodes.get(path)
+        if node is None:
+            node = self.create(path)
+        if not append:
+            self.free_sectors.extend(node.sectors)
+            node.sectors = []
+            node.size = 0
+        offset = node.size
+        end = offset + len(data)
+        needed = -(-end // SECTOR_SIZE)
+        while len(node.sectors) < needed:
+            node.sectors.append(self._alloc_sector(disk))
+        pos = offset
+        view = memoryview(data)
+        while view:
+            idx, s_off = divmod(pos, SECTOR_SIZE)
+            chunk = min(len(view), SECTOR_SIZE - s_off)
+            sector = node.sectors[idx]
+            old = disk.read_sector(sector)
+            disk.write_sector(
+                sector, old[:s_off] + bytes(view[:chunk]) + old[s_off + chunk:])
+            view = view[chunk:]
+            pos += chunk
+        node.size = max(node.size, end)
+        return len(data)
+
+    def read_file(self, disk: EmulatedDisk, path: str) -> bytes:
+        node = self.nodes.get(path)
+        if node is None:
+            raise GuestError(Errno.ENOENT, path)
+        out = bytearray()
+        remaining = node.size
+        for sector in node.sectors:
+            take = min(remaining, SECTOR_SIZE)
+            out += disk.read_sector(sector)[:take]
+            remaining -= take
+            if remaining <= 0:
+                break
+        return bytes(out)
+
+    def unlink(self, path: str) -> None:
+        node = self.nodes.pop(path, None)
+        if node is None:
+            raise GuestError(Errno.ENOENT, path)
+        self.free_sectors.extend(node.sectors)
+
+    def file_size(self, path: str) -> int:
+        node = self.nodes.get(path)
+        if node is None:
+            raise GuestError(Errno.ENOENT, path)
+        return node.size

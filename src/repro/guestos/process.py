@@ -1,0 +1,74 @@
+"""Guest processes and the program (target) execution model.
+
+Targets run as *programs*: event-driven state machines that the kernel
+polls whenever they may be able to make progress.  A program performs
+non-blocking syscalls through the :class:`~repro.guestos.kernel.KernelApi`
+passed to each callback and simply returns when it would block.  This
+mirrors how real event-driven servers are structured and — crucially —
+keeps all program state in picklable attributes, so the whole process
+(program included) serializes into guest memory and is captured by
+whole-VM snapshots.
+
+``fork()``-per-connection servers are modelled with
+:meth:`KernelApi.fork_child`: the child receives a cloned fd table
+(bumping refcounts on shared sockets, exactly the aliasing the paper's
+interceptor must track) and its own program object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.guestos.fds import FdTable
+
+
+class Program:
+    """Base class for guest programs (fuzz targets, helpers).
+
+    Subclasses override the callbacks; all mutable state must live in
+    instance attributes (picklable, no references to the kernel or any
+    host object).
+    """
+
+    #: Human-readable program name (used in crash reports and logs).
+    name = "program"
+    #: If set, the kernel delivers :meth:`on_timer` roughly every
+    #: ``timer_period`` simulated seconds — background activity that
+    #: makes non-snapshot fuzzers noisy (§1).
+    timer_period: Optional[float] = None
+
+    def on_start(self, api: Any) -> None:
+        """Called once when the process starts."""
+
+    def poll(self, api: Any) -> None:
+        """Called whenever the process may make progress."""
+
+    def on_timer(self, api: Any) -> None:
+        """Called when the process timer fires (if timer_period set)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<%s %r>" % (type(self).__name__, self.name)
+
+
+@dataclass
+class Process:
+    """A guest process: pid, fd table, program, liveness."""
+
+    pid: int
+    ppid: int
+    program: Program
+    fdtable: FdTable = field(default_factory=FdTable)
+    alive: bool = True
+    started: bool = False
+    exit_code: Optional[int] = None
+    crashed: bool = False
+    #: Next simulated-time deadline for on_timer, if the program has one.
+    timer_deadline: Optional[float] = None
+    #: Free-form per-process scratch (environment, cwd, ...).
+    env: Dict[str, str] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.alive else (
+            "crashed" if self.crashed else "exit=%s" % self.exit_code)
+        return "Process(pid=%d, %s, %s)" % (self.pid, self.program.name, status)

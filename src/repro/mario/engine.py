@@ -1,0 +1,227 @@
+"""The platformer engine: SMB-style physics on a tile grid.
+
+Deterministic, integer-frame simulation.  Tiles:
+
+* ``#`` — solid ground/wall
+* ``P`` — pipe (solid, two tiles tall as drawn)
+* ``E`` — enemy spawn (patrols left/right, lethal on side contact,
+  squashed by landing on it)
+* ``F`` — the flag pole (reaching its column wins the level)
+* ``.`` / space — air; falling below the grid is a pit death
+
+Physics constants are tuned so a full-speed run jump clears a 6-tile
+pit, and the **wall-jump glitch** is modelled after the SMB original:
+while airborne, moving into a wall and pressing A within the same
+frame grants a fresh jump ("Nyx-Net is routinely able to solve 2-1 by
+exploiting a wall jump glitch").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Seconds of simulated game time per frame (60 FPS).
+FRAME_DT = 1.0 / 60.0
+
+GRAVITY = 0.045
+JUMP_VELOCITY = -0.62
+WALK_ACCEL = 0.014
+RUN_ACCEL = 0.024
+MAX_WALK = 0.14
+MAX_RUN = 0.24
+FRICTION = 0.010
+ENEMY_SPEED = 0.04
+
+
+class Buttons(enum.IntFlag):
+    """NES controller bits (one input byte per frame)."""
+
+    NONE = 0
+    LEFT = 1
+    RIGHT = 2
+    A = 4      # jump
+    B = 8      # run
+    DOWN = 16
+
+
+# Plain-int masks for the per-frame hot path (IntFlag.__and__ is ~10x
+# slower than int ops and the engine runs hundreds of thousands of
+# frames per campaign).
+_LEFT = 1
+_RIGHT = 2
+_A = 4
+_B = 8
+
+
+@dataclass
+class Enemy:
+    x: float
+    y: float
+    direction: int = -1
+    alive: bool = True
+
+
+@dataclass
+class Level:
+    """Immutable level geometry."""
+
+    name: str
+    width: int
+    height: int
+    solids: frozenset            # set of (col, row) solid tiles
+    enemy_spawns: Tuple[Tuple[int, int], ...]
+    flag_x: int
+    start: Tuple[int, int] = (2, 2)
+
+
+@dataclass
+class GameState:
+    """Everything that changes during play (picklable)."""
+
+    x: float
+    y: float
+    vx: float = 0.0
+    vy: float = 0.0
+    on_ground: bool = False
+    alive: bool = True
+    won: bool = False
+    frame: int = 0
+    max_x: float = 0.0
+    enemies: List[Enemy] = field(default_factory=list)
+    deaths_by: str = ""
+
+
+class MarioEngine:
+    """Steps a :class:`GameState` through a :class:`Level`."""
+
+    def __init__(self, level: Level) -> None:
+        self.level = level
+
+    def new_game(self) -> GameState:
+        col, row = self.level.start
+        state = GameState(x=float(col), y=float(row))
+        state.enemies = [Enemy(float(c), float(r))
+                         for c, r in self.level.enemy_spawns]
+        state.max_x = state.x
+        return state
+
+    # ------------------------------------------------------------------
+
+    def step(self, state: GameState, buttons: int) -> None:
+        """Advance one frame."""
+        if not state.alive or state.won:
+            return
+        state.frame += 1
+        self._horizontal(state, buttons)
+        self._vertical(state, buttons)
+        self._enemies(state)
+        if state.x >= self.level.flag_x:
+            state.won = True
+        if state.y > self.level.height + 2:
+            state.alive = False
+            state.deaths_by = "pit"
+        state.max_x = max(state.max_x, state.x)
+
+    def run(self, state: GameState, frames: bytes) -> None:
+        """Advance one frame per input byte."""
+        for byte in frames:
+            if not state.alive or state.won:
+                return
+            self.step(state, byte)
+
+    # -- movement -----------------------------------------------------------
+
+    def _horizontal(self, state: GameState, buttons: int) -> None:
+        accel = RUN_ACCEL if buttons & _B else WALK_ACCEL
+        vmax = MAX_RUN if buttons & _B else MAX_WALK
+        if buttons & _RIGHT and not buttons & _LEFT:
+            state.vx = min(state.vx + accel, vmax)
+        elif buttons & _LEFT and not buttons & _RIGHT:
+            state.vx = max(state.vx - accel, -vmax)
+        elif state.on_ground:
+            if state.vx > 0:
+                state.vx = max(0.0, state.vx - FRICTION)
+            else:
+                state.vx = min(0.0, state.vx + FRICTION)
+        new_x = state.x + state.vx
+        # y is the feet coordinate; standing on row R means y == R, so
+        # the body occupies (y-1, y) and solidity probes sit just
+        # inside it.
+        lead = new_x + (0.4 if state.vx > 0 else -0.4)
+        wall_contact = self._solid_at(lead, state.y - 0.05) or \
+            self._solid_at(lead, state.y - 0.9)
+        if wall_contact:
+            # Blocked by a wall.  The wall-jump glitch: airborne, still
+            # pushing into the wall, A pressed this frame -> new jump.
+            if (not state.on_ground and buttons & _A
+                    and state.vy > -0.1):
+                state.vy = JUMP_VELOCITY
+                state.vx = -state.vx * 0.5  # kicked away from the wall
+            else:
+                state.vx = 0.0
+        else:
+            state.x = max(0.0, new_x)
+
+    def _vertical(self, state: GameState, buttons: int) -> None:
+        if buttons & _A and state.on_ground:
+            state.vy = JUMP_VELOCITY
+            state.on_ground = False
+        state.vy = min(state.vy + GRAVITY, 0.9)
+        if state.vy < 0 and not buttons & _A:
+            state.vy += GRAVITY * 0.8  # variable jump height
+        new_y = state.y + state.vy
+        if state.vy >= 0:
+            # Falling: land on top of solids.
+            if self._solid_at(state.x, new_y + 0.001) or \
+                    self._solid_at(state.x + 0.35, new_y + 0.001) or \
+                    self._solid_at(state.x - 0.35, new_y + 0.001):
+                state.y = float(int(new_y + 0.001))
+                state.vy = 0.0
+                state.on_ground = True
+                return
+            state.on_ground = False
+            state.y = new_y
+        else:
+            # Rising: bonk on ceilings.
+            if self._solid_at(state.x, new_y - 1.0):
+                state.vy = 0.0
+            else:
+                state.y = new_y
+            state.on_ground = False
+
+    def _enemies(self, state: GameState) -> None:
+        px = state.x
+        for enemy in state.enemies:
+            # Off-screen enemies are frozen, like the NES original
+            # (also keeps the host cost of a frame bounded).
+            ex = enemy.x
+            if ex - px > 24.0 or px - ex > 24.0 or not enemy.alive:
+                continue
+            nx = enemy.x + ENEMY_SPEED * enemy.direction
+            if self._solid_at(nx, enemy.y - 0.5) or \
+                    not self._solid_at(nx, enemy.y + 0.05):
+                enemy.direction = -enemy.direction
+            else:
+                enemy.x = nx
+            dx = abs(enemy.x - state.x)
+            dy = state.y - enemy.y
+            if dx < 0.6 and abs(dy) < 0.8:
+                if state.vy > 0.05 and dy < -0.2:
+                    enemy.alive = False       # squashed from above
+                    state.vy = JUMP_VELOCITY * 0.5
+                else:
+                    state.alive = False
+                    state.deaths_by = "enemy"
+
+    def _solid_at(self, x: float, y: float) -> bool:
+        if x < 0:
+            return True
+        return (int(x), int(y)) in self.level.solids
+
+    # -- feedback -----------------------------------------------------------
+
+    def ijon_slot(self, state: GameState) -> int:
+        """IJON-MAX feedback: the furthest x bucket reached."""
+        return int(state.max_x) // 2

@@ -1,0 +1,159 @@
+"""Procedural Super Mario levels 1-1 … 8-4.
+
+Levels are generated deterministically from their (world, stage) name
+with difficulty scaling in the world number: wider pits, more enemies,
+taller steps.  Two hand-placed signatures match the paper:
+
+* **2-1** contains a pit that is too wide for any regular jump, with a
+  tall wall on its far side — only the wall-jump glitch crosses it
+  (IJON believed the level unsolvable; Nyx-Net solved it).
+* **8-x** levels are long with dense hazards (the hardest rows of
+  Table 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.mario.engine import Level
+
+#: Ground row (rows grow downward; ground occupies rows GROUND..).
+GROUND_ROW = 12
+HEIGHT = 15
+
+LEVEL_NAMES = ["%d-%d" % (world, stage)
+               for world in range(1, 9) for stage in range(1, 5)]
+
+_cache: Dict[str, Level] = {}
+
+
+def load_level(name: str) -> Level:
+    """Build (and cache) the level with the given "W-S" name."""
+    if name in _cache:
+        return _cache[name]
+    world_s, _, stage_s = name.partition("-")
+    world, stage = int(world_s), int(stage_s)
+    if not (1 <= world <= 8 and 1 <= stage <= 4):
+        raise ValueError("no such level: %r" % name)
+    level = _generate(world, stage)
+    _cache[name] = level
+    return level
+
+
+def _generate(world: int, stage: int) -> Level:
+    rng = random.Random(world * 100 + stage)
+    width = 70 + world * 8 + stage * 5
+    solids: Set[Tuple[int, int]] = set()
+    enemies: List[Tuple[int, int]] = []
+
+    # Base ground with gaps (pits).
+    col = 0
+    pit_chance = 0.05 + world * 0.012
+    max_pit = min(3 + world // 2, 6)
+    while col < width:
+        if col > 12 and col < width - 12 and rng.random() < pit_chance:
+            pit = rng.randint(2, max_pit)
+            col += pit
+            continue
+        run = rng.randint(4, 10)
+        for c in range(col, min(col + run, width)):
+            for row in range(GROUND_ROW, HEIGHT):
+                solids.add((c, row))
+        col += run
+
+    # Platforms, steps and pipes.
+    for _ in range(4 + world * 2):
+        px = rng.randint(15, width - 15)
+        py = GROUND_ROW - rng.randint(3, 5)
+        for c in range(px, px + rng.randint(2, 5)):
+            solids.add((c, py))
+    for _ in range(2 + world):
+        px = rng.randint(20, width - 20)
+        h = rng.randint(1, 2 + world // 3)
+        if _ground_under(solids, px):
+            for row in range(GROUND_ROW - h, GROUND_ROW):
+                solids.add((px, row))
+                solids.add((px + 1, row))
+
+    # Enemies on solid ground.
+    for _ in range(3 + world * 2 + stage):
+        ex = rng.randint(12, width - 10)
+        if _ground_under(solids, ex):
+            # Feet coordinate: standing on the ground row's top edge.
+            enemies.append((ex, GROUND_ROW))
+
+    # The 2-1 signature: an uncrossable pit + tall far wall (wall-jump
+    # glitch required).
+    if (world, stage) == (2, 1):
+        gap_start = width // 2
+        # The pit ends in a sheer wall taller than any jump: crossing
+        # requires jumping into the wall face and climbing it with the
+        # wall-jump glitch.  The gap itself only needs to deny a
+        # landing spot short of the wall.
+        gap = 5
+        wall_col = gap_start + gap
+        # Carve the pit.
+        for c in range(gap_start, wall_col):
+            for row in range(GROUND_ROW, HEIGHT):
+                solids.discard((c, row))
+        # No floating platforms may bridge it (the glitch must be the
+        # only way across), and no enemies camp the approach.
+        for c in range(gap_start - 6, wall_col + 8):
+            for row in range(0, GROUND_ROW):
+                solids.discard((c, row))
+        enemies = [(ex, ey) for ex, ey in enemies
+                   if not gap_start - 8 <= ex <= wall_col + 10]
+        # Guarantee a takeoff runway and the tall far wall.
+        for c in range(gap_start - 6, gap_start):
+            for row in range(GROUND_ROW, HEIGHT):
+                solids.add((c, row))
+        wall_col = gap_start + gap
+        for row in range(GROUND_ROW - 6, HEIGHT):
+            solids.add((wall_col, row))
+            for c in range(wall_col, min(wall_col + 6, width)):
+                solids.add((c, GROUND_ROW))
+                for r2 in range(GROUND_ROW, HEIGHT):
+                    solids.add((c, r2))
+
+    # Guarantee a runway at the start and the flag at the end.
+    for c in range(0, 12):
+        for row in range(GROUND_ROW, HEIGHT):
+            solids.add((c, row))
+    flag_x = width - 6
+    for c in range(width - 12, width):
+        for row in range(GROUND_ROW, HEIGHT):
+            solids.add((c, row))
+
+    return Level(
+        name="%d-%d" % (world, stage),
+        width=width,
+        height=HEIGHT,
+        solids=frozenset(solids),
+        enemy_spawns=tuple(enemies),
+        flag_x=flag_x,
+        start=(2, GROUND_ROW - 1),
+    )
+
+
+def _ground_under(solids: Set[Tuple[int, int]], col: int) -> bool:
+    return (col, GROUND_ROW) in solids
+
+
+def render(level: Level) -> str:
+    """ASCII rendering (debugging / docs)."""
+    rows = []
+    spawn_set = set(level.enemy_spawns)
+    for row in range(level.height):
+        line = []
+        for col in range(level.width):
+            if (col, row) in level.solids:
+                line.append("#")
+            elif (col, row) in spawn_set:
+                line.append("E")
+            elif col == level.flag_x and row < GROUND_ROW:
+                line.append("F")
+            else:
+                line.append(".")
+        rows.append("".join(line))
+    return "\n".join(rows)

@@ -1,0 +1,94 @@
+"""Time-to-solve harness for the Super Mario experiment (Table 4).
+
+Four configurations, as in the paper:
+
+* ``ijon`` — AFL + IJON state feedback: no snapshots, the game process
+  is restarted and the whole input replayed for every execution;
+* ``nyx-none`` / ``nyx-balanced`` / ``nyx-aggressive`` — Nyx-Net with
+  the three snapshot placement policies.
+
+All four share the executor, mutation engine and IJON max-x feedback;
+they differ exactly where the paper's systems differ: reset mechanism
+cost and incremental-snapshot use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fuzz.campaign import build_campaign
+from repro.fuzz.fuzzer import NyxNetFuzzer
+from repro.mario.target import mario_profile
+
+#: Simulated cost of IJON's per-exec reset: kill + re-exec the game
+#: process and fast-forward it to the level (no snapshot available).
+IJON_RESTART_COST = 2.5e-2
+
+MODES = ("ijon", "nyx-none", "nyx-balanced", "nyx-aggressive")
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solve attempt."""
+
+    level: str
+    mode: str
+    solved: bool
+    time_to_solve: Optional[float]  # simulated seconds
+    execs: int
+    frames_of_best: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = ("%.1fs" % self.time_to_solve) if self.solved else "unsolved"
+        return "SolveResult(%s, %s: %s in %d execs)" % (
+            self.level, self.mode, status, self.execs)
+
+
+def solve_level(level: str, mode: str, seed: int = 0,
+                time_budget: float = 36000.0,
+                max_execs: Optional[int] = 30000) -> SolveResult:
+    """Fuzz one level until solved (or the budget runs out)."""
+    if mode not in MODES:
+        raise ValueError("mode must be one of %s" % (MODES,))
+    profile = mario_profile(level)
+    policy = mode.split("-", 1)[1] if mode.startswith("nyx-") else "none"
+    handles = build_campaign(profile, policy=policy, seed=seed,
+                             time_budget=time_budget, max_execs=max_execs)
+    fuzzer: NyxNetFuzzer = handles.fuzzer
+    fuzzer.config.stop_on_first_crash = True
+    if mode == "ijon":
+        fuzzer.config.per_exec_surcharge = IJON_RESTART_COST
+        fuzzer.stats.fuzzer_name = "ijon"
+    stats = fuzzer.run_campaign()
+    solve_key = "solved:mario-%s" % level
+    solved = solve_key in stats.crash_times
+    frames = None
+    if solved:
+        record = fuzzer.crashes.records[solve_key]
+        detail = record.report.detail
+        if "in " in detail:
+            try:
+                frames = int(detail.split("in ", 1)[1].split()[0])
+            except ValueError:
+                frames = None
+    return SolveResult(
+        level=level,
+        mode=mode,
+        solved=solved,
+        time_to_solve=stats.crash_times.get(solve_key),
+        execs=stats.execs,
+        frames_of_best=frames,
+    )
+
+
+def speedrun_seconds(level: str) -> float:
+    """Wall-clock seconds a flawless 60 FPS playthrough needs.
+
+    The "faster than light" comparison of §5.3: a perfect player
+    crossing the level at full run speed.
+    """
+    from repro.mario.engine import MAX_RUN
+    from repro.mario.levels import load_level
+    lvl = load_level(level)
+    return (lvl.flag_x / MAX_RUN) / 60.0

@@ -1,0 +1,114 @@
+"""The Super Mario guest program and its target profile.
+
+The game runs inside the guest, reading button-frame packets from its
+hooked connection (each payload byte is one frame's controller state).
+Progress is exported through the IJON max-x annotation; solving the
+level raises a ``SOLVED`` event through the crash channel, which gives
+every fuzzer a uniform "time to solve" timestamp (Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind, GuestCrash
+from repro.mario.engine import Buttons, MarioEngine
+from repro.mario.levels import load_level
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 6000
+
+#: Simulated CPU cost per game frame (logic only; rendering disabled,
+#: frame-rate limit removed — IJON's experimental setup, §5.3).
+FRAME_CPU = 2e-5
+
+#: Frames per input packet.
+FRAMES_PER_PACKET = 50
+
+
+class MarioTarget(MessageServer):
+    """Plays frames received on the network against one level."""
+
+    name = "super-mario"
+    port = PORT
+    startup_cost = 0.02  # ROM load and level decode
+
+    def __init__(self, level_name: str = "1-1") -> None:
+        super().__init__()
+        self.level_name = level_name
+        self.engine = MarioEngine(load_level(level_name))
+        self.game = self.engine.new_game()
+
+    def __getstate__(self):
+        # The engine/level geometry is immutable and cached; keeping it
+        # out of the serialized process state keeps per-test dirty
+        # pages proportional to actual game-state churn.
+        state = dict(self.__dict__)
+        del state["engine"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.engine = MarioEngine(load_level(self.level_name))
+
+    def wants_data(self, conn: ConnCtx) -> bool:
+        return self.game.alive and not self.game.won
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        game = self.game
+        if not game.alive or game.won:
+            return
+        api.cpu(FRAME_CPU * len(data))
+        self.engine.run(game, data)
+        api.ijon_set(self.engine.ijon_slot(game))
+        if game.won:
+            raise GuestCrash(CrashKind.SOLVED, "mario-%s" % self.level_name,
+                             "solved in %d frames" % game.frame)
+
+
+def make_seeds(level_name: str = "1-1"):
+    """Button sequences: run right with varying jump cadence."""
+    level = load_level(level_name)
+    frames_needed = int(level.width / 0.18) + 600
+    packets_needed = max(frames_needed // FRAMES_PER_PACKET + 2, 8)
+    spec = default_network_spec()
+    run = int(Buttons.RIGHT | Buttons.B)
+    walk = int(Buttons.RIGHT)
+    seeds = []
+    # Naive button tapes: they die at the first pit or enemy; the
+    # fuzzer has to discover jump timings via the IJON gradient.
+    patterns = (
+        [run] * (packets_needed * FRAMES_PER_PACKET),
+        [walk] * (packets_needed * FRAMES_PER_PACKET),
+        [(run if i % 90 < 80 else 0)
+         for i in range(packets_needed * FRAMES_PER_PACKET)],
+    )
+    for pattern in patterns:
+        frames = bytes(pattern)
+        builder = Builder(spec)
+        con = builder.connection()
+        for start in range(0, len(frames), FRAMES_PER_PACKET):
+            builder.packet(con, frames[start:start + FRAMES_PER_PACKET])
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+def mario_profile(level_name: str = "1-1") -> TargetProfile:
+    """A fuzzing profile for one Mario level."""
+    run = int(Buttons.RIGHT | Buttons.B)
+    jump = int(Buttons.RIGHT | Buttons.B | Buttons.A)
+    return TargetProfile(
+        name="mario-%s" % level_name,
+        protocol="raw",
+        make_program=lambda: MarioTarget(level_name),
+        surface_factory=lambda: AttackSurface.tcp_server(PORT),
+        seed_factory=lambda: make_seeds(level_name),
+        dictionary=[bytes([run]) * 8, bytes([jump]) * 8,
+                    bytes([jump]) * 16, bytes([int(Buttons.NONE)]) * 4],
+        startup_cost=0.02,
+        libpreeny_compatible=False,
+        planted_bugs=("solved:mario-%s" % level_name,),
+        notes="Super Mario level %s (Table 4 workload)." % level_name,
+    )

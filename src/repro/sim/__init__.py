@@ -1,0 +1,14 @@
+"""Simulated time and cost model for the Nyx-Net reproduction.
+
+The paper's evaluation runs real 24-hour campaigns on Xeon servers; we
+replace wall-clock time with a deterministic simulated clock whose costs
+are charged according to :mod:`repro.sim.costs`.  All throughput numbers
+(Table 3), coverage-over-time curves (Figures 5/7) and time-to-solve
+results (Table 4) are expressed in this simulated time.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.rng import DeterministicRandom
+
+__all__ = ["SimClock", "CostModel", "DeterministicRandom"]

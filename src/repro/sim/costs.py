@@ -1,0 +1,109 @@
+"""Cost model for simulated time.
+
+All durations are in seconds of simulated time.  The constants are
+calibrated against the figures reported in the paper rather than
+measured on any particular machine:
+
+* §4.2: "Nyx is able to reset the VM about 12,000 times per second" for
+  small targets — a reset with a few hundred dirty pages must land near
+  80 microseconds.
+* §2.1: AFLNet commonly achieves "single digit test executions per
+  second" — dominated by fixed sleeps, connection setup and server
+  restarts.
+* §3.2: creating a connection inside the VM involves "dozens of context
+  switches"; the emulation layer replaces this with what amounts to a
+  memcpy.
+* §5.3 / Figure 6: incremental snapshot creation is "about as cheap as
+  resetting the snapshot once", and Agamotto pays a whole-bitmap walk
+  plus snapshot-tree and LRU maintenance.
+
+Only *ratios* between these constants matter for the reproduced tables;
+the absolute values are synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated durations charged by the VM, guest OS and fuzzers."""
+
+    # --- CPU / syscall layer -------------------------------------------------
+    #: One guest/host context switch (syscall entry+exit).
+    context_switch: float = 2e-6
+    #: CPU cost per byte of protocol parsing done by a target.
+    parse_byte: float = 2e-9
+    #: Fixed CPU cost for a target to handle one message.
+    handle_message: float = 5e-6
+
+    # --- real (non-emulated) network path ------------------------------------
+    #: Establishing a TCP connection through the guest kernel
+    #: ("dozens of context switches", §3.2).
+    net_connect: float = 1.2e-4
+    #: Per-packet cost on the real kernel network path.
+    net_packet: float = 5e-5
+    #: Per-byte cost on the real network path.
+    net_byte: float = 5e-9
+
+    # --- emulated network path (Nyx-Net interceptor) -------------------------
+    #: Delivering one packet through the emulation layer (a memcpy).
+    emu_packet: float = 2e-6
+    #: Per-byte copy cost in the emulation layer.
+    emu_byte: float = 5e-10
+
+    # --- snapshots ------------------------------------------------------------
+    #: Fixed cost of any snapshot hypercall (VM exit + bookkeeping).
+    snapshot_fixed: float = 5e-5
+    #: Copying / restoring one 4 KiB page via the Nyx dirty stack.
+    page_copy: float = 1e-7
+    #: Walking one bitmap entry (Agamotto-style whole-bitmap scan).
+    bitmap_walk_entry: float = 1e-9
+    #: Nyx's fast emulated-device reset (§2.3, custom reset mechanism).
+    device_reset_fast: float = 1e-5
+    #: QEMU-style device serialize/deserialize (used by Agamotto).
+    device_reset_slow: float = 5e-4
+    #: Copying one page when capturing the *root* snapshot (full copy).
+    root_page_copy: float = 5e-8
+    #: Restoring one disk sector from a snapshot overlay.
+    sector_copy: float = 2e-7
+
+    # --- process model ---------------------------------------------------------
+    #: fork() of a process, charged per resident page (copy page tables).
+    fork_per_page: float = 2e-8
+    #: Fixed fork() overhead.
+    fork_fixed: float = 8e-5
+
+    # --- AFLNet-style harness costs --------------------------------------------
+    #: Fixed sleep AFLNet inserts while waiting for the server to boot.
+    aflnet_server_wait: float = 5e-2
+    #: Fixed inter-packet delay AFLNet uses so responses can arrive
+    #: (ProFuzzBench configures tens of milliseconds of usleep).
+    aflnet_packet_delay: float = 3e-2
+    #: Running the user-supplied cleanup script after each test case.
+    aflnet_cleanup_script: float = 2e-2
+    #: Killing and reaping the old server process.
+    aflnet_kill_server: float = 5e-3
+
+    # --- AFL++ forkserver ---------------------------------------------------
+    #: AFL++ persistent-mode/forkserver fixed overhead per execution.
+    forkserver_exec: float = 2e-4
+    #: De-socketed servers linger until AFL++'s exec timeout kicks in:
+    #: they wait for network events that never come.
+    desock_exec_linger: float = 2e-2
+
+    def connect_cost(self, emulated: bool) -> float:
+        """Cost of establishing one connection on either path."""
+        return self.emu_packet if emulated else self.net_connect
+
+    def packet_cost(self, nbytes: int, emulated: bool) -> float:
+        """Cost of delivering one ``nbytes`` packet on either path."""
+        if emulated:
+            return self.emu_packet + nbytes * self.emu_byte
+        return self.net_packet + nbytes * self.net_byte
+
+
+#: A shared default instance; campaigns that do not care about the cost
+#: model use this one.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,54 @@
+"""Deterministic randomness for reproducible fuzzing campaigns.
+
+Every stochastic decision in the fuzzer (mutation choice, snapshot
+placement, havoc stacking) draws from a :class:`DeterministicRandom`
+seeded per campaign.  Campaign results are therefore exactly
+reproducible, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRandom(random.Random):
+    """A :class:`random.Random` with a few fuzzing-specific helpers."""
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.random() < probability
+
+    def pick(self, items: Sequence[T]) -> T:
+        """Choose one element of a non-empty sequence."""
+        if not items:
+            raise IndexError("cannot pick from an empty sequence")
+        return items[self.randrange(len(items))]
+
+    def biased_index(self, length: int, towards_end: bool = True) -> int:
+        """Pick an index of ``range(length)`` biased towards the end.
+
+        Used by snapshot placement: later packet indices retain more of
+        the prefix-skipping benefit (§3.4).
+        """
+        if length <= 0:
+            raise IndexError("cannot index an empty range")
+        a = self.randrange(length)
+        b = self.randrange(length)
+        return max(a, b) if towards_end else min(a, b)
+
+    def some_bytes(self, length: int) -> bytes:
+        """Random byte string of the given length."""
+        return bytes(self.getrandbits(8) for _ in range(length))
+
+    def shuffled(self, items: Sequence[T]) -> List[T]:
+        """Return a shuffled copy without mutating the input."""
+        out = list(items)
+        self.shuffle(out)
+        return out

@@ -1,0 +1,28 @@
+"""Nyx's affine-typed bytecode specification engine (§2.2, §3.5, §4.4).
+
+Inputs to the fuzzer are sequences of typed opcodes ("nodes").  A
+:class:`~repro.spec.nodes.Spec` declares data types, edge (value)
+types and node types; :mod:`repro.spec.bytecode` serializes op
+sequences to a flat bytecode and validates affine-type rules;
+:class:`~repro.spec.builder.Builder` is the meta-programmed Python
+seed-authoring library from Listing 2; :mod:`repro.spec.pcap` and
+:mod:`repro.spec.dissect` turn packet captures into seed inputs.
+"""
+
+from repro.spec.types import DataType, U8, U16, U32, ByteVec
+from repro.spec.nodes import EdgeType, NodeType, Spec, SpecError, default_network_spec
+from repro.spec.bytecode import Op, OpSequence, serialize, deserialize, validate
+from repro.spec.builder import Builder, TrackedValue
+from repro.spec.pcap import PcapReader, PcapWriter, TcpFlow, extract_flows
+from repro.spec.dissect import (crlf_dissector, length_prefixed_dissector,
+                                raw_dissector, dissector_for)
+
+__all__ = [
+    "DataType", "U8", "U16", "U32", "ByteVec",
+    "EdgeType", "NodeType", "Spec", "SpecError", "default_network_spec",
+    "Op", "OpSequence", "serialize", "deserialize", "validate",
+    "Builder", "TrackedValue",
+    "PcapReader", "PcapWriter", "TcpFlow", "extract_flows",
+    "crlf_dissector", "length_prefixed_dissector", "raw_dissector",
+    "dissector_for",
+]

@@ -1,0 +1,122 @@
+"""The meta-programmed seed-authoring library (§3.5, §4.4).
+
+"This converter consists of a library that consumes Nyx's format
+specifications.  It uses meta programming to create Python functions
+for each opcode.  When we call those functions, the builder object
+logs each invocation. [...] Each function logs the arguments and
+returns tracking objects that know which function call returned them."
+
+Usage (Listing 2 of the paper)::
+
+    b = Builder(spec)
+    con = b.connection()
+    b.packet(con, b"HTTP/1.1 200 OK")
+    b.packet(con, b"Content-Type: text/html")
+    ops = b.build()          # or b.build_bytecode() for the flat form
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.spec.bytecode import Op, OpSequence, serialize, validate
+from repro.spec.nodes import NodeType, Spec, SpecError
+
+
+class TrackedValue:
+    """A value returned by a builder call; knows its producing call."""
+
+    __slots__ = ("builder", "value_index", "edge_name", "op_index")
+
+    def __init__(self, builder: "Builder", value_index: int,
+                 edge_name: str, op_index: int) -> None:
+        self.builder = builder
+        self.value_index = value_index
+        self.edge_name = edge_name
+        self.op_index = op_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<%s #%d from op %d>" % (self.edge_name, self.value_index,
+                                        self.op_index)
+
+
+class Builder:
+    """Records a graph of opcode invocations and flattens it to input.
+
+    Every node type in the spec becomes a method on the builder (the
+    meta-programming the paper describes): positional arguments are
+    first the borrowed/consumed :class:`TrackedValue` handles, then the
+    data field values.
+    """
+
+    def __init__(self, spec: Spec) -> None:
+        self.spec = spec
+        self._ops: OpSequence = []
+        self._values: List[TrackedValue] = []
+        for node in spec.node_types:
+            self._install(node)
+
+    def _install(self, node: NodeType) -> None:
+        def call(*args: Any) -> Any:
+            return self._invoke(node, args)
+        call.__name__ = node.name
+        call.__doc__ = "Log one %r opcode invocation." % node.name
+        if hasattr(self, node.name):
+            raise SpecError(
+                "node name %r collides with a Builder attribute" % node.name)
+        setattr(self, node.name, call)
+
+    def _invoke(self, node: NodeType, args: tuple) -> Any:
+        n_operands = node.arity
+        operands = args[:n_operands]
+        data_args = args[n_operands:]
+        if len(operands) != n_operands:
+            raise SpecError(
+                "%s() needs %d operand(s), got %d"
+                % (node.name, n_operands, len(operands)))
+        if len(data_args) != len(node.data):
+            raise SpecError(
+                "%s() needs %d data arg(s), got %d"
+                % (node.name, len(node.data), len(data_args)))
+        refs = []
+        expected = list(node.borrows) + list(node.consumes)
+        for operand, edge in zip(operands, expected):
+            if not isinstance(operand, TrackedValue):
+                raise SpecError(
+                    "%s(): operand %r is not a tracked value"
+                    % (node.name, operand))
+            if operand.builder is not self:
+                raise SpecError("%s(): operand from a different builder" % node.name)
+            if operand.edge_name != edge.name:
+                raise SpecError(
+                    "%s(): operand has type %s, expected %s"
+                    % (node.name, operand.edge_name, edge.name))
+            refs.append(operand.value_index)
+        op_index = len(self._ops)
+        self._ops.append(Op(node.name, tuple(refs), tuple(data_args)))
+        outputs = []
+        for edge in node.outputs:
+            tracked = TrackedValue(self, len(self._values), edge.name, op_index)
+            self._values.append(tracked)
+            outputs.append(tracked)
+        if not outputs:
+            return None
+        if len(outputs) == 1:
+            return outputs[0]
+        return tuple(outputs)
+
+    def snapshot(self) -> None:
+        """Inject the special snapshot marker opcode (§4.3)."""
+        self._ops.append(Op("snapshot"))
+
+    def build(self) -> OpSequence:
+        """Validate and return the recorded op sequence."""
+        validate(self.spec, self._ops)
+        return list(self._ops)
+
+    def build_bytecode(self) -> bytes:
+        """Serialize the recorded graph to flat Nyx bytecode."""
+        return serialize(self.spec, self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)

@@ -1,0 +1,139 @@
+"""Flat bytecode serialization and affine-type validation of op
+sequences.
+
+Wire format (little endian)::
+
+    header:  magic "NYXR" | u32 spec checksum | u32 op count
+    op:      u16 node_id | operand refs (u16 each, borrows then
+             consumes) | data fields (per the node's data types)
+
+Operand refs index into the sequence of *values* produced so far (in
+output order across all previous ops).  The special snapshot marker op
+(node id 0xFFFF) carries no operands or data.
+
+``validate`` enforces the affine rules: refs must exist, must have the
+right edge type, and consumed values must not be used again.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+from repro.spec.nodes import Spec, SpecError
+
+MAGIC = b"NYXR"
+
+
+@dataclass
+class Op:
+    """One opcode instance in an input."""
+
+    node: str
+    #: Operand value indices (borrows then consumes).
+    refs: Tuple[int, ...] = ()
+    #: Data field values, matching the node type's data types.
+    args: Tuple[Any, ...] = ()
+
+    def is_snapshot_marker(self) -> bool:
+        return self.node == "snapshot"
+
+
+#: An input is simply a list of ops.
+OpSequence = List[Op]
+
+#: The fuzzer-injected snapshot marker (not part of any spec).
+SNAPSHOT_OP = Op("snapshot")
+
+
+def validate(spec: Spec, ops: Sequence[Op]) -> List[Tuple[int, str]]:
+    """Type-check an op sequence against the spec.
+
+    Returns the list of (value index, edge type name) produced, in
+    order.  Raises :class:`SpecError` on any violation.
+    """
+    values: List[Tuple[int, str]] = []  # (producing op index, edge name)
+    consumed: set = set()
+    for op_index, op in enumerate(ops):
+        if op.is_snapshot_marker():
+            if op.refs or op.args:
+                raise SpecError("snapshot marker carries no operands")
+            continue
+        node = spec.node_by_name(op.node)
+        expected = list(node.borrows) + list(node.consumes)
+        if len(op.refs) != len(expected):
+            raise SpecError(
+                "op %d (%s): %d operand refs, expected %d"
+                % (op_index, op.node, len(op.refs), len(expected)))
+        for ref, edge in zip(op.refs, expected):
+            if not 0 <= ref < len(values):
+                raise SpecError(
+                    "op %d (%s): ref %d out of range" % (op_index, op.node, ref))
+            if values[ref][1] != edge.name:
+                raise SpecError(
+                    "op %d (%s): ref %d has type %s, expected %s"
+                    % (op_index, op.node, ref, values[ref][1], edge.name))
+            if ref in consumed:
+                raise SpecError(
+                    "op %d (%s): ref %d already consumed (affine violation)"
+                    % (op_index, op.node, ref))
+        n_borrows = len(node.borrows)
+        for ref in op.refs[n_borrows:]:
+            consumed.add(ref)
+        if len(op.args) != len(node.data):
+            raise SpecError(
+                "op %d (%s): %d data args, expected %d"
+                % (op_index, op.node, len(op.args), len(node.data)))
+        for _ in node.outputs:
+            values.append((op_index, _.name))
+    return values
+
+
+def serialize(spec: Spec, ops: Sequence[Op]) -> bytes:
+    """Serialize a validated op sequence to flat bytecode."""
+    validate(spec, ops)
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<II", spec.checksum(), len(ops))
+    for op in ops:
+        if op.is_snapshot_marker():
+            out += struct.pack("<H", Spec.SNAPSHOT_NODE_ID)
+            continue
+        node = spec.node_by_name(op.node)
+        out += struct.pack("<H", node.node_id)
+        for ref in op.refs:
+            out += struct.pack("<H", ref)
+        for dtype, value in zip(node.data, op.args):
+            out += dtype.pack(value)
+    return bytes(out)
+
+
+def deserialize(spec: Spec, blob: bytes) -> OpSequence:
+    """Parse flat bytecode back into an op sequence (and validate)."""
+    if blob[:4] != MAGIC:
+        raise SpecError("bad magic")
+    checksum, count = struct.unpack_from("<II", blob, 4)
+    if checksum != spec.checksum():
+        raise SpecError("bytecode was built for a different spec")
+    offset = 12
+    ops: OpSequence = []
+    for _ in range(count):
+        (node_id,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        if node_id == Spec.SNAPSHOT_NODE_ID:
+            ops.append(Op("snapshot"))
+            continue
+        node = spec.node_by_id(node_id)
+        refs = []
+        for _ref in range(node.arity):
+            (ref,) = struct.unpack_from("<H", blob, offset)
+            offset += 2
+            refs.append(ref)
+        args = []
+        for dtype in node.data:
+            value, offset = dtype.unpack(blob, offset)
+            args.append(value)
+        ops.append(Op(node.name, tuple(refs), tuple(args)))
+    validate(spec, ops)
+    return ops

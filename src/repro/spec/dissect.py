@@ -1,0 +1,134 @@
+"""Stream dissectors: fragmenting TCP streams into logical packets.
+
+"To fragment TCP streams into logical packets, we use the same logic
+that AFLNET uses.  While this is some protocol-specific code, the
+dissectors are usually very simple.  For example, one of the more
+common packet boundary dissector uses the CRLF newline sequence to
+split the data stream into logical packets." (§4.4)
+
+A dissector takes the concatenated client-to-server byte stream and
+returns a list of logical packets.  ``dissector_for`` maps protocol
+names (the ProFuzzBench targets) to their dissector.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List
+
+Dissector = Callable[[bytes], List[bytes]]
+
+
+def raw_dissector(stream: bytes) -> List[bytes]:
+    """No reassembly: the whole stream is one packet (if non-empty)."""
+    return [stream] if stream else []
+
+
+def crlf_dissector(stream: bytes) -> List[bytes]:
+    """Split at CRLF boundaries, keeping the terminator (FTP/SMTP/SIP/RTSP)."""
+    packets: List[bytes] = []
+    start = 0
+    while True:
+        idx = stream.find(b"\r\n", start)
+        if idx < 0:
+            break
+        packets.append(stream[start:idx + 2])
+        start = idx + 2
+    if start < len(stream):
+        packets.append(stream[start:])
+    return packets
+
+
+def line_dissector(stream: bytes) -> List[bytes]:
+    """Split at bare LF boundaries (looser line-based protocols)."""
+    packets: List[bytes] = []
+    start = 0
+    while True:
+        idx = stream.find(b"\n", start)
+        if idx < 0:
+            break
+        packets.append(stream[start:idx + 1])
+        start = idx + 1
+    if start < len(stream):
+        packets.append(stream[start:])
+    return packets
+
+
+def length_prefixed_dissector(stream: bytes, header: int = 4,
+                              fmt: str = ">I") -> List[bytes]:
+    """Split ``<length><body>`` framed protocols (DNS-over-TCP, DICOM).
+
+    The length covers the body only; the header bytes are kept with
+    each packet.  A trailing malformed fragment becomes one packet.
+    """
+    packets: List[bytes] = []
+    offset = 0
+    while offset + header <= len(stream):
+        (length,) = struct.unpack_from(fmt, stream, offset)
+        end = offset + header + length
+        if end > len(stream) or length > 1 << 24:
+            break
+        packets.append(stream[offset:end])
+        offset = end
+    if offset < len(stream):
+        packets.append(stream[offset:])
+    return packets
+
+
+def dicom_dissector(stream: bytes) -> List[bytes]:
+    """DICOM upper layer PDUs: 1-byte type, 1 reserved, u32 length."""
+    packets: List[bytes] = []
+    offset = 0
+    while offset + 6 <= len(stream):
+        (length,) = struct.unpack_from(">I", stream, offset + 2)
+        end = offset + 6 + length
+        if end > len(stream) or length > 1 << 24:
+            break
+        packets.append(stream[offset:end])
+        offset = end
+    if offset < len(stream):
+        packets.append(stream[offset:])
+    return packets
+
+
+def tls_record_dissector(stream: bytes) -> List[bytes]:
+    """TLS records: type, version (2), u16 length (openssl/tinydtls)."""
+    packets: List[bytes] = []
+    offset = 0
+    while offset + 5 <= len(stream):
+        (length,) = struct.unpack_from(">H", stream, offset + 3)
+        end = offset + 5 + length
+        if end > len(stream):
+            break
+        packets.append(stream[offset:end])
+        offset = end
+    if offset < len(stream):
+        packets.append(stream[offset:])
+    return packets
+
+
+#: Protocol name -> dissector, mirroring AFLNet's per-protocol parsers.
+_DISSECTORS = {
+    "ftp": crlf_dissector,
+    "smtp": crlf_dissector,
+    "sip": crlf_dissector,
+    "rtsp": crlf_dissector,
+    "http": crlf_dissector,
+    "daap": crlf_dissector,
+    "dns": raw_dissector,        # one datagram per packet already
+    "dicom": dicom_dissector,
+    "tls": tls_record_dissector,
+    "dtls": raw_dissector,       # datagram based
+    "ssh": length_prefixed_dissector,
+    "mysql": raw_dissector,
+    "raw": raw_dissector,
+}
+
+
+def dissector_for(protocol: str) -> Dissector:
+    """Look up the stream dissector for a protocol name."""
+    try:
+        return _DISSECTORS[protocol.lower()]
+    except KeyError:
+        raise KeyError("no dissector for protocol %r (known: %s)"
+                       % (protocol, ", ".join(sorted(_DISSECTORS))))

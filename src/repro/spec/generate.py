@@ -1,0 +1,95 @@
+"""Generative input synthesis from a specification.
+
+Nyx's original mode is *purely generative* (§2.2): with no seeds at
+all, the fuzzer emits random — but well-typed — opcode sequences from
+the spec.  The generator respects the affine rules: borrows pick any
+live value of the right edge type, consumes use a value up, and nodes
+whose operands cannot be satisfied are not eligible.
+
+Used as the empty-seed fallback of the campaign loop and available
+standalone for spec authors (`generate_input`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.rng import DeterministicRandom
+from repro.spec.bytecode import Op, validate
+from repro.spec.nodes import NodeType, Spec
+from repro.spec.types import ByteVec, DataType, U8, U16, U32
+
+
+def _random_value(dtype: DataType, rng: DeterministicRandom):
+    if isinstance(dtype, ByteVec):
+        length = rng.randrange(0, 48)
+        return rng.some_bytes(length)
+    if isinstance(dtype, U8):
+        return rng.randrange(256)
+    if isinstance(dtype, U16):
+        return rng.randrange(1 << 16)
+    if isinstance(dtype, U32):
+        return rng.getrandbits(32)
+    raise TypeError("no generator for data type %r" % dtype)
+
+
+def generate_input(spec: Spec, rng: DeterministicRandom,
+                   max_ops: int = 12,
+                   dictionary: Optional[List[bytes]] = None) -> List[Op]:
+    """Emit a random well-typed op sequence of up to ``max_ops`` ops.
+
+    ``dictionary`` tokens, when given, are used for byte-vector fields
+    half the time — random bytes alone rarely form protocol keywords.
+    """
+    ops: List[Op] = []
+    # Live values: (value index, edge name); consumed ones are removed.
+    live: List[tuple] = []
+    value_count = 0
+    for _ in range(max_ops):
+        eligible = [node for node in spec.node_types
+                    if _satisfiable(node, live)]
+        if not eligible:
+            break
+        node = rng.pick(eligible)
+        refs = []
+        used = set()
+        possible = True
+        for edge in list(node.borrows) + list(node.consumes):
+            candidates = [idx for idx, name in live
+                          if name == edge.name and idx not in used]
+            if not candidates:
+                possible = False
+                break
+            ref = rng.pick(candidates)
+            used.add(ref)
+            refs.append(ref)
+        if not possible:
+            continue
+        # Consumed values leave the live set (affine use).
+        n_borrows = len(node.borrows)
+        for ref in refs[n_borrows:]:
+            live = [(idx, name) for idx, name in live if idx != ref]
+        args = []
+        for dtype in node.data:
+            if (dictionary and isinstance(dtype, ByteVec)
+                    and rng.chance(0.5)):
+                args.append(bytes(rng.pick(dictionary)))
+            else:
+                args.append(_random_value(dtype, rng))
+        ops.append(Op(node.name, tuple(refs), tuple(args)))
+        for edge in node.outputs:
+            live.append((value_count, edge.name))
+            value_count += 1
+    validate(spec, ops)
+    return ops
+
+
+def _satisfiable(node: NodeType, live: List[tuple]) -> bool:
+    """Whether the live value pool can feed this node's operands."""
+    needed: dict = {}
+    for edge in list(node.borrows) + list(node.consumes):
+        needed[edge.name] = needed.get(edge.name, 0) + 1
+    for name, count in needed.items():
+        if sum(1 for _idx, live_name in live if live_name == name) < count:
+            return False
+    return True

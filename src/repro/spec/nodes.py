@@ -1,0 +1,149 @@
+"""Specifications: edge types, node types and the spec registry.
+
+A :class:`Spec` declares the interaction vocabulary for one target, as
+in Listing 1 of the paper::
+
+    s = Spec("multi-connection")
+    d_bytes = s.data_vec("bytes", s.data_u8("u8"))
+    e_con = s.edge_type("connection")
+    n_con = s.node_type("connection", outputs=[e_con])
+    n_pkt = s.node_type("pkt", borrows=[e_con], data=[d_bytes])
+
+Values produced by a node's *outputs* can be *borrowed* (used, possibly
+repeatedly) or *consumed* (used up — affine!) by later nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.spec.types import ByteVec, DataType, U8, U16, U32
+
+
+class SpecError(Exception):
+    """Malformed specification or ill-typed op sequence."""
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A value ("affine") type, e.g. a connection handle."""
+
+    type_id: int
+    name: str
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """One opcode: what it borrows, consumes, outputs and carries."""
+
+    node_id: int
+    name: str
+    outputs: Sequence[EdgeType] = ()
+    borrows: Sequence[EdgeType] = ()
+    consumes: Sequence[EdgeType] = ()
+    data: Sequence[DataType] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.borrows) + len(self.consumes)
+
+
+class Spec:
+    """A registry of edge types, node types and data types."""
+
+    #: Reserved node id for the fuzzer-injected snapshot marker (§4.3:
+    #: "we introduce a special 'snapshot' opcode that the fuzzer
+    #: injects at arbitrary positions in the input stream").
+    SNAPSHOT_NODE_ID = 0xFFFF
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.edge_types: List[EdgeType] = []
+        self.node_types: List[NodeType] = []
+        self._nodes_by_name: Dict[str, NodeType] = {}
+
+    # -- declaration API (mirrors the paper's) ------------------------------
+
+    def data_u8(self, name: str) -> U8:
+        return U8(name)
+
+    def data_u16(self, name: str) -> U16:
+        return U16(name)
+
+    def data_u32(self, name: str) -> U32:
+        return U32(name)
+
+    def data_vec(self, name: str, element: DataType) -> ByteVec:
+        return ByteVec(name, element)
+
+    def edge_type(self, name: str) -> EdgeType:
+        edge = EdgeType(len(self.edge_types), name)
+        self.edge_types.append(edge)
+        return edge
+
+    def node_type(self, name: str, outputs: Sequence[EdgeType] = (),
+                  borrows: Sequence[EdgeType] = (),
+                  consumes: Sequence[EdgeType] = (),
+                  data: Sequence[DataType] = ()) -> NodeType:
+        if name in self._nodes_by_name:
+            raise SpecError("duplicate node type %r" % name)
+        node = NodeType(len(self.node_types), name,
+                        tuple(outputs), tuple(borrows), tuple(consumes),
+                        tuple(data))
+        self.node_types.append(node)
+        self._nodes_by_name[name] = node
+        return node
+
+    # -- lookup ----------------------------------------------------------------
+
+    def node_by_name(self, name: str) -> NodeType:
+        node = self._nodes_by_name.get(name)
+        if node is None:
+            raise SpecError("unknown node type %r" % name)
+        return node
+
+    def node_by_id(self, node_id: int) -> NodeType:
+        if not 0 <= node_id < len(self.node_types):
+            raise SpecError("unknown node id %d" % node_id)
+        return self.node_types[node_id]
+
+    def checksum(self) -> int:
+        """Stable hash of the spec shape (embedded in bytecode headers)."""
+        shape = tuple(
+            (n.name, tuple(e.name for e in n.outputs),
+             tuple(e.name for e in n.borrows),
+             tuple(e.name for e in n.consumes),
+             tuple(d.name for d in n.data))
+            for n in self.node_types)
+        total = 0
+        for item in shape:
+            total = (total * 1000003 + _stable_hash(repr(item))) & 0xFFFFFFFF
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Spec(%r, %d nodes)" % (self.name, len(self.node_types))
+
+
+def _stable_hash(text: str) -> int:
+    """FNV-1a, stable across processes (unlike built-in str hash)."""
+    value = 0x811C9DC5
+    for byte in text.encode():
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+def default_network_spec(name: str = "raw-network") -> Spec:
+    """The generic default spec "that assumes raw packets" (§5.4).
+
+    Nodes: ``connection`` (opens the hooked connection), ``packet``
+    (delivers one raw payload on a connection), ``shutdown`` (consumes
+    the connection, closing the write side).
+    """
+    spec = Spec(name)
+    d_bytes = spec.data_vec("bytes", spec.data_u8("u8"))
+    e_con = spec.edge_type("connection")
+    spec.node_type("connection", outputs=[e_con])
+    spec.node_type("packet", borrows=[e_con], data=[d_bytes])
+    spec.node_type("shutdown", consumes=[e_con])
+    return spec

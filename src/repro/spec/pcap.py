@@ -1,0 +1,199 @@
+"""A minimal libpcap reader/writer and TCP/UDP flow extraction.
+
+The paper converts Wireshark PCAPs into seed inputs via pyshark
+(§4.4); offline we implement the classic libpcap container format and
+just enough Ethernet/IPv4/TCP/UDP parsing to recover per-flow,
+per-direction payload sequences.  A writer is included so the examples
+and tests can fabricate realistic captures.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+_ETH_HEADER = struct.Struct(">6s6sH")
+_ETHERTYPE_IPV4 = 0x0800
+_PROTO_TCP = 6
+_PROTO_UDP = 17
+
+
+class PcapError(Exception):
+    """Malformed capture file."""
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured frame's parsed L3/L4 content."""
+
+    ts: float
+    src: Tuple[str, int]     # (ip, port)
+    dst: Tuple[str, int]
+    proto: str               # "tcp" | "udp"
+    payload: bytes
+    syn: bool = False
+    fin: bool = False
+
+
+@dataclass
+class TcpFlow:
+    """One bidirectional flow, with client->server payloads in order."""
+
+    client: Tuple[str, int]
+    server: Tuple[str, int]
+    proto: str
+    #: (direction, payload); direction True = client-to-server.
+    messages: List[Tuple[bool, bytes]] = field(default_factory=list)
+
+    def client_payloads(self) -> List[bytes]:
+        return [data for to_server, data in self.messages if to_server and data]
+
+    def server_payloads(self) -> List[bytes]:
+        return [data for to_server, data in self.messages if not to_server and data]
+
+
+class PcapReader:
+    """Iterates parsed packets out of a classic-format pcap blob."""
+
+    def __init__(self, blob: bytes) -> None:
+        if len(blob) < 24:
+            raise PcapError("truncated global header")
+        magic = struct.unpack_from("<I", blob, 0)[0]
+        if magic == PCAP_MAGIC:
+            self._endian = "<"
+        elif struct.unpack_from(">I", blob, 0)[0] == PCAP_MAGIC:
+            self._endian = ">"
+        else:
+            raise PcapError("bad pcap magic: %#x" % magic)
+        (self.version_major, self.version_minor, _tz, _sigfigs,
+         self.snaplen, self.linktype) = struct.unpack_from(
+            self._endian + "HHiIII", blob, 4)
+        if self.linktype != LINKTYPE_ETHERNET:
+            raise PcapError("unsupported linktype %d" % self.linktype)
+        self._blob = blob
+
+    def __iter__(self) -> Iterator[Packet]:
+        blob = self._blob
+        offset = 24
+        rec = struct.Struct(self._endian + "IIII")
+        while offset + 16 <= len(blob):
+            ts_sec, ts_usec, incl_len, _orig_len = rec.unpack_from(blob, offset)
+            offset += 16
+            frame = blob[offset:offset + incl_len]
+            if len(frame) < incl_len:
+                raise PcapError("truncated packet record")
+            offset += incl_len
+            packet = _parse_frame(ts_sec + ts_usec / 1e6, frame)
+            if packet is not None:
+                yield packet
+
+
+def _parse_frame(ts: float, frame: bytes) -> Optional[Packet]:
+    if len(frame) < 14:
+        return None
+    _dst_mac, _src_mac, ethertype = _ETH_HEADER.unpack_from(frame, 0)
+    if ethertype != _ETHERTYPE_IPV4:
+        return None
+    ip = frame[14:]
+    if len(ip) < 20:
+        return None
+    ihl = (ip[0] & 0x0F) * 4
+    total_len = struct.unpack_from(">H", ip, 2)[0]
+    proto = ip[9]
+    src_ip = ".".join(str(b) for b in ip[12:16])
+    dst_ip = ".".join(str(b) for b in ip[16:20])
+    l4 = ip[ihl:total_len]
+    if proto == _PROTO_TCP:
+        if len(l4) < 20:
+            return None
+        sport, dport = struct.unpack_from(">HH", l4, 0)
+        data_off = ((l4[12] >> 4) & 0xF) * 4
+        flags = l4[13]
+        payload = l4[data_off:]
+        return Packet(ts, (src_ip, sport), (dst_ip, dport), "tcp",
+                      payload, syn=bool(flags & 0x02), fin=bool(flags & 0x01))
+    if proto == _PROTO_UDP:
+        if len(l4) < 8:
+            return None
+        sport, dport, length = struct.unpack_from(">HHH", l4, 0)
+        return Packet(ts, (src_ip, sport), (dst_ip, dport), "udp",
+                      l4[8:length])
+    return None
+
+
+def extract_flows(blob: bytes) -> List[TcpFlow]:
+    """Group a capture into flows, inferring the client side.
+
+    The client is whoever sent the first SYN; for UDP (or SYN-less
+    truncated captures) the sender of the first packet is the client.
+    """
+    flows: Dict[Tuple, TcpFlow] = {}
+    for packet in PcapReader(blob):
+        key_fwd = (packet.proto, packet.src, packet.dst)
+        key_rev = (packet.proto, packet.dst, packet.src)
+        flow = flows.get(key_fwd)
+        to_server = True
+        if flow is None and key_rev in flows:
+            flow = flows[key_rev]
+            to_server = False
+        if flow is None:
+            flow = TcpFlow(client=packet.src, server=packet.dst,
+                           proto=packet.proto)
+            flows[key_fwd] = flow
+        if packet.payload:
+            flow.messages.append((to_server, packet.payload))
+    return list(flows.values())
+
+
+class PcapWriter:
+    """Builds classic-format pcap blobs for tests and examples."""
+
+    def __init__(self) -> None:
+        self._records: List[bytes] = []
+        self._seq: Dict[Tuple, int] = {}
+
+    def add_tcp(self, src: Tuple[str, int], dst: Tuple[str, int],
+                payload: bytes, ts: float = 0.0,
+                syn: bool = False, fin: bool = False) -> None:
+        flags = 0x18  # PSH|ACK
+        if syn:
+            flags = 0x02
+        if fin:
+            flags |= 0x01
+        tcp = struct.pack(">HHIIBBHHH", src[1], dst[1],
+                          self._next_seq(src, dst, len(payload)), 0,
+                          5 << 4, flags, 65535, 0, 0) + payload
+        self._add_ipv4(src[0], dst[0], _PROTO_TCP, tcp, ts)
+
+    def add_udp(self, src: Tuple[str, int], dst: Tuple[str, int],
+                payload: bytes, ts: float = 0.0) -> None:
+        udp = struct.pack(">HHHH", src[1], dst[1], 8 + len(payload), 0) + payload
+        self._add_ipv4(src[0], dst[0], _PROTO_UDP, udp, ts)
+
+    def _next_seq(self, src, dst, advance: int) -> int:
+        key = (src, dst)
+        seq = self._seq.get(key, 1000)
+        self._seq[key] = seq + max(advance, 1)
+        return seq
+
+    def _add_ipv4(self, src_ip: str, dst_ip: str, proto: int,
+                  l4: bytes, ts: float) -> None:
+        total = 20 + len(l4)
+        ip = struct.pack(">BBHHHBBH4s4s", 0x45, 0, total, 0, 0, 64, proto, 0,
+                         bytes(int(x) for x in src_ip.split(".")),
+                         bytes(int(x) for x in dst_ip.split(".")))
+        frame = b"\x02" * 6 + b"\x04" * 6 + struct.pack(">H", _ETHERTYPE_IPV4) \
+            + ip + l4
+        sec = int(ts)
+        usec = int((ts - sec) * 1e6)
+        self._records.append(
+            struct.pack("<IIII", sec, usec, len(frame), len(frame)) + frame)
+
+    def getvalue(self) -> bytes:
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535,
+                             LINKTYPE_ETHERNET)
+        return header + b"".join(self._records)

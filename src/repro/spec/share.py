@@ -1,0 +1,137 @@
+"""Share-folder bundling (§5.4 step 4).
+
+Nyx campaigns are driven from a *share folder*: "the packer script
+[...] copies the target, all of its dependencies, and the seeds into
+the share folder.  It also parses the specification and auto-generates
+the LD_PRELOAD library."  Our analogue bundles everything a campaign
+needs into one directory:
+
+    <share>/manifest.json     target name, surface config, spec shape
+    <share>/spec.json         serialized specification
+    <share>/seeds/*.nyx       flat-bytecode seed inputs
+    <share>/dict/*.tok        dictionary tokens (one file each)
+
+``pack_share`` writes it, ``load_share`` reconstructs the pieces —
+so a campaign can be shipped to another machine (or checked into a
+repo) and re-run bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Tuple
+
+from repro.emu.surface import AttackSurface, SurfaceMode
+from repro.fuzz.input import FuzzInput
+from repro.spec.bytecode import SpecError, deserialize, serialize
+from repro.spec.nodes import Spec
+from repro.spec.types import ByteVec, U8, U16, U32
+from repro.targets.base import TargetProfile
+
+_TYPE_NAMES = {"u8": U8, "u16": U16, "u32": U32}
+
+
+def spec_to_dict(spec: Spec) -> Dict:
+    """Serialize a spec's shape to a JSON-able dict."""
+    return {
+        "name": spec.name,
+        "edges": [edge.name for edge in spec.edge_types],
+        "nodes": [
+            {
+                "name": node.name,
+                "outputs": [e.name for e in node.outputs],
+                "borrows": [e.name for e in node.borrows],
+                "consumes": [e.name for e in node.consumes],
+                "data": [_dtype_to_dict(d) for d in node.data],
+            }
+            for node in spec.node_types
+        ],
+    }
+
+
+def _dtype_to_dict(dtype) -> Dict:
+    if isinstance(dtype, ByteVec):
+        return {"kind": "vec", "name": dtype.name,
+                "element": _dtype_to_dict(dtype.element)}
+    for key, cls in _TYPE_NAMES.items():
+        if type(dtype) is cls:
+            return {"kind": key, "name": dtype.name}
+    raise SpecError("unserializable data type %r" % dtype)
+
+
+def spec_from_dict(data: Dict) -> Spec:
+    """Rebuild a spec from :func:`spec_to_dict` output."""
+    spec = Spec(data["name"])
+    edges = {name: spec.edge_type(name) for name in data["edges"]}
+    for node in data["nodes"]:
+        spec.node_type(
+            node["name"],
+            outputs=[edges[n] for n in node["outputs"]],
+            borrows=[edges[n] for n in node["borrows"]],
+            consumes=[edges[n] for n in node["consumes"]],
+            data=[_dtype_from_dict(spec, d) for d in node["data"]],
+        )
+    return spec
+
+
+def _dtype_from_dict(spec: Spec, data: Dict):
+    if data["kind"] == "vec":
+        return ByteVec(data["name"], _dtype_from_dict(spec, data["element"]))
+    return _TYPE_NAMES[data["kind"]](data["name"])
+
+
+def pack_share(profile: TargetProfile, spec: Spec,
+               directory: str) -> int:
+    """Bundle a profile's campaign inputs; returns files written."""
+    root = pathlib.Path(directory)
+    seeds_dir = root / "seeds"
+    dict_dir = root / "dict"
+    seeds_dir.mkdir(parents=True, exist_ok=True)
+    dict_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for index, seed in enumerate(profile.seeds()):
+        (seeds_dir / ("seed_%03d.nyx" % index)).write_bytes(
+            serialize(spec, seed.ops))
+        written += 1
+    for index, token in enumerate(profile.dictionary):
+        (dict_dir / ("tok_%03d.tok" % index)).write_bytes(bytes(token))
+        written += 1
+    surface = profile.surface()
+    manifest = {
+        "target": profile.name,
+        "protocol": profile.protocol,
+        "notes": profile.notes,
+        "surface": {
+            "mode": surface.mode.value,
+            "addresses": list(surface.addresses),
+            "datagram": surface.datagram,
+            "max_connections": surface.max_connections,
+        },
+        "startup_cost": profile.startup_cost,
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    (root / "spec.json").write_text(json.dumps(spec_to_dict(spec), indent=2))
+    return written + 2
+
+
+def load_share(directory: str) -> Tuple[Dict, Spec, List[FuzzInput],
+                                        List[bytes], AttackSurface]:
+    """Load a share folder: (manifest, spec, seeds, dictionary, surface)."""
+    root = pathlib.Path(directory)
+    manifest = json.loads((root / "manifest.json").read_text())
+    spec = spec_from_dict(json.loads((root / "spec.json").read_text()))
+    seeds: List[FuzzInput] = []
+    for path in sorted((root / "seeds").glob("*.nyx")):
+        seeds.append(FuzzInput(deserialize(spec, path.read_bytes()),
+                               origin="share"))
+    dictionary = [path.read_bytes()
+                  for path in sorted((root / "dict").glob("*.tok"))]
+    raw = manifest["surface"]
+    surface = AttackSurface(
+        mode=SurfaceMode(raw["mode"]),
+        addresses=list(raw["addresses"]),
+        datagram=raw["datagram"],
+        max_connections=raw["max_connections"],
+    )
+    return manifest, spec, seeds, dictionary, surface

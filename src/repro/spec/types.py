@@ -1,0 +1,86 @@
+"""Data types usable in node specifications.
+
+Mirrors Nyx's typed opcode arguments: fixed-width integers and
+length-prefixed byte vectors (``s.data_vec("bytes", s.data_u8("u8"))``
+from Listing 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+
+class DataType:
+    """Base class: knows how to pack/unpack one field value."""
+
+    name = "abstract"
+
+    def pack(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def unpack(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        """Return (value, new_offset)."""
+        raise NotImplementedError
+
+    def default(self) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<%s>" % self.name
+
+
+class _UInt(DataType):
+    fmt = "<B"
+    width = 1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def pack(self, value: Any) -> bytes:
+        mask = (1 << (8 * self.width)) - 1
+        return struct.pack(self.fmt, int(value) & mask)
+
+    def unpack(self, data: bytes, offset: int) -> Tuple[int, int]:
+        (value,) = struct.unpack_from(self.fmt, data, offset)
+        return value, offset + self.width
+
+    def default(self) -> int:
+        return 0
+
+
+class U8(_UInt):
+    fmt = "<B"
+    width = 1
+
+
+class U16(_UInt):
+    fmt = "<H"
+    width = 2
+
+
+class U32(_UInt):
+    fmt = "<I"
+    width = 4
+
+
+class ByteVec(DataType):
+    """A length-prefixed byte vector (the packet payload type)."""
+
+    def __init__(self, name: str, element: DataType) -> None:
+        self.name = name
+        self.element = element
+
+    def pack(self, value: Any) -> bytes:
+        data = bytes(value)
+        return struct.pack("<I", len(data)) + data
+
+    def unpack(self, data: bytes, offset: int) -> Tuple[bytes, int]:
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise ValueError("byte vector extends past end of bytecode")
+        return data[offset:offset + length], offset + length
+
+    def default(self) -> bytes:
+        return b""

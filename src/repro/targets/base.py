@@ -1,0 +1,219 @@
+"""Target framework: profiles and the message-server base class.
+
+A :class:`TargetProfile` is everything the harness needs to fuzz one
+target: how to build the guest program, where its attack surface is,
+how to produce seed inputs, protocol dictionary tokens and dissector.
+
+:class:`MessageServer` factors the event-loop boilerplate out of the
+protocol targets: accepting surface connections, per-connection
+session state, the recv loop, and the memory-corruption model used by
+the planted bugs (including the ASAN-dependent behaviour the paper
+observed on dcmtk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind, Errno, GuestCrash, GuestError
+from repro.guestos.process import Program
+from repro.guestos.sockets import SockDomain, SockType
+
+
+@dataclass
+class TargetProfile:
+    """Everything needed to set up a fuzzing campaign for one target."""
+
+    name: str
+    protocol: str
+    make_program: Callable[..., Program]
+    surface_factory: Callable[[], AttackSurface]
+    seed_factory: Callable[[], List[FuzzInput]]
+    dictionary: Sequence[bytes] = ()
+    #: Simulated startup cost (init, config parsing, key generation).
+    startup_cost: float = 0.05
+    #: Whether AFL++ + libpreeny's desock can run this target at all
+    #: (Table 2/3: most targets are "n/a").
+    libpreeny_compatible: bool = False
+    #: Ids of the planted bugs (for the crash-matrix experiment).
+    planted_bugs: Sequence[str] = ()
+    notes: str = ""
+
+    def surface(self) -> AttackSurface:
+        return self.surface_factory()
+
+    def seeds(self) -> List[FuzzInput]:
+        return self.seed_factory()
+
+
+class ConnCtx:
+    """Per-connection session state (picklable)."""
+
+    def __init__(self, fd: int) -> None:
+        self.fd = fd
+        self.buffer = b""
+        self.state = "new"
+        self.vars: Dict[str, object] = {}
+        self.messages_handled = 0
+
+
+class MessageServer(Program):
+    """Base class for single-process protocol servers.
+
+    Subclasses implement :meth:`handle_message` (one logical inbound
+    packet on one connection) and may override :meth:`on_boot` for
+    additional startup work.  The base takes care of listening on the
+    surface address, accepting connections, reading with preserved
+    packet boundaries and closing finished sessions.
+    """
+
+    name = "message-server"
+    port: int = 9999
+    sock_type: SockType = SockType.STREAM
+    domain: SockDomain = SockDomain.INET
+    #: Simulated CPU seconds charged at startup.
+    startup_cost: float = 0.05
+    #: Per-byte parse cost multiplier (heavier protocols override).
+    parse_cost: float = 2e-9
+    #: Run with AddressSanitizer semantics (see memory_corruption).
+    asan: bool = True
+
+    def __init__(self) -> None:
+        self.listen_fd: Optional[int] = None
+        self.conns: Dict[int, ConnCtx] = {}
+        #: Modelled heap corruption accumulator (non-ASAN mode).
+        self.heap_corruption = 0
+        #: How much corruption the initial heap layout tolerates; set
+        #: by the harness per run to model layout-dependent crashes.
+        self.heap_slack = 3
+
+    # -- overridables -----------------------------------------------------
+
+    def on_boot(self, api) -> None:
+        """Extra startup work (load config, spool, keys)."""
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        """Process one inbound packet on one connection."""
+        raise NotImplementedError
+
+    def on_disconnect(self, api, conn: ConnCtx) -> None:
+        """Peer closed the connection."""
+
+    def wants_data(self, conn: ConnCtx) -> bool:
+        """Whether the server still reads from this connection.
+
+        Targets that stop consuming input (a dead game, a rejected
+        session) override this; unread packets then count as not
+        consumed, which snapshot placement relies on.
+        """
+        return True
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def on_start(self, api) -> None:
+        api.cpu(self.startup_cost)
+        self.on_boot(api)
+        self.listen_fd = api.socket(self.domain, self.sock_type)
+        api.bind(self.listen_fd, self.port)
+        if self.sock_type is SockType.STREAM:
+            api.listen(self.listen_fd, backlog=16)
+
+    def poll(self, api) -> None:
+        if self.listen_fd is None:
+            return
+        if self.sock_type is SockType.STREAM:
+            self._accept_new(api)
+        else:
+            self._poll_dgram(api)
+        for fd in list(self.conns):
+            self._service_conn(api, fd)
+
+    def _accept_new(self, api) -> None:
+        while True:
+            try:
+                fd = api.accept(self.listen_fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                raise
+            self.conns[fd] = ConnCtx(fd)
+
+    def _poll_dgram(self, api) -> None:
+        ctx = self.conns.get(self.listen_fd)
+        if ctx is None:
+            ctx = self.conns[self.listen_fd] = ConnCtx(self.listen_fd)
+        while True:
+            try:
+                data, _source = api.recvfrom(self.listen_fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                raise
+            if not data:
+                return
+            self._dispatch(api, ctx, data)
+
+    def _service_conn(self, api, fd: int) -> None:
+        ctx = self.conns.get(fd)
+        if ctx is None or fd == self.listen_fd:
+            return
+        while self.wants_data(ctx):
+            try:
+                data = api.recv(fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                if err.errno in (Errno.EBADF, Errno.ECONNRESET):
+                    self.conns.pop(fd, None)
+                    return
+                raise
+            if data == b"":
+                self.on_disconnect(api, ctx)
+                try:
+                    api.close(fd)
+                except GuestError:
+                    pass
+                self.conns.pop(fd, None)
+                return
+            self._dispatch(api, ctx, data)
+
+    def _dispatch(self, api, ctx: ConnCtx, data: bytes) -> None:
+        # Fixed per-message handling cost (dispatch, logging, session
+        # lookup) plus per-byte parsing: calibrated so Nyx-Net lands in
+        # Table 3's hundreds-to-thousands execs/s band.
+        api.cpu(self.parse_cost * len(data) + 4e-5)
+        ctx.messages_handled += 1
+        self.handle_message(api, ctx, data)
+
+    # -- reply / crash helpers ------------------------------------------------
+
+    def reply(self, api, ctx: ConnCtx, data: bytes) -> None:
+        """Best-effort response on the connection."""
+        try:
+            api.send(ctx.fd, data)
+        except GuestError:
+            pass
+
+    def crash(self, kind: CrashKind, bug_id: str, detail: str = "") -> None:
+        """Trigger a planted deterministic bug."""
+        raise GuestCrash(kind, bug_id, detail)
+
+    def memory_corruption(self, bug_id: str, severity: int = 1,
+                          kind: CrashKind = CrashKind.ASAN_HEAP_OVERFLOW) -> None:
+        """Trigger a planted *corruption* bug.
+
+        Under ASAN the violation is caught at the first bad access.
+        Without ASAN, corruption accumulates silently and only crashes
+        once it exceeds what the initial heap layout absorbs — the
+        dcmtk behaviour from Table 1 ("Nyx-Net does not build up memory
+        corruption state until it crashes [without snapshots the
+        accumulation is reset each test]").
+        """
+        if self.asan:
+            raise GuestCrash(kind, bug_id, "asan-detected")
+        self.heap_corruption += severity
+        if self.heap_corruption > self.heap_slack:
+            raise GuestCrash(CrashKind.SEGV, bug_id, "delayed corruption")

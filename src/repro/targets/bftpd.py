@@ -1,0 +1,214 @@
+"""bftpd: a forking FTP server.
+
+Unlike lightftp, bftpd forks one worker per connection (the classic
+inetd style) — exercising the fd-inheritance tracking of the emulation
+layer and the process roll-back of snapshots.  Table 1 lists no
+crashes for bftpd, so no bug is planted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import Errno, GuestError
+from repro.guestos.process import Program
+from repro.guestos.sockets import SockDomain, SockType
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, TargetProfile
+
+PORT = 2021
+
+_GREETING = b"220 bftpd 4.6 at your service\r\n"
+
+
+class BftpdServer(Program):
+    """The accept loop; real work happens in forked workers."""
+
+    name = "bftpd"
+    startup_cost = 0.03
+
+    def __init__(self) -> None:
+        self.listen_fd: Optional[int] = None
+        self.asan = True
+        self.heap_slack = 3
+        self.children_spawned = 0
+
+    def on_start(self, api) -> None:
+        api.cpu(self.startup_cost)
+        api.write_whole_file("/etc/bftpd.conf", b"ALLOWCOMMAND_DELE=no\n")
+        self.listen_fd = api.socket(SockDomain.INET, SockType.STREAM)
+        api.bind(self.listen_fd, PORT)
+        api.listen(self.listen_fd, backlog=8)
+
+    def poll(self, api) -> None:
+        if self.listen_fd is None:
+            return
+        while True:
+            try:
+                fd = api.accept(self.listen_fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                raise
+            self.children_spawned += 1
+            api.fork_child(BftpdWorker(fd))
+            api.close(fd)
+
+
+class BftpdWorker(Program):
+    """One FTP session in a forked child."""
+
+    name = "bftpd-worker"
+
+    def __init__(self, fd: int) -> None:
+        self.fd = fd
+        self.ctx = ConnCtx(fd)
+        self.greeted = False
+        self.done = False
+
+    def poll(self, api) -> None:
+        if self.done:
+            return
+        if not self.greeted:
+            self.greeted = True
+            self._reply(api, _GREETING)
+        while not self.done:
+            try:
+                data = api.recv(self.fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                self._finish(api)
+                return
+            if data == b"":
+                self._finish(api)
+                return
+            api.cpu(2e-9 * len(data) + 1e-6)
+            self.ctx.buffer += data
+            while b"\n" in self.ctx.buffer:
+                idx = self.ctx.buffer.find(b"\n")
+                line, self.ctx.buffer = (self.ctx.buffer[:idx + 1],
+                                         self.ctx.buffer[idx + 1:])
+                self._command(api, line.strip())
+
+    def _finish(self, api) -> None:
+        self.done = True
+        try:
+            api.close(self.fd)
+        except GuestError:
+            pass
+        api.exit(0)
+
+    def _reply(self, api, data: bytes) -> None:
+        try:
+            api.send(self.fd, data)
+        except GuestError:
+            pass
+
+    def _command(self, api, line: bytes) -> None:
+        parts = line.split(None, 1)
+        if not parts:
+            self._reply(api, b"500 Syntax error\r\n")
+            return
+        cmd = parts[0].upper()
+        arg = parts[1] if len(parts) > 1 else b""
+        ctx = self.ctx
+        if cmd == b"USER":
+            ctx.vars["user"] = arg
+            self._reply(api, b"331 Password please\r\n")
+        elif cmd == b"PASS":
+            if ctx.vars.get("user"):
+                ctx.state = "authed"
+                self._reply(api, b"230 User logged in\r\n")
+            else:
+                self._reply(api, b"503 USER first\r\n")
+        elif cmd == b"QUIT":
+            self._reply(api, b"221 Bye\r\n")
+            self._finish(api)
+        elif ctx.state != "authed":
+            self._reply(api, b"530 Please login\r\n")
+        elif cmd == b"PWD":
+            self._reply(api, b'257 "/" is cwd\r\n')
+        elif cmd == b"CWD":
+            ctx.vars["cwd"] = arg[:128]
+            self._reply(api, b"250 OK\r\n")
+        elif cmd == b"TYPE":
+            if arg.upper() in (b"A", b"I", b"L8"):
+                self._reply(api, b"200 Type okay\r\n")
+            else:
+                self._reply(api, b"501 Unknown type\r\n")
+        elif cmd == b"PASV":
+            ctx.vars["data"] = True
+            self._reply(api, b"227 Passive (127,0,0,1,10,1)\r\n")
+        elif cmd == b"LIST" or cmd == b"NLST":
+            if ctx.vars.get("data"):
+                self._reply(api, b"150 Here comes the listing\r\n226 Done\r\n")
+            else:
+                self._reply(api, b"425 No data connection\r\n")
+        elif cmd == b"RETR" or cmd == b"STOR":
+            if not ctx.vars.get("data"):
+                self._reply(api, b"425 No data connection\r\n")
+            elif not arg:
+                self._reply(api, b"501 Missing filename\r\n")
+            else:
+                self._reply(api, b"150 Transferring\r\n226 Done\r\n")
+        elif cmd == b"MKD":
+            if arg:
+                api.write_whole_file("/ftp/%s/.dir" % arg[:32].decode("latin1"),
+                                     b"")
+                self._reply(api, b"257 Created\r\n")
+            else:
+                self._reply(api, b"501 Missing dirname\r\n")
+        elif cmd == b"SITE":
+            sub = arg.split(None, 1)[0].upper() if arg else b""
+            if sub == b"CHMOD":
+                self._reply(api, b"200 CHMOD done\r\n")
+            elif sub == b"HELP":
+                self._reply(api, b"214 SITE CHMOD HELP\r\n")
+            else:
+                self._reply(api, b"500 Unknown SITE\r\n")
+        elif cmd == b"HELP":
+            self._reply(api, b"214 Commands: USER PASS QUIT PWD CWD TYPE\r\n")
+        elif cmd == b"NOOP":
+            self._reply(api, b"200 Zzz\r\n")
+        else:
+            self._reply(api, b"500 Unknown command\r\n")
+
+
+DICTIONARY = [b"USER ftp", b"PASS ", b"PASV", b"LIST", b"RETR ", b"STOR ",
+              b"MKD ", b"SITE CHMOD", b"TYPE I", b"QUIT", b"\r\n"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for session in (
+        [b"USER ftp\r\n", b"PASS ftp\r\n", b"PWD\r\n", b"QUIT\r\n"],
+        [b"USER admin\r\n", b"PASS pw\r\n", b"PASV\r\n", b"LIST\r\n",
+         b"TYPE I\r\n", b"RETR file.bin\r\n", b"QUIT\r\n"],
+        [b"USER u\r\n", b"PASS p\r\n", b"MKD new\r\n", b"SITE CHMOD 644 x\r\n",
+         b"QUIT\r\n"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for line in session:
+            builder.packet(con, line)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="bftpd",
+    protocol="ftp",
+    make_program=BftpdServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.03,
+    libpreeny_compatible=False,  # forking breaks desock
+    planted_bugs=(),
+    notes="Forking server; exercises fd inheritance and process rollback.",
+)

@@ -1,0 +1,218 @@
+"""dcmtk (dcmqrscp): a DICOM upper-layer protocol server.
+
+Parses DICOM Upper Layer PDUs (A-ASSOCIATE-RQ, P-DATA-TF, A-RELEASE)
+with presentation-context sub-items.  The planted bug reproduces the
+paper's Table 1 footnote: a heap overflow in the length handling of
+user-information sub-items that is *only reliably observable under
+ASAN* — without it, the overwrite lands in heap slack and only crashes
+once enough corruption accumulates ("depending on the initial memory
+layout").
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 11112
+
+PDU_ASSOC_RQ = 0x01
+PDU_ASSOC_AC = 0x02
+PDU_ASSOC_RJ = 0x03
+PDU_PDATA = 0x04
+PDU_RELEASE_RQ = 0x05
+PDU_RELEASE_RP = 0x06
+PDU_ABORT = 0x07
+
+
+class DcmtkServer(MessageServer):
+    name = "dcmtk"
+    port = PORT
+    startup_cost = 0.06
+    parse_cost = 4e-9  # DICOM parsing is heavier than line protocols
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        while len(conn.buffer) >= 6:
+            pdu_type = conn.buffer[0]
+            (length,) = struct.unpack_from(">I", conn.buffer, 2)
+            if length > 1 << 20:
+                self.reply(api, conn, self._abort(2))
+                conn.buffer = b""
+                return
+            if len(conn.buffer) < 6 + length:
+                return  # wait for the rest of the PDU
+            body = conn.buffer[6:6 + length]
+            conn.buffer = conn.buffer[6 + length:]
+            self._pdu(api, conn, pdu_type, body)
+
+    def _pdu(self, api, conn: ConnCtx, pdu_type: int, body: bytes) -> None:
+        if pdu_type == PDU_ASSOC_RQ:
+            self._associate(api, conn, body)
+        elif pdu_type == PDU_PDATA:
+            self._pdata(api, conn, body)
+        elif pdu_type == PDU_RELEASE_RQ:
+            conn.state = "released"
+            self.reply(api, conn, struct.pack(">BBI", PDU_RELEASE_RP, 0, 4)
+                       + b"\x00" * 4)
+        elif pdu_type == PDU_ABORT:
+            conn.state = "aborted"
+        else:
+            self.reply(api, conn, self._abort(1))
+
+    def _associate(self, api, conn: ConnCtx, body: bytes) -> None:
+        if len(body) < 68:
+            self.reply(api, conn, self._reject(1))
+            return
+        version = struct.unpack_from(">H", body, 0)[0]
+        if version != 1:
+            self.reply(api, conn, self._reject(2))
+            return
+        called = body[4:20].rstrip(b" ")
+        calling = body[20:36].rstrip(b" ")
+        conn.vars["called"] = called
+        conn.vars["calling"] = calling
+        # Variable items: application context, presentation contexts,
+        # user information.
+        offset = 68
+        contexts = 0
+        while offset + 4 <= len(body):
+            item_type = body[offset]
+            (item_len,) = struct.unpack_from(">H", body, offset + 2)
+            item = body[offset + 4:offset + 4 + item_len]
+            if item_type == 0x20:      # presentation context
+                contexts += 1
+                if len(item) >= 4:
+                    conn.vars.setdefault("pcs", []).append(item[0])
+            elif item_type == 0x50:    # user information
+                self._user_info(item, item_len)
+            elif item_type == 0x10:    # application context
+                conn.vars["app_ctx"] = item[:64]
+            offset += 4 + item_len
+        if contexts == 0:
+            self.reply(api, conn, self._reject(3))
+            return
+        conn.state = "associated"
+        self.reply(api, conn, struct.pack(">BBI", PDU_ASSOC_AC, 0, 8)
+                   + b"\x00\x01\x00\x00\x00\x00\x00\x00")
+
+    def _user_info(self, item: bytes, declared_len: int) -> None:
+        # The planted bug: the sub-item copy loop trusts each
+        # sub-item's length field against the *declared* parent length
+        # instead of the actual buffer, overwriting past the
+        # allocation when they disagree.
+        offset = 0
+        while offset + 4 <= declared_len:
+            if offset + 4 > len(item):
+                self.memory_corruption("dcmtk-userinfo-overflow", severity=2)
+                return
+            (sub_len,) = struct.unpack_from(">H", item, offset + 2)
+            if offset + 4 + sub_len > len(item):
+                self.memory_corruption("dcmtk-userinfo-overflow", severity=2)
+                return
+            offset += 4 + sub_len
+
+    def _pdata(self, api, conn: ConnCtx, body: bytes) -> None:
+        if conn.state != "associated":
+            self.reply(api, conn, self._abort(3))
+            return
+        offset = 0
+        while offset + 6 <= len(body):
+            (pdv_len,) = struct.unpack_from(">I", body, offset)
+            context_id = body[offset + 4] if offset + 4 < len(body) else 0
+            if pdv_len < 2 or offset + 4 + pdv_len > len(body):
+                break
+            payload = body[offset + 6:offset + 4 + pdv_len]
+            self._dimse(api, conn, context_id, payload)
+            offset += 4 + pdv_len
+
+    def _dimse(self, api, conn: ConnCtx, context_id: int, payload: bytes) -> None:
+        # Minimal C-ECHO / C-STORE dispatch on the command field.
+        if len(payload) >= 2:
+            command = struct.unpack_from("<H", payload, 0)[0]
+        else:
+            command = 0
+        if command == 0x0030:        # C-ECHO-RQ
+            conn.vars["echoes"] = conn.vars.get("echoes", 0) + 1
+            response = struct.pack("<H", 0x8030)
+            self.reply(api, conn, struct.pack(">BBI", PDU_PDATA, 0,
+                                              len(response) + 6)
+                       + struct.pack(">IBB", len(response) + 2, context_id, 3)
+                       + response)
+        elif command == 0x0001:      # C-STORE-RQ
+            api.write_whole_file("/var/dcmtk/recv_%d.dcm"
+                                 % conn.vars.get("stores", 0), payload[:256])
+            conn.vars["stores"] = conn.vars.get("stores", 0) + 1
+            api.cpu(5e-6)
+
+    def _reject(self, reason: int) -> bytes:
+        return struct.pack(">BBI", PDU_ASSOC_RJ, 0, 4) + bytes([0, 1, 1, reason])
+
+    def _abort(self, reason: int) -> bytes:
+        return struct.pack(">BBI", PDU_ABORT, 0, 4) + bytes([0, 0, 0, reason])
+
+
+def _assoc_rq(called: bytes = b"ANY-SCP", calling: bytes = b"ECHOSCU",
+              user_info: bytes = b"") -> bytes:
+    fixed = struct.pack(">HH", 1, 0) + called.ljust(16) + calling.ljust(16) \
+        + bytes(32)
+    app_ctx = b"\x10\x00" + struct.pack(">H", 21) + b"1.2.840.10008.3.1.1.1"
+    pc = b"\x20\x00" + struct.pack(">H", 8) + b"\x01\x00\x00\x00abcd"
+    ui = b"\x50\x00" + struct.pack(">H", len(user_info)) + user_info
+    body = fixed + app_ctx + pc + ui
+    return struct.pack(">BBI", PDU_ASSOC_RQ, 0, len(body)) + body
+
+
+def _pdata(payload: bytes, context: int = 1) -> bytes:
+    pdv = struct.pack(">IBB", len(payload) + 2, context, 3) + payload
+    return struct.pack(">BBI", PDU_PDATA, 0, len(pdv)) + pdv
+
+
+def _release() -> bytes:
+    return struct.pack(">BBI", PDU_RELEASE_RQ, 0, 4) + bytes(4)
+
+
+DICTIONARY = [b"\x01\x00", b"\x04\x00", b"\x05\x00", b"1.2.840.10008",
+              b"ANY-SCP", b"ECHOSCU", b"\x50\x00", b"\x20\x00",
+              struct.pack("<H", 0x0030), struct.pack("<H", 0x0001)]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    echo = struct.pack("<H", 0x0030) + b"\x00" * 10
+    store = struct.pack("<H", 0x0001) + b"DICM" + b"\x00" * 32
+    for packets in (
+        [_assoc_rq(), _pdata(echo), _release()],
+        [_assoc_rq(calling=b"STORESCU"), _pdata(store), _pdata(echo),
+         _release()],
+        [_assoc_rq(user_info=b"\x51\x00\x00\x04\x00\x00\x40\x00"),
+         _pdata(echo), _pdata(echo), _pdata(echo), _release()],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="dcmtk",
+    protocol="dicom",
+    make_program=DcmtkServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.06,
+    libpreeny_compatible=False,
+    planted_bugs=("asan-heap-overflow:dcmtk-userinfo-overflow",),
+    notes="ASAN-gated heap overflow (Table 1 footnote): without ASAN the "
+          "corruption must accumulate past the initial heap slack.",
+)

@@ -1,0 +1,204 @@
+"""dnsmasq: a DNS forwarder/server over UDP.
+
+A genuine (if compact) DNS wire-format parser: header, question
+section with label decompression, a handful of record types, plus a
+tiny DHCP-ish lease table to give the target state.  The planted bug
+mirrors the kind of crash every fuzzer found in Table 1: a
+NULL-dereference reachable from a single malformed datagram
+(compression pointer loop exhausting the resolver, then dereferencing
+the failed result).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.guestos.sockets import SockType
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 5353
+
+QTYPE_A = 1
+QTYPE_NS = 2
+QTYPE_CNAME = 5
+QTYPE_SOA = 6
+QTYPE_PTR = 12
+QTYPE_MX = 15
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+QTYPE_ANY = 255
+
+
+class DnsmasqServer(MessageServer):
+    name = "dnsmasq"
+    port = PORT
+    sock_type = SockType.DGRAM
+    startup_cost = 0.02
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache = {"router.lan": "192.168.0.1", "nas.lan": "192.168.0.2"}
+        self.queries_served = 0
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        if len(data) < 12:
+            return  # short datagrams are silently dropped
+        (txid, flags, qdcount, ancount,
+         nscount, arcount) = struct.unpack_from(">HHHHHH", data, 0)
+        if flags & 0x8000:
+            return  # a response, not a query
+        if qdcount == 0 or qdcount > 8:
+            self.reply(api, conn, self._error(txid, 1))  # FORMERR
+            return
+        offset = 12
+        questions = []
+        for _ in range(qdcount):
+            name, offset, poisoned = self._parse_name(data, offset)
+            if offset + 4 > len(data):
+                self.reply(api, conn, self._error(txid, 1))
+                return
+            qtype, qclass = struct.unpack_from(">HH", data, offset)
+            offset += 4
+            if poisoned and (qtype == QTYPE_ANY or qdcount >= 2):
+                # The bug: a malformed/looping name makes _parse_name
+                # bail with a NULL name; the ANY handler and the
+                # multi-question loop both dereference it without a
+                # check.  Every fuzzer in Table 1 found this one.
+                self.crash(CrashKind.NULL_DEREF, "dnsmasq-ptrloop-null",
+                           "poisoned name dereferenced (qtype=%d)" % qtype)
+            questions.append((name, qtype, qclass))
+        self.queries_served += 1
+        self.reply(api, conn, self._answer(txid, questions))
+
+    # -- wire format ----------------------------------------------------------
+
+    def _parse_name(self, data: bytes, offset: int):
+        """Decode a possibly-compressed name.
+
+        Returns (name, next_offset, poisoned) where poisoned means the
+        decoder hit its loop guard and gave up.
+        """
+        labels = []
+        jumps = 0
+        pos = offset
+        next_offset = None
+        while pos < len(data):
+            length = data[pos]
+            if length == 0:
+                pos += 1
+                break
+            if length & 0xC0 == 0xC0:
+                if pos + 1 >= len(data):
+                    return "", pos + 1, True
+                target = ((length & 0x3F) << 8) | data[pos + 1]
+                if next_offset is None:
+                    next_offset = pos + 2
+                jumps += 1
+                if jumps > 8 or target >= len(data):
+                    return "", next_offset, True  # loop guard tripped
+                pos = target
+                continue
+            if length > 63 or pos + 1 + length > len(data):
+                return "", (next_offset or pos + 1), True
+            labels.append(data[pos + 1:pos + 1 + length])
+            pos += 1 + length
+            if len(labels) > 32:
+                return "", (next_offset or pos), True
+        name = b".".join(labels).decode("latin1")
+        return name, (next_offset if next_offset is not None else pos), False
+
+    def _answer(self, txid: int, questions) -> bytes:
+        answers = b""
+        count = 0
+        nxdomain = False
+        for name, qtype, _qclass in questions:
+            if qtype == QTYPE_A:
+                if name in self.cache:
+                    ip = bytes(int(x) for x in self.cache[name].split("."))
+                    answers += self._rr(name, QTYPE_A, ip)
+                    count += 1
+                else:
+                    nxdomain = True
+            elif qtype == QTYPE_TXT:
+                answers += self._rr(name, QTYPE_TXT, b"\x09dnsmasq ok")
+                count += 1
+            elif qtype == QTYPE_PTR:
+                answers += self._rr(name, QTYPE_PTR, b"\x05local\x00")
+                count += 1
+            elif qtype in (QTYPE_AAAA, QTYPE_MX, QTYPE_NS, QTYPE_SOA,
+                           QTYPE_CNAME):
+                pass  # NOERROR, no data
+        rcode = 3 if (nxdomain and not count) else 0
+        header = struct.pack(">HHHHHH", txid, 0x8180 | rcode,
+                             len(questions), count, 0, 0)
+        question_bytes = b""
+        for name, qtype, qclass in questions:
+            question_bytes += self._encode_name(name)
+            question_bytes += struct.pack(">HH", qtype, qclass)
+        return header + question_bytes + answers
+
+    def _rr(self, name: str, rtype: int, rdata: bytes) -> bytes:
+        return (self._encode_name(name)
+                + struct.pack(">HHIH", rtype, 1, 60, len(rdata)) + rdata)
+
+    def _encode_name(self, name: str) -> bytes:
+        out = b""
+        for label in name.split("."):
+            encoded = label.encode("latin1")[:63]
+            if encoded:
+                out += bytes([len(encoded)]) + encoded
+        return out + b"\x00"
+
+    def _error(self, txid: int, rcode: int) -> bytes:
+        return struct.pack(">HHHHHH", txid, 0x8000 | rcode, 0, 0, 0, 0)
+
+
+def _query(txid: int, name: bytes, qtype: int) -> bytes:
+    out = struct.pack(">HHHHHH", txid, 0x0100, 1, 0, 0, 0)
+    for label in name.split(b"."):
+        out += bytes([len(label)]) + label
+    out += b"\x00" + struct.pack(">HH", qtype, 1)
+    return out
+
+
+DICTIONARY = [b"\xc0\x0c", b"\x00\x01\x00\x01", b"router", b"lan",
+              struct.pack(">H", QTYPE_ANY), struct.pack(">H", QTYPE_TXT),
+              b"\x00\x00\x29"]  # EDNS OPT
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for packets in (
+        [_query(0x1234, b"router.lan", QTYPE_A)],
+        [_query(0x1111, b"nas.lan", QTYPE_A),
+         _query(0x1112, b"nas.lan", QTYPE_TXT)],
+        [_query(0x2222, b"host.example.com", QTYPE_AAAA),
+         _query(0x2223, b"4.3.2.1.in-addr.arpa", QTYPE_PTR),
+         _query(0x2224, b"example.com", QTYPE_MX)],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="dnsmasq",
+    protocol="dns",
+    make_program=DnsmasqServer,
+    surface_factory=lambda: AttackSurface.udp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.02,
+    libpreeny_compatible=True,
+    planted_bugs=("null-deref:dnsmasq-ptrloop-null",),
+    notes="Shallow one-datagram NULL deref; found by every fuzzer in Table 1.",
+)

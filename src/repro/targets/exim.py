@@ -1,0 +1,237 @@
+"""exim: an SMTP server with a deep, Nyx-only bug.
+
+A real SMTP state machine (EHLO → MAIL FROM → RCPT TO → DATA → body)
+including ESMTP parameter parsing.  Table 1 shows only Nyx-Net
+crashing exim; we plant the bug four protocol steps deep, in the
+interaction of a ``SIZE=`` ESMTP parameter with dot-stuffed message
+bodies — a sequence that needs both throughput and protocol-aware
+mutation to assemble.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 2525
+
+
+class EximServer(MessageServer):
+    name = "exim"
+    port = PORT
+    startup_cost = 0.10  # exim's router/transport config parse
+
+    def on_boot(self, api) -> None:
+        api.write_whole_file("/etc/exim/exim.conf",
+                             b"primary_hostname = mail.test\n")
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        if conn.state == "new":
+            self.reply(api, conn, b"220 mail.test ESMTP Exim 4.95\r\n")
+            conn.state = "greeted"
+        conn.buffer += data
+        while b"\n" in conn.buffer:
+            idx = conn.buffer.find(b"\n")
+            line, conn.buffer = conn.buffer[:idx], conn.buffer[idx + 1:]
+            line = line.rstrip(b"\r")
+            if conn.state == "data":
+                self._data_line(api, conn, line)
+            else:
+                self._command(api, conn, line)
+
+    # -- command phase -----------------------------------------------------
+
+    def _command(self, api, conn: ConnCtx, line: bytes) -> None:
+        parts = line.split(None, 1)
+        verb = parts[0].upper() if parts else b""
+        arg = parts[1] if len(parts) > 1 else b""
+        if verb in (b"EHLO", b"HELO"):
+            conn.vars["helo"] = arg[:255]
+            conn.state = "helo"
+            if verb == b"EHLO":
+                self.reply(api, conn,
+                           b"250-mail.test Hello\r\n250-SIZE 52428800\r\n"
+                           b"250-8BITMIME\r\n250-PIPELINING\r\n250 HELP\r\n")
+            else:
+                self.reply(api, conn, b"250 mail.test Hello\r\n")
+        elif verb == b"MAIL":
+            self._mail(api, conn, arg)
+        elif verb == b"RCPT":
+            self._rcpt(api, conn, arg)
+        elif verb == b"DATA":
+            if conn.vars.get("rcpts"):
+                conn.state = "data"
+                conn.vars["body_lines"] = 0
+                conn.vars["dot_stuffed"] = 0
+                self.reply(api, conn, b"354 Enter message, ending with .\r\n")
+            else:
+                self.reply(api, conn, b"503 valid RCPT command must precede DATA\r\n")
+        elif verb == b"STARTTLS":
+            # The planted Nyx-only bug: STARTTLS mid-transaction resets
+            # the SMTP session for the TLS handshake, but the spool
+            # accounting keeps the SIZE-derived remaining-bytes counter
+            # pointing into the freed transaction — the subtraction
+            # then underflows the allocation size.  Requires an open
+            # transaction carrying a SIZE= parameter, i.e. an injected
+            # STARTTLS opcode between MAIL and DATA.
+            if conn.state in ("mail", "rcpt") and \
+                    conn.vars.get("declared_size") is not None:
+                self.crash(CrashKind.INTEGER_UNDERFLOW,
+                           "exim-spool-size-underflow",
+                           "STARTTLS with live SIZE accounting")
+            conn.vars.pop("mail_from", None)
+            conn.vars.pop("rcpts", None)
+            conn.state = "helo"
+            self.reply(api, conn, b"220 TLS go ahead\r\n")
+        elif verb == b"RSET":
+            conn.vars.pop("mail_from", None)
+            conn.vars.pop("rcpts", None)
+            conn.vars.pop("declared_size", None)
+            if conn.state in ("mail", "rcpt", "done"):
+                conn.state = "helo"  # a new MAIL FROM is required
+            self.reply(api, conn, b"250 Reset OK\r\n")
+        elif verb == b"VRFY":
+            self.reply(api, conn, b"252 Administrative prohibition\r\n")
+        elif verb == b"EXPN":
+            self.reply(api, conn, b"550 Expansion not permitted\r\n")
+        elif verb == b"NOOP":
+            self.reply(api, conn, b"250 OK\r\n")
+        elif verb == b"HELP":
+            self.reply(api, conn, b"214-Commands supported:\r\n"
+                       b"214 EHLO MAIL RCPT DATA RSET NOOP QUIT\r\n")
+        elif verb == b"QUIT":
+            self.reply(api, conn, b"221 mail.test closing connection\r\n")
+            conn.state = "quit"
+        else:
+            self.reply(api, conn, b"500 unrecognized command\r\n")
+
+    def _mail(self, api, conn: ConnCtx, arg: bytes) -> None:
+        if conn.state not in ("helo", "done"):
+            self.reply(api, conn, b"503 EHLO first\r\n")
+            return
+        upper = arg.upper()
+        if not upper.startswith(b"FROM:"):
+            self.reply(api, conn, b"501 Syntax: MAIL FROM:<address>\r\n")
+            return
+        rest = arg[5:].strip()
+        address, params = _split_address(rest)
+        if address is None:
+            self.reply(api, conn, b"501 malformed address\r\n")
+            return
+        conn.vars["mail_from"] = address
+        for param in params:
+            key, _, value = param.partition(b"=")
+            if key.upper() == b"SIZE":
+                try:
+                    size = int(value)
+                except ValueError:
+                    self.reply(api, conn, b"501 bad SIZE\r\n")
+                    return
+                # Step 1 of the bug: exim stores the declared size in a
+                # signed int without a lower bound check.
+                conn.vars["declared_size"] = size
+            elif key.upper() == b"BODY":
+                if value.upper() not in (b"7BIT", b"8BITMIME"):
+                    self.reply(api, conn, b"501 bad BODY\r\n")
+                    return
+        conn.state = "mail"
+        self.reply(api, conn, b"250 OK\r\n")
+
+    def _rcpt(self, api, conn: ConnCtx, arg: bytes) -> None:
+        if conn.state not in ("mail", "rcpt"):
+            self.reply(api, conn, b"503 sender not yet given\r\n")
+            return
+        if not arg.upper().startswith(b"TO:"):
+            self.reply(api, conn, b"501 Syntax: RCPT TO:<address>\r\n")
+            return
+        address, _params = _split_address(arg[3:].strip())
+        if address is None or b"@" not in address:
+            self.reply(api, conn, b"550 relay not permitted\r\n")
+            return
+        conn.vars.setdefault("rcpts", []).append(address)
+        conn.state = "rcpt"
+        self.reply(api, conn, b"250 Accepted\r\n")
+
+    # -- data phase --------------------------------------------------------------
+
+    def _data_line(self, api, conn: ConnCtx, line: bytes) -> None:
+        if line == b".":
+            self._deliver(api, conn)
+            return
+        if line.startswith(b".."):
+            # Step 2: dot-stuffing decrements the remaining declared
+            # size by the *unstuffed* length...
+            conn.vars["dot_stuffed"] = conn.vars.get("dot_stuffed", 0) + 1
+            line = line[1:]
+        conn.vars["body_lines"] = conn.vars.get("body_lines", 0) + 1
+        api.cpu(len(line) * 2e-9)
+
+    def _deliver(self, api, conn: ConnCtx) -> None:
+        spool = b"From: %s\n" % conn.vars.get("mail_from", b"<>")
+        api.write_whole_file("/var/spool/exim/msg_%d"
+                             % conn.messages_handled, spool)
+        conn.state = "done"
+        conn.vars.pop("rcpts", None)
+        self.reply(api, conn, b"250 OK id=1a2b3c-000001\r\n")
+
+
+def _split_address(rest: bytes):
+    """Parse '<addr> PARAM=V ...' -> (addr, [params]) or (None, [])."""
+    if rest.startswith(b"<"):
+        end = rest.find(b">")
+        if end < 0:
+            return None, []
+        address = rest[1:end]
+        params = rest[end + 1:].split()
+        return address, params
+    parts = rest.split()
+    if not parts:
+        return None, []
+    return parts[0], parts[1:]
+
+
+DICTIONARY = [b"EHLO test\r\n", b"MAIL FROM:<a@b> ", b"RCPT TO:<c@d>\r\n",
+              b"DATA\r\n", b"SIZE=", b"BODY=8BITMIME", b"..", b"\r\n.\r\n",
+              b"RSET\r\n", b"QUIT\r\n", b"SIZE=1", b"STARTTLS\r\n"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for session in (
+        [b"EHLO fuzz.example\r\n", b"MAIL FROM:<a@fuzz.example>\r\n",
+         b"RCPT TO:<root@mail.test>\r\n", b"DATA\r\n",
+         b"Subject: hi\r\n", b"hello world\r\n", b".\r\n", b"QUIT\r\n"],
+        [b"EHLO fuzz.example\r\n",
+         b"MAIL FROM:<a@fuzz.example> SIZE=1000 BODY=8BITMIME\r\n",
+         b"RCPT TO:<u@mail.test>\r\n", b"DATA\r\n", b"..stuffed line\r\n",
+         b"body\r\n", b".\r\n", b"QUIT\r\n"],
+        [b"HELO old.example\r\n", b"MAIL FROM:<x@y>\r\n", b"RSET\r\n",
+         b"NOOP\r\n", b"QUIT\r\n"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for line in session:
+            builder.packet(con, line)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="exim",
+    protocol="smtp",
+    make_program=EximServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.10,
+    libpreeny_compatible=False,
+    planted_bugs=("integer-underflow:exim-spool-size-underflow",),
+    notes="Deep STARTTLS/SIZE spool underflow; only Nyx-Net crashes "
+          "exim in Table 1 (needs a generated STARTTLS opcode "
+          "mid-transaction).",
+)

@@ -1,0 +1,305 @@
+"""Firefox IPC: the §5.6 case study.
+
+Models the parent-process side of Firefox's sandbox IPC: several Unix
+domain sockets ("channels") carrying tagged, length-framed messages to
+actor objects (PContent, PWindow, PCanvas...), a child content process
+forked at startup, and fd-passing-like aliasing.  The attack model is
+the paper's: the sandboxed child is compromised, so everything
+arriving on the channels is attacker-controlled.
+
+Planted bugs follow the paper's findings: "our three bugs where only
+null pointer dereferences [...] the additional two bugs found by
+Mozilla were exploitable" — three NULL derefs reachable at different
+depths of the actor protocol, plus one deeper exploitable
+use-after-free in actor teardown.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind, Errno, GuestCrash, GuestError
+from repro.guestos.process import Program
+from repro.guestos.sockets import SockDomain, SockType
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import TargetProfile
+
+CHANNEL_CONTENT = "/run/firefox/content.sock"
+CHANNEL_GFX = "/run/firefox/gfx.sock"
+
+MSG_PING = 1
+MSG_CREATE_ACTOR = 2
+MSG_ACTOR_CALL = 3
+MSG_DESTROY_ACTOR = 4
+MSG_SHMEM_MAP = 5
+MSG_NAVIGATE = 6
+
+ACTOR_WINDOW = 1
+ACTOR_CANVAS = 2
+ACTOR_STREAM = 3
+
+
+class FirefoxParent(Program):
+    """The privileged parent process serving IPC channels."""
+
+    name = "firefox-parent"
+    asan = True
+
+    def __init__(self) -> None:
+        self.listen_fds = {}
+        self.conns = {}
+        self.actors = {}
+        self.next_actor = 16
+        self.shmem_segments = {}
+        self.child_spawned = False
+        self.heap_slack = 3
+
+    def on_start(self, api) -> None:
+        api.cpu(0.5)  # Firefox startup: "hundreds of megabytes of code"
+        for path in (CHANNEL_CONTENT, CHANNEL_GFX):
+            fd = api.socket(SockDomain.UNIX, SockType.STREAM)
+            api.bind(fd, path)
+            api.listen(fd, backlog=4)
+            self.listen_fds[fd] = path
+        if not self.child_spawned:
+            self.child_spawned = True
+            api.fork_child(FirefoxContentChild())
+
+    def poll(self, api) -> None:
+        for fd in list(self.listen_fds):
+            while True:
+                try:
+                    conn_fd = api.accept(fd)
+                except GuestError as err:
+                    if err.errno is Errno.EAGAIN:
+                        break
+                    raise
+                self.conns[conn_fd] = {"buffer": b"", "channel":
+                                       self.listen_fds[fd]}
+        for conn_fd in list(self.conns):
+            self._service(api, conn_fd)
+
+    def _service(self, api, conn_fd: int) -> None:
+        state = self.conns.get(conn_fd)
+        if state is None:
+            return
+        while True:
+            try:
+                data = api.recv(conn_fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                self.conns.pop(conn_fd, None)
+                return
+            if data == b"":
+                try:
+                    api.close(conn_fd)
+                except GuestError:
+                    pass
+                self.conns.pop(conn_fd, None)
+                return
+            api.cpu(len(data) * 2e-9 + 1e-6)
+            state["buffer"] += data
+            self._drain(api, conn_fd, state)
+
+    def _drain(self, api, conn_fd: int, state: dict) -> None:
+        buffer = state["buffer"]
+        while len(buffer) >= 8:
+            msg_type, actor_id, length = struct.unpack_from("<HHI", buffer, 0)
+            if length > 1 << 16:
+                buffer = b""  # channel error: drop everything
+                break
+            if len(buffer) < 8 + length:
+                break
+            payload = buffer[8:8 + length]
+            buffer = buffer[8 + length:]
+            self._message(api, conn_fd, msg_type, actor_id, payload)
+        state["buffer"] = buffer
+
+    def _message(self, api, conn_fd: int, msg_type: int, actor_id: int,
+                 payload: bytes) -> None:
+        if msg_type == MSG_PING:
+            self._send(api, conn_fd, MSG_PING, 0, b"pong")
+        elif msg_type == MSG_CREATE_ACTOR:
+            self._create_actor(api, conn_fd, payload)
+        elif msg_type == MSG_ACTOR_CALL:
+            self._actor_call(api, conn_fd, actor_id, payload)
+        elif msg_type == MSG_DESTROY_ACTOR:
+            self._destroy_actor(api, conn_fd, actor_id, payload)
+        elif msg_type == MSG_SHMEM_MAP:
+            self._shmem(api, conn_fd, actor_id, payload)
+        elif msg_type == MSG_NAVIGATE:
+            # Bug 1 (shallow NULL deref): navigation with an empty URL
+            # dereferences the not-yet-created docshell.
+            if not payload:
+                raise GuestCrash(CrashKind.NULL_DEREF,
+                                 "ffipc-navigate-null-docshell",
+                                 "MSG_NAVIGATE with empty URL")
+            api.cpu(5e-6)
+            self._send(api, conn_fd, MSG_NAVIGATE, 0, b"loaded:" + payload[:32])
+
+    def _create_actor(self, api, conn_fd: int, payload: bytes) -> None:
+        if len(payload) < 2:
+            return
+        (kind,) = struct.unpack_from("<H", payload, 0)
+        if kind not in (ACTOR_WINDOW, ACTOR_CANVAS, ACTOR_STREAM):
+            self._send(api, conn_fd, MSG_CREATE_ACTOR, 0, b"\xff")
+            return
+        actor_id = self.next_actor
+        self.next_actor += 1
+        self.actors[actor_id] = {"kind": kind, "calls": 0, "shmem": None,
+                                 "torn_down": False}
+        self._send(api, conn_fd, MSG_CREATE_ACTOR, actor_id,
+                   struct.pack("<H", kind))
+
+    def _actor_call(self, api, conn_fd: int, actor_id: int,
+                    payload: bytes) -> None:
+        actor = self.actors.get(actor_id)
+        if actor is None:
+            # Bug 2 (NULL deref): calls on unknown actor ids look the
+            # routing table up and use the result unchecked.
+            if actor_id != 0:
+                raise GuestCrash(CrashKind.NULL_DEREF,
+                                 "ffipc-unknown-actor-null",
+                                 "ACTOR_CALL on unrouted id %d" % actor_id)
+            return
+        if actor["torn_down"]:
+            # Bug 4 (deep, exploitable): call into an actor whose
+            # teardown already freed its backing object.
+            raise GuestCrash(CrashKind.ASAN_USE_AFTER_FREE,
+                             "ffipc-actor-uaf", "call after teardown")
+        actor["calls"] += 1
+        if actor["kind"] == ACTOR_CANVAS:
+            if actor["shmem"] is None and payload[:4] == b"draw":
+                # Bug 3 (NULL deref): canvas draw before shmem mapping.
+                raise GuestCrash(CrashKind.NULL_DEREF,
+                                 "ffipc-canvas-null-shmem",
+                                 "draw before SHMEM_MAP")
+            api.cpu(2e-6)  # rasterize
+            self._send(api, conn_fd, MSG_ACTOR_CALL, actor_id, b"drawn")
+        elif actor["kind"] == ACTOR_WINDOW:
+            self._send(api, conn_fd, MSG_ACTOR_CALL, actor_id,
+                       b"window:%d" % actor["calls"])
+        else:
+            self._send(api, conn_fd, MSG_ACTOR_CALL, actor_id, b"stream-ok")
+
+    def _destroy_actor(self, api, conn_fd: int, actor_id: int,
+                       payload: bytes) -> None:
+        actor = self.actors.get(actor_id)
+        if actor is None:
+            return
+        if payload == b"async":
+            # Asynchronous teardown frees the object but leaves the
+            # routing entry until the child acks — the UAF window.
+            actor["torn_down"] = True
+        else:
+            del self.actors[actor_id]
+        self._send(api, conn_fd, MSG_DESTROY_ACTOR, actor_id, b"bye")
+
+    def _shmem(self, api, conn_fd: int, actor_id: int, payload: bytes) -> None:
+        actor = self.actors.get(actor_id)
+        if actor is None or len(payload) < 4:
+            return
+        (size,) = struct.unpack_from("<I", payload, 0)
+        if size == 0 or size > 1 << 24:
+            self._send(api, conn_fd, MSG_SHMEM_MAP, actor_id, b"\xff")
+            return
+        segment_id = len(self.shmem_segments) + 1
+        self.shmem_segments[segment_id] = size
+        actor["shmem"] = segment_id
+        self._send(api, conn_fd, MSG_SHMEM_MAP, actor_id,
+                   struct.pack("<I", segment_id))
+
+    def _send(self, api, conn_fd: int, msg_type: int, actor_id: int,
+              payload: bytes) -> None:
+        try:
+            api.send(conn_fd, struct.pack("<HHI", msg_type, actor_id,
+                                          len(payload)) + payload)
+        except GuestError:
+            pass
+
+
+class FirefoxContentChild(Program):
+    """The sandboxed content process (mostly idle in this harness)."""
+
+    name = "firefox-content"
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def poll(self, api) -> None:
+        pass  # the fuzzer plays the compromised child
+
+
+def _msg(msg_type: int, actor_id: int, payload: bytes) -> bytes:
+    return struct.pack("<HHI", msg_type, actor_id, len(payload)) + payload
+
+
+DICTIONARY = [struct.pack("<H", MSG_CREATE_ACTOR),
+              struct.pack("<H", MSG_ACTOR_CALL),
+              struct.pack("<H", MSG_DESTROY_ACTOR),
+              struct.pack("<H", MSG_SHMEM_MAP),
+              struct.pack("<H", ACTOR_CANVAS), b"draw", b"async",
+              b"http://example.com"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    # A two-channel seed: the content and gfx sockets used at once
+    # ("many of which are needed at the same time", §5.6).
+    builder = Builder(spec)
+    content = builder.connection()
+    gfx = builder.connection()
+    builder.packet(content, _msg(MSG_PING, 0, b""))
+    builder.packet(gfx, _msg(MSG_CREATE_ACTOR, 0,
+                             struct.pack("<H", ACTOR_CANVAS)))
+    builder.packet(gfx, _msg(MSG_SHMEM_MAP, 16, struct.pack("<I", 4096)))
+    builder.packet(content, _msg(MSG_NAVIGATE, 0, b"http://two.example/"))
+    builder.packet(gfx, _msg(MSG_ACTOR_CALL, 16, b"draw frame"))
+    seeds.append(FuzzInput(builder.build()))
+    for packets in (
+        [_msg(MSG_PING, 0, b""),
+         _msg(MSG_NAVIGATE, 0, b"http://example.com/")],
+        [_msg(MSG_CREATE_ACTOR, 0, struct.pack("<H", ACTOR_WINDOW)),
+         _msg(MSG_ACTOR_CALL, 16, b"focus"),
+         _msg(MSG_ACTOR_CALL, 16, b"resize"),
+         _msg(MSG_DESTROY_ACTOR, 16, b"sync")],
+        [_msg(MSG_CREATE_ACTOR, 0, struct.pack("<H", ACTOR_CANVAS)),
+         _msg(MSG_SHMEM_MAP, 16, struct.pack("<I", 4096)),
+         _msg(MSG_ACTOR_CALL, 16, b"draw rect"),
+         _msg(MSG_DESTROY_ACTOR, 16, b"sync")],
+        [_msg(MSG_CREATE_ACTOR, 0, struct.pack("<H", ACTOR_STREAM)),
+         _msg(MSG_ACTOR_CALL, 16, b"read"),
+         _msg(MSG_ACTOR_CALL, 16, b"read"),
+         _msg(MSG_ACTOR_CALL, 16, b"read"),
+         _msg(MSG_DESTROY_ACTOR, 16, b"sync")],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="firefox-ipc",
+    protocol="raw",
+    make_program=FirefoxParent,
+    surface_factory=lambda: AttackSurface.unix_server(CHANNEL_CONTENT,
+                                                      CHANNEL_GFX),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.5,
+    libpreeny_compatible=False,
+    planted_bugs=("null-deref:ffipc-navigate-null-docshell",
+                  "null-deref:ffipc-unknown-actor-null",
+                  "null-deref:ffipc-canvas-null-shmem",
+                  "asan-use-after-free:ffipc-actor-uaf"),
+    notes="§5.6 case study: multi-channel IPC; 3 NULL derefs + 1 "
+          "exploitable UAF, matching the reported findings.",
+)

@@ -1,0 +1,204 @@
+"""forked-daapd: a DAAP (iTunes-style) media server over HTTP.
+
+The slowest target in the paper's Table 3 (0.4 execs/s for AFLNet, 13
+for Nyx-Net): a heavyweight startup (media library scan into the guest
+filesystem) and expensive per-request work (database queries, DMAP
+response encoding).  HTTP parsing + DMAP tag encoding give it a wide
+parser; no bug is planted (no Table 1 row).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 3689
+
+
+class ForkedDaapdServer(MessageServer):
+    name = "forked-daapd"
+    port = PORT
+    startup_cost = 1.5  # library scan — the paper's slow-start poster child
+    parse_cost = 1e-8
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sessions = {}
+        self.next_session = 100
+        self.library = [
+            {"id": 1, "title": "Song One", "artist": "A", "ms": 180000},
+            {"id": 2, "title": "Song Two", "artist": "B", "ms": 200000},
+            {"id": 3, "title": "Other", "artist": "A", "ms": 90000},
+        ]
+
+    def on_boot(self, api) -> None:
+        for track in self.library:
+            api.write_whole_file("/music/%d.mp3" % track["id"],
+                                 b"ID3" + bytes(64))
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        while b"\r\n\r\n" in conn.buffer:
+            idx = conn.buffer.find(b"\r\n\r\n")
+            head, conn.buffer = conn.buffer[:idx], conn.buffer[idx + 4:]
+            self._request(api, conn, head)
+
+    def _request(self, api, conn: ConnCtx, head: bytes) -> None:
+        lines = head.split(b"\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or parts[0] != b"GET":
+            self._http(api, conn, 400, b"text/plain", b"bad request")
+            return
+        url = parts[1]
+        path, _, query_string = url.partition(b"?")
+        query = {}
+        for pair in query_string.split(b"&"):
+            key, _, value = pair.partition(b"=")
+            if key:
+                query[key] = value
+        api.cpu(2e-5)  # database round trip
+        if path == b"/server-info":
+            self._dmap(api, conn, b"msrv", [
+                (b"mstt", struct.pack(">I", 200)),
+                (b"mpro", struct.pack(">I", 0x00020007)),
+                (b"minm", b"forked-daapd-repro"),
+            ])
+        elif path == b"/login":
+            self.next_session += 1
+            self.sessions[self.next_session] = {"revision": 1}
+            self._dmap(api, conn, b"mlog", [
+                (b"mstt", struct.pack(">I", 200)),
+                (b"mlid", struct.pack(">I", self.next_session)),
+            ])
+        elif path == b"/logout":
+            session = self._session_of(query)
+            if session is None:
+                self._http(api, conn, 403, b"text/plain", b"no session")
+                return
+            del self.sessions[session]
+            self._http(api, conn, 204, b"text/plain", b"")
+        elif path == b"/update":
+            if self._session_of(query) is None:
+                self._http(api, conn, 403, b"text/plain", b"no session")
+                return
+            self._dmap(api, conn, b"mupd", [
+                (b"mstt", struct.pack(">I", 200)),
+                (b"musr", struct.pack(">I", 2)),
+            ])
+        elif path.startswith(b"/databases/1/items"):
+            if self._session_of(query) is None:
+                self._http(api, conn, 403, b"text/plain", b"no session")
+                return
+            self._items(api, conn, query)
+        elif path == b"/databases":
+            if self._session_of(query) is None:
+                self._http(api, conn, 403, b"text/plain", b"no session")
+                return
+            self._dmap(api, conn, b"avdb", [
+                (b"mstt", struct.pack(">I", 200)),
+                (b"mrco", struct.pack(">I", 1)),
+                (b"minm", b"library"),
+            ])
+        elif path.startswith(b"/stream/"):
+            track_id = path.rsplit(b"/", 1)[-1]
+            if track_id.isdigit() and any(
+                    t["id"] == int(track_id) for t in self.library):
+                api.cpu(1e-4)  # transcode setup
+                self._http(api, conn, 200, b"audio/mpeg", b"ID3" + bytes(32))
+            else:
+                self._http(api, conn, 404, b"text/plain", b"no such track")
+        else:
+            self._http(api, conn, 404, b"text/plain", b"unknown endpoint")
+
+    def _session_of(self, query):
+        raw = query.get(b"session-id", b"")
+        if not raw.isdigit():
+            return None
+        session = int(raw)
+        return session if session in self.sessions else None
+
+    def _items(self, api, conn: ConnCtx, query: dict) -> None:
+        wanted = query.get(b"query", b"")
+        tracks = self.library
+        if b"artist" in wanted:
+            artist = wanted.split(b"artist:", 1)[-1].strip(b"'\"()")[:16]
+            tracks = [t for t in tracks
+                      if t["artist"].encode() == artist]
+        listing = []
+        for track in tracks:
+            item = _tag(b"miid", struct.pack(">I", track["id"])) \
+                + _tag(b"minm", track["title"].encode()) \
+                + _tag(b"asar", track["artist"].encode()) \
+                + _tag(b"astm", struct.pack(">I", track["ms"]))
+            listing.append(_tag(b"mlit", item))
+        api.cpu(1e-5 * max(len(tracks), 1))
+        self._dmap(api, conn, b"adbs", [
+            (b"mstt", struct.pack(">I", 200)),
+            (b"mrco", struct.pack(">I", len(tracks))),
+            (b"mlcl", b"".join(listing)),
+        ])
+
+    def _dmap(self, api, conn: ConnCtx, container: bytes, tags) -> None:
+        body = _tag(container, b"".join(_tag(k, v) for k, v in tags))
+        self._http(api, conn, 200, b"application/x-dmap-tagged", body)
+
+    def _http(self, api, conn: ConnCtx, code: int, ctype: bytes,
+              body: bytes) -> None:
+        reason = {200: b"OK", 204: b"No Content", 400: b"Bad Request",
+                  403: b"Forbidden", 404: b"Not Found"}.get(code, b"Error")
+        self.reply(api, conn,
+                   b"HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                   b"Content-Length: %d\r\n\r\n%s"
+                   % (code, reason, ctype, len(body), body))
+
+
+def _tag(code: bytes, value: bytes) -> bytes:
+    return code + struct.pack(">I", len(value)) + value
+
+
+DICTIONARY = [b"GET /login HTTP/1.1", b"GET /update?session-id=",
+              b"GET /databases/1/items?session-id=", b"query=", b"artist:",
+              b"/server-info", b"/stream/1", b"session-id=101", b"\r\n\r\n"]
+
+
+def _get(url: bytes) -> bytes:
+    return b"GET %s HTTP/1.1\r\nHost: daapd\r\n\r\n" % url
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for packets in (
+        [_get(b"/server-info"), _get(b"/login")],
+        [_get(b"/login"), _get(b"/update?session-id=101"),
+         _get(b"/databases?session-id=101"),
+         _get(b"/databases/1/items?session-id=101")],
+        [_get(b"/login"),
+         _get(b"/databases/1/items?session-id=101&query='artist:A'"),
+         _get(b"/stream/1"), _get(b"/logout?session-id=101")],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="forked-daapd",
+    protocol="daap",
+    make_program=ForkedDaapdServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=1.5,
+    libpreeny_compatible=True,
+    planted_bugs=(),
+    notes="Heavy startup + per-request DB cost; slowest row of Table 3.",
+)

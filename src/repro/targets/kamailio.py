@@ -1,0 +1,273 @@
+"""kamailio: a SIP proxy/registrar.
+
+SIP is by far the branchiest protocol in the suite (the paper reports
++46% coverage for Nyx-Net on kamailio, its second-largest win): a
+full request line + header parser with compact header forms, Via
+branch handling, registration state and dialog tracking.  No crash is
+planted (kamailio shows none in Table 1) — the target exists to give
+high-throughput fuzzers a deep parser to chew on.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.sockets import SockType
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 5060
+
+#: Compact header form -> canonical name (RFC 3261 §7.3.3).
+COMPACT = {b"V": b"VIA", b"F": b"FROM", b"T": b"TO", b"I": b"CALL-ID",
+           b"M": b"CONTACT", b"L": b"CONTENT-LENGTH", b"C": b"CONTENT-TYPE",
+           b"K": b"SUPPORTED", b"S": b"SUBJECT", b"E": b"CONTENT-ENCODING"}
+
+METHODS = (b"REGISTER", b"INVITE", b"ACK", b"BYE", b"CANCEL", b"OPTIONS",
+           b"SUBSCRIBE", b"NOTIFY", b"MESSAGE", b"INFO", b"UPDATE", b"PRACK")
+
+
+class KamailioServer(MessageServer):
+    name = "kamailio"
+    port = PORT
+    sock_type = SockType.DGRAM
+    startup_cost = 0.12  # kamailio's routing-script compilation
+    parse_cost = 5e-9
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Registered bindings: AoR -> contact.
+        self.registrations = {}
+        #: Active dialogs: Call-ID -> state.
+        self.dialogs = {}
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        if not lines or not lines[0]:
+            return
+        request_line = lines[0]
+        headers = self._parse_headers(lines[1:])
+        if request_line.startswith(b"SIP/2.0"):
+            self._response(api, conn, request_line, headers)
+            return
+        parts = request_line.split()
+        if len(parts) != 3 or parts[2] != b"SIP/2.0":
+            self.reply(api, conn, self._status(400, b"Bad Request", headers))
+            return
+        method, uri = parts[0], parts[1]
+        if method not in METHODS:
+            self.reply(api, conn, self._status(501, b"Not Implemented", headers))
+            return
+        if not uri.startswith((b"sip:", b"sips:", b"tel:")):
+            self.reply(api, conn, self._status(416, b"Unsupported URI Scheme",
+                                               headers))
+            return
+        if b"VIA" not in headers or b"CALL-ID" not in headers:
+            self.reply(api, conn, self._status(400, b"Missing Via/Call-ID",
+                                               headers))
+            return
+        declared = headers.get(b"CONTENT-LENGTH")
+        if declared is not None:
+            if not declared.strip().isdigit():
+                self.reply(api, conn,
+                           self._status(400, b"Bad Content-Length", headers))
+                return
+            if int(declared.strip()) != len(body):
+                self.reply(api, conn,
+                           self._status(400, b"Body length mismatch", headers))
+                return
+        dispatch = {
+            b"REGISTER": self._register,
+            b"INVITE": self._invite,
+            b"ACK": self._ack,
+            b"BYE": self._bye,
+            b"CANCEL": self._cancel,
+            b"OPTIONS": self._options,
+            b"MESSAGE": self._message,
+            b"SUBSCRIBE": self._subscribe,
+            b"NOTIFY": self._notify,
+            b"INFO": self._info,
+            b"UPDATE": self._info,
+            b"PRACK": self._info,
+        }[method]
+        dispatch(api, conn, uri, headers, body)
+
+    # -- header parsing -------------------------------------------------------
+
+    def _parse_headers(self, lines) -> dict:
+        headers = {}
+        last_key = None
+        for line in lines:
+            if line[:1] in (b" ", b"\t") and last_key:
+                headers[last_key] += b" " + line.strip()  # folded header
+                continue
+            key, sep, value = line.partition(b":")
+            if not sep:
+                continue
+            key = key.strip().upper()
+            key = COMPACT.get(key, key)
+            headers[key] = value.strip()
+            last_key = key
+        return headers
+
+    def _status(self, code: int, phrase: bytes, headers: dict) -> bytes:
+        via = headers.get(b"VIA", b"SIP/2.0/UDP 0.0.0.0")
+        call_id = headers.get(b"CALL-ID", b"none")
+        cseq = headers.get(b"CSEQ", b"1 UNKNOWN")
+        return (b"SIP/2.0 %d %s\r\nVia: %s\r\nCall-ID: %s\r\nCSeq: %s\r\n"
+                b"Content-Length: 0\r\n\r\n"
+                % (code, phrase, via[:256], call_id[:128], cseq[:64]))
+
+    # -- methods ----------------------------------------------------------------
+
+    def _register(self, api, conn, uri, headers, body) -> None:
+        to = headers.get(b"TO", b"")
+        contact = headers.get(b"CONTACT", b"")
+        expires = headers.get(b"EXPIRES", b"3600")
+        aor = _uri_of(to)
+        if not aor:
+            self.reply(api, conn, self._status(400, b"Bad To", headers))
+            return
+        if expires.strip() == b"0" or contact == b"*":
+            self.registrations.pop(aor, None)
+        else:
+            self.registrations[aor] = _uri_of(contact) or b"sip:anon"
+        api.cpu(2e-6)  # location database write
+        self.reply(api, conn, self._status(200, b"OK", headers))
+
+    def _invite(self, api, conn, uri, headers, body) -> None:
+        call_id = headers[b"CALL-ID"]
+        target = _uri_of(headers.get(b"TO", b""))
+        if target not in self.registrations:
+            self.reply(api, conn, self._status(404, b"Not Found", headers))
+            return
+        if b"SDP" not in headers.get(b"CONTENT-TYPE", b"").upper() and body:
+            self.reply(api, conn,
+                       self._status(415, b"Unsupported Media Type", headers))
+            return
+        self.dialogs[call_id[:64]] = "early"
+        api.cpu(4e-6)  # routing script
+        self.reply(api, conn, self._status(180, b"Ringing", headers))
+        self.reply(api, conn, self._status(200, b"OK", headers))
+
+    def _ack(self, api, conn, uri, headers, body) -> None:
+        call_id = headers[b"CALL-ID"][:64]
+        if self.dialogs.get(call_id) == "early":
+            self.dialogs[call_id] = "confirmed"
+
+    def _bye(self, api, conn, uri, headers, body) -> None:
+        call_id = headers[b"CALL-ID"][:64]
+        if call_id in self.dialogs:
+            del self.dialogs[call_id]
+            self.reply(api, conn, self._status(200, b"OK", headers))
+        else:
+            self.reply(api, conn,
+                       self._status(481, b"Call Leg Does Not Exist", headers))
+
+    def _cancel(self, api, conn, uri, headers, body) -> None:
+        call_id = headers[b"CALL-ID"][:64]
+        if self.dialogs.get(call_id) == "early":
+            del self.dialogs[call_id]
+            self.reply(api, conn, self._status(200, b"OK", headers))
+        else:
+            self.reply(api, conn,
+                       self._status(481, b"Transaction Does Not Exist", headers))
+
+    def _options(self, api, conn, uri, headers, body) -> None:
+        self.reply(api, conn, self._status(200, b"OK", headers))
+
+    def _message(self, api, conn, uri, headers, body) -> None:
+        if len(body) > 1300:
+            self.reply(api, conn,
+                       self._status(513, b"Message Too Large", headers))
+            return
+        self.reply(api, conn, self._status(202, b"Accepted", headers))
+
+    def _subscribe(self, api, conn, uri, headers, body) -> None:
+        if b"EVENT" not in headers:
+            self.reply(api, conn, self._status(489, b"Bad Event", headers))
+            return
+        self.reply(api, conn, self._status(200, b"OK", headers))
+
+    def _notify(self, api, conn, uri, headers, body) -> None:
+        self.reply(api, conn, self._status(200, b"OK", headers))
+
+    def _info(self, api, conn, uri, headers, body) -> None:
+        self.reply(api, conn, self._status(200, b"OK", headers))
+
+    def _response(self, api, conn, status_line, headers) -> None:
+        pass  # proxies absorb stray responses
+
+
+def _uri_of(field: bytes) -> bytes:
+    """Extract the URI out of a To/From/Contact field."""
+    if b"<" in field:
+        start = field.find(b"<") + 1
+        end = field.find(b">", start)
+        if end < 0:
+            return b""
+        return field[start:end]
+    return field.split(b";")[0].strip()
+
+
+DICTIONARY = [b"REGISTER ", b"INVITE ", b"BYE ", b"ACK ", b"OPTIONS ",
+              b"sip:alice@test.org", b"Via: SIP/2.0/UDP ", b"Call-ID: ",
+              b"CSeq: 1 ", b"Contact: ", b"To: <", b"From: <",
+              b"Content-Length: 0", b"Expires: 3600", b"Event: presence",
+              b"SIP/2.0", b"\r\n\r\n"]
+
+
+def _sip(method: bytes, uri: bytes, call_id: bytes, cseq: int,
+         *extra: bytes, body: bytes = b"") -> bytes:
+    lines = [
+        b"%s %s SIP/2.0" % (method, uri),
+        b"Via: SIP/2.0/UDP 10.0.0.2:5060;branch=z9hG4bK776",
+        b"From: <sip:bob@test.org>;tag=123",
+        b"To: <%s>" % uri,
+        b"Call-ID: %s" % call_id,
+        b"CSeq: %d %s" % (cseq, method),
+        b"Content-Length: %d" % len(body),
+    ]
+    lines.extend(extra)
+    return b"\r\n".join(lines) + b"\r\n\r\n" + body
+
+
+def make_seeds():
+    spec = default_network_spec()
+    alice = b"sip:alice@test.org"
+    seeds = []
+    for packets in (
+        [_sip(b"REGISTER", alice, b"reg-1", 1,
+              b"Contact: <sip:alice@10.0.0.2>", b"Expires: 3600")],
+        [_sip(b"REGISTER", alice, b"reg-2", 1,
+              b"Contact: <sip:alice@10.0.0.2>"),
+         _sip(b"INVITE", alice, b"call-7", 1,
+              b"Content-Type: application/sdp", body=b"v=0\r\ns=call\r\n"),
+         _sip(b"ACK", alice, b"call-7", 1),
+         _sip(b"BYE", alice, b"call-7", 2)],
+        [_sip(b"OPTIONS", alice, b"opt-1", 1),
+         _sip(b"SUBSCRIBE", alice, b"sub-1", 1, b"Event: presence"),
+         _sip(b"MESSAGE", alice, b"msg-1", 1, body=b"hi")],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="kamailio",
+    protocol="sip",
+    make_program=KamailioServer,
+    surface_factory=lambda: AttackSurface.udp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.12,
+    libpreeny_compatible=False,
+    planted_bugs=(),
+    notes="Branchiest parser in the suite; the +46% coverage row of Table 2.",
+)

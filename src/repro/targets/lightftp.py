@@ -1,0 +1,247 @@
+"""lightftp: a small, single-process FTP server.
+
+Mirrors the ProFuzzBench lightftp target: a compact command parser
+with login state, directory navigation and passive-mode stubs.  Table 1
+of the paper lists no crashes for lightftp by any fuzzer, so this
+target plants no reachable bug — it is a pure coverage/throughput
+workload.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 2121
+
+
+class LightFtpServer(MessageServer):
+    name = "lightftp"
+    port = PORT
+
+    def on_boot(self, api) -> None:
+        api.write_whole_file("/srv/ftp/readme.txt", b"welcome to lightftp\n")
+        api.write_whole_file("/srv/ftp/motd", b"hello\n")
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        while b"\r\n" in conn.buffer or b"\n" in conn.buffer:
+            line, conn.buffer = _take_line(conn.buffer)
+            self._command(api, conn, line)
+
+    def _command(self, api, conn: ConnCtx, line: bytes) -> None:
+        if conn.state == "new":
+            self.reply(api, conn, b"220 LightFTP ready\r\n")
+            conn.state = "greeted"
+        parts = line.strip().split(None, 1)
+        if not parts:
+            self.reply(api, conn, b"500 Empty command\r\n")
+            return
+        cmd = parts[0].upper()
+        arg = parts[1] if len(parts) > 1 else b""
+        handler = getattr(self, "_cmd_" + cmd.decode("ascii", "replace").lower(),
+                          None) if cmd.isalpha() else None
+        if handler is None:
+            self.reply(api, conn, b"502 Command not implemented\r\n")
+            return
+        handler(api, conn, arg)
+
+    # -- commands ---------------------------------------------------------
+
+    def _cmd_user(self, api, conn, arg) -> None:
+        conn.vars["user"] = arg[:64]
+        conn.state = "need-pass"
+        self.reply(api, conn, b"331 Password required\r\n")
+
+    def _cmd_pass(self, api, conn, arg) -> None:
+        if conn.state != "need-pass":
+            self.reply(api, conn, b"503 Login with USER first\r\n")
+            return
+        if conn.vars.get("user") == b"anonymous" or arg == b"secret":
+            conn.state = "authed"
+            conn.vars["cwd"] = "/srv/ftp"
+            self.reply(api, conn, b"230 Logged in\r\n")
+        else:
+            conn.state = "greeted"
+            self.reply(api, conn, b"530 Login incorrect\r\n")
+
+    def _need_auth(self, api, conn) -> bool:
+        if conn.state != "authed":
+            self.reply(api, conn, b"530 Not logged in\r\n")
+            return True
+        return False
+
+    def _cmd_syst(self, api, conn, arg) -> None:
+        self.reply(api, conn, b"215 UNIX Type: L8\r\n")
+
+    def _cmd_feat(self, api, conn, arg) -> None:
+        self.reply(api, conn, b"211-Features:\r\n SIZE\r\n REST STREAM\r\n211 End\r\n")
+
+    def _cmd_noop(self, api, conn, arg) -> None:
+        self.reply(api, conn, b"200 OK\r\n")
+
+    def _cmd_type(self, api, conn, arg) -> None:
+        if arg.upper() in (b"A", b"I"):
+            conn.vars["type"] = arg.upper()
+            self.reply(api, conn, b"200 Type set\r\n")
+        else:
+            self.reply(api, conn, b"504 Bad type\r\n")
+
+    def _cmd_pwd(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        cwd = conn.vars.get("cwd", "/")
+        self.reply(api, conn, b'257 "%s"\r\n' % cwd.encode())
+
+    def _cmd_cwd(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        path = _resolve(conn.vars.get("cwd", "/srv/ftp"), arg)
+        conn.vars["cwd"] = path
+        self.reply(api, conn, b"250 Directory changed\r\n")
+
+    def _cmd_cdup(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        cwd = conn.vars.get("cwd", "/srv/ftp")
+        conn.vars["cwd"] = cwd.rsplit("/", 1)[0] or "/"
+        self.reply(api, conn, b"250 OK\r\n")
+
+    def _cmd_size(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        path = _resolve(conn.vars.get("cwd", "/srv/ftp"), arg)
+        if api.file_exists(path):
+            size = len(api.read_whole_file(path))
+            self.reply(api, conn, b"213 %d\r\n" % size)
+        else:
+            self.reply(api, conn, b"550 No such file\r\n")
+
+    def _cmd_retr(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        path = _resolve(conn.vars.get("cwd", "/srv/ftp"), arg)
+        if not api.file_exists(path):
+            self.reply(api, conn, b"550 No such file\r\n")
+            return
+        if "pasv" not in conn.vars:
+            self.reply(api, conn, b"425 Use PASV first\r\n")
+            return
+        self.reply(api, conn, b"150 Opening data connection\r\n")
+        api.cpu(1e-5)
+        self.reply(api, conn, b"226 Transfer complete\r\n")
+
+    def _cmd_stor(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        if "pasv" not in conn.vars:
+            self.reply(api, conn, b"425 Use PASV first\r\n")
+            return
+        path = _resolve(conn.vars.get("cwd", "/srv/ftp"), arg)
+        api.write_whole_file(path, b"")
+        conn.vars["storing"] = path
+        self.reply(api, conn, b"150 Ready for data\r\n")
+
+    def _cmd_dele(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        path = _resolve(conn.vars.get("cwd", "/srv/ftp"), arg)
+        if api.file_exists(path):
+            api.unlink(path)
+            self.reply(api, conn, b"250 Deleted\r\n")
+        else:
+            self.reply(api, conn, b"550 No such file\r\n")
+
+    def _cmd_pasv(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        conn.vars["pasv"] = True
+        self.reply(api, conn, b"227 Entering Passive Mode (127,0,0,1,8,1)\r\n")
+
+    def _cmd_port(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        fields = arg.split(b",")
+        if len(fields) != 6 or not all(f.strip().isdigit() for f in fields):
+            self.reply(api, conn, b"501 Bad PORT\r\n")
+            return
+        conn.vars["pasv"] = True  # active mode behaves like pasv here
+        self.reply(api, conn, b"200 PORT OK\r\n")
+
+    def _cmd_list(self, api, conn, arg) -> None:
+        if self._need_auth(api, conn):
+            return
+        if "pasv" not in conn.vars:
+            self.reply(api, conn, b"425 Use PASV first\r\n")
+            return
+        self.reply(api, conn, b"150 Listing\r\n226 Done\r\n")
+
+    def _cmd_rest(self, api, conn, arg) -> None:
+        if arg.isdigit():
+            conn.vars["rest"] = int(arg)
+            self.reply(api, conn, b"350 Restarting\r\n")
+        else:
+            self.reply(api, conn, b"501 Bad offset\r\n")
+
+    def _cmd_quit(self, api, conn, arg) -> None:
+        self.reply(api, conn, b"221 Goodbye\r\n")
+        conn.state = "quit"
+
+
+def _take_line(buffer: bytes):
+    idx = buffer.find(b"\n")
+    return buffer[:idx + 1], buffer[idx + 1:]
+
+
+def _resolve(cwd: str, arg: bytes) -> str:
+    name = arg.decode("latin1").strip()
+    if name.startswith("/"):
+        return name or "/"
+    if not name:
+        return cwd
+    return cwd.rstrip("/") + "/" + name
+
+
+# ----------------------------------------------------------------------
+# profile
+# ----------------------------------------------------------------------
+
+DICTIONARY = [b"USER ", b"PASS ", b"anonymous", b"secret", b"PASV", b"PORT ",
+              b"LIST", b"RETR ", b"STOR ", b"DELE ", b"CWD ", b"PWD", b"TYPE I",
+              b"SIZE ", b"REST ", b"QUIT", b"\r\n", b"readme.txt"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for session in (
+        [b"USER anonymous\r\n", b"PASS guest\r\n", b"SYST\r\n", b"PWD\r\n",
+         b"QUIT\r\n"],
+        [b"USER admin\r\n", b"PASS secret\r\n", b"TYPE I\r\n", b"PASV\r\n",
+         b"LIST\r\n", b"RETR readme.txt\r\n", b"QUIT\r\n"],
+        [b"USER anonymous\r\n", b"PASS x\r\n", b"CWD upload\r\n", b"PASV\r\n",
+         b"STOR data.bin\r\n", b"QUIT\r\n"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for line in session:
+            builder.packet(con, line)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="lightftp",
+    protocol="ftp",
+    make_program=LightFtpServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.02,
+    libpreeny_compatible=True,
+    planted_bugs=(),
+    notes="No crash found by any fuzzer in Table 1; coverage workload.",
+)

@@ -1,0 +1,200 @@
+"""lighttpd: HTTP server with the §5.5 case-study bug.
+
+"We also used Nyx-Net on Lighttpd's development branch and found a
+memory corruption issue where a negative amount of memory could be
+allocated under specific circumstances."  We model that as an integer
+underflow in chunked-request buffer sizing: a ``Content-Length``
+interacting with a malformed ``Range`` suffix yields a negative
+allocation size.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 8080
+
+PAGES = {
+    b"/": b"<html><body>lighttpd repro</body></html>",
+    b"/index.html": b"<html><body>index</body></html>",
+    b"/about": b"<html><body>about</body></html>",
+}
+
+
+class LighttpdServer(MessageServer):
+    name = "lighttpd"
+    port = PORT
+    startup_cost = 0.03
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.requests_served = 0
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        while True:
+            idx = conn.buffer.find(b"\r\n\r\n")
+            if idx < 0:
+                return
+            head = conn.buffer[:idx]
+            rest = conn.buffer[idx + 4:]
+            headers = self._headers(head)
+            content_length = self._int_header(headers, b"CONTENT-LENGTH")
+            body_len = max(content_length or 0, 0)
+            if len(rest) < body_len:
+                return  # wait for the body
+            body, conn.buffer = rest[:body_len], rest[body_len:]
+            self._request(api, conn, head, headers, body)
+
+    def _headers(self, head: bytes) -> dict:
+        headers = {}
+        for line in head.split(b"\r\n")[1:]:
+            key, sep, value = line.partition(b":")
+            if sep:
+                headers[key.strip().upper()] = value.strip()
+        return headers
+
+    def _int_header(self, headers: dict, name: bytes):
+        raw = headers.get(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
+    def _request(self, api, conn: ConnCtx, head: bytes, headers: dict,
+                 body: bytes) -> None:
+        self.requests_served += 1
+        request_line = head.split(b"\r\n", 1)[0]
+        parts = request_line.split()
+        if len(parts) != 3:
+            self._respond(api, conn, 400, b"bad request line")
+            return
+        method, url, version = parts
+        if not version.startswith(b"HTTP/1."):
+            self._respond(api, conn, 505, b"version not supported")
+            return
+        if method == b"GET" or method == b"HEAD":
+            self._get(api, conn, url, headers, head=(method == b"HEAD"))
+        elif method == b"POST" or method == b"PUT":
+            self._post(api, conn, url, headers, body)
+        elif method == b"OPTIONS":
+            self._respond(api, conn, 200, b"", extra=b"Allow: GET, POST\r\n")
+        else:
+            self._respond(api, conn, 501, b"method not implemented")
+
+    def _get(self, api, conn: ConnCtx, url: bytes, headers: dict,
+             head: bool) -> None:
+        page = PAGES.get(url.split(b"?")[0])
+        if page is None:
+            self._respond(api, conn, 404, b"not found")
+            return
+        range_header = headers.get(b"RANGE")
+        if range_header is not None:
+            self._ranged(api, conn, page, range_header, headers)
+            return
+        self._respond(api, conn, 200, b"" if head else page)
+
+    def _ranged(self, api, conn: ConnCtx, page: bytes,
+                range_header: bytes, headers: dict) -> None:
+        if not range_header.startswith(b"bytes="):
+            self._respond(api, conn, 416, b"bad range unit")
+            return
+        spec = range_header[6:]
+        start_s, sep, end_s = spec.partition(b"-")
+        try:
+            if start_s == b"":
+                # Suffix range: last N bytes.  The case-study bug: the
+                # buffer size is computed as len(page) - suffix without
+                # checking suffix <= len(page); combined with a
+                # Content-Length that skips the sanity clamp, the
+                # allocation size goes negative.
+                suffix = int(end_s)
+                alloc = len(page) - suffix
+                if alloc < 0 and headers.get(b"CONTENT-LENGTH") is not None:
+                    self.crash(CrashKind.INTEGER_UNDERFLOW,
+                               "lighttpd-range-underflow",
+                               "suffix range %d > body %d" % (suffix, len(page)))
+                start = max(alloc, 0)
+                end = len(page) - 1
+            else:
+                start = int(start_s)
+                end = int(end_s) if end_s else len(page) - 1
+        except ValueError:
+            self._respond(api, conn, 416, b"unparsable range")
+            return
+        if start > end or start >= len(page):
+            self._respond(api, conn, 416, b"range not satisfiable")
+            return
+        chunk = page[start:end + 1]
+        self._respond(api, conn, 206, chunk,
+                      extra=b"Content-Range: bytes %d-%d/%d\r\n"
+                      % (start, end, len(page)))
+
+    def _post(self, api, conn: ConnCtx, url: bytes, headers: dict,
+              body: bytes) -> None:
+        if url == b"/upload":
+            api.write_whole_file("/var/www/upload_%d" % self.requests_served,
+                                 body[:1024])
+            self._respond(api, conn, 201, b"created")
+        else:
+            self._respond(api, conn, 403, b"forbidden")
+
+    def _respond(self, api, conn: ConnCtx, code: int, body: bytes,
+                 extra: bytes = b"") -> None:
+        reason = {200: b"OK", 201: b"Created", 206: b"Partial Content",
+                  400: b"Bad Request", 403: b"Forbidden", 404: b"Not Found",
+                  416: b"Range Not Satisfiable", 501: b"Not Implemented",
+                  505: b"HTTP Version Not Supported"}.get(code, b"Error")
+        self.reply(api, conn,
+                   b"HTTP/1.1 %d %s\r\nServer: lighttpd-repro\r\n%s"
+                   b"Content-Length: %d\r\n\r\n%s"
+                   % (code, reason, extra, len(body), body))
+
+
+# Full header lines (CRLF-terminated) so spec-generated insertions
+# after any newline form valid headers.
+DICTIONARY = [b"GET / HTTP/1.1", b"POST /upload HTTP/1.1",
+              b"Range: bytes=-99999\r\n", b"Range: bytes=0-9\r\n",
+              b"Content-Length: 0\r\n", b"Host: a\r\n", b"HEAD ",
+              b"/index.html", b"\r\n\r\n"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for packets in (
+        [b"GET / HTTP/1.1\r\nHost: a\r\n\r\n"],
+        [b"GET /index.html HTTP/1.1\r\nHost: a\r\nRange: bytes=0-9\r\n\r\n",
+         b"GET /about HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n"
+         b"Range: bytes=-25\r\n\r\n"],
+        [b"POST /upload HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nDATA",
+         b"OPTIONS / HTTP/1.1\r\nHost: a\r\n\r\n"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="lighttpd",
+    protocol="http",
+    make_program=LighttpdServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.03,
+    libpreeny_compatible=True,
+    planted_bugs=("integer-underflow:lighttpd-range-underflow",),
+    notes="§5.5 case study: negative allocation from suffix Range + "
+          "Content-Length interaction.",
+)

@@ -1,0 +1,205 @@
+"""live555: an RTSP media streaming server.
+
+RTSP request parsing (OPTIONS/DESCRIBE/SETUP/PLAY/PAUSE/TEARDOWN) with
+CSeq tracking, session ids and transport header parsing.  The planted
+bug is the Table 1 style crash every fuzzer finds: a stack-ish buffer
+overflow when an overlong header value is copied into a fixed-size
+field during DESCRIBE handling.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 8554
+
+#: The fixed buffer live555 copies the request URL into.
+URL_BUF = 48
+
+
+class Live555Server(MessageServer):
+    name = "live555"
+    port = PORT
+    startup_cost = 0.05
+    parse_cost = 3e-9
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.next_session = 0x1000
+        self.streams = {"/stream0": "H264", "/audio": "AAC"}
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        # RTSP requests end with an empty line.
+        while b"\r\n\r\n" in conn.buffer:
+            idx = conn.buffer.find(b"\r\n\r\n")
+            request, conn.buffer = conn.buffer[:idx], conn.buffer[idx + 4:]
+            self._request(api, conn, request)
+
+    def _request(self, api, conn: ConnCtx, request: bytes) -> None:
+        lines = request.split(b"\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith(b"RTSP/"):
+            self.reply(api, conn, b"RTSP/1.0 400 Bad Request\r\n\r\n")
+            return
+        method, url, _version = parts
+        # The planted overflow: the URL is strcpy'd into a fixed-size
+        # stack buffer while building the stream name (Table 1: every
+        # fuzzer crashes live555).
+        if len(url) > URL_BUF:
+            self.crash(CrashKind.SEGV, "live555-url-overflow",
+                       "request URL of %d bytes" % len(url))
+        headers = {}
+        for line in lines[1:]:
+            key, sep, value = line.partition(b":")
+            if sep:
+                headers[key.strip().upper()] = value.strip()
+        cseq = headers.get(b"CSEQ", b"0")
+        if not cseq.isdigit():
+            self.reply(api, conn, b"RTSP/1.0 400 Bad Request\r\n\r\n")
+            return
+        handler = {
+            b"OPTIONS": self._options,
+            b"DESCRIBE": self._describe,
+            b"SETUP": self._setup,
+            b"PLAY": self._play,
+            b"PAUSE": self._pause,
+            b"TEARDOWN": self._teardown,
+            b"GET_PARAMETER": self._get_parameter,
+        }.get(method.upper())
+        if handler is None:
+            self._respond(api, conn, cseq, b"405 Method Not Allowed")
+            return
+        handler(api, conn, cseq, url, headers)
+
+    def _respond(self, api, conn: ConnCtx, cseq: bytes, status: bytes,
+                 extra: bytes = b"", body: bytes = b"") -> None:
+        response = b"RTSP/1.0 %s\r\nCSeq: %s\r\n%s" % (status, cseq, extra)
+        if body:
+            response += b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        else:
+            response += b"\r\n"
+        self.reply(api, conn, response)
+
+    def _options(self, api, conn, cseq, url, headers) -> None:
+        self._respond(api, conn, cseq, b"200 OK",
+                      b"Public: OPTIONS, DESCRIBE, SETUP, PLAY, PAUSE, "
+                      b"TEARDOWN\r\n")
+
+    def _describe(self, api, conn, cseq, url, headers) -> None:
+        accept = headers.get(b"ACCEPT", b"application/sdp")
+        if b"sdp" not in accept:
+            self._respond(api, conn, cseq, b"406 Not Acceptable")
+            return
+        path = url.split(b"rtsp://", 1)[-1]
+        path = b"/" + path.split(b"/", 1)[1] if b"/" in path else b"/stream0"
+        codec = self.streams.get(path.decode("latin1"))
+        if codec is None:
+            self._respond(api, conn, cseq, b"404 Not Found")
+            return
+        sdp = (b"v=0\r\no=- 0 0 IN IP4 127.0.0.1\r\ns=%s\r\n"
+               b"m=video 0 RTP/AVP 96\r\n" % codec.encode())
+        self._respond(api, conn, cseq, b"200 OK",
+                      b"Content-Type: application/sdp\r\n", body=sdp)
+
+    def _setup(self, api, conn, cseq, url, headers) -> None:
+        transport = headers.get(b"TRANSPORT", b"")
+        if b"RTP/AVP" not in transport:
+            self._respond(api, conn, cseq, b"461 Unsupported Transport")
+            return
+        interleaved = b"interleaved=" in transport
+        self.next_session += 1
+        conn.vars["session"] = self.next_session
+        conn.vars["playing"] = False
+        mode = b"RTP/AVP/TCP;interleaved=0-1" if interleaved \
+            else b"RTP/AVP;unicast;client_port=50000-50001"
+        self._respond(api, conn, cseq, b"200 OK",
+                      b"Transport: %s\r\nSession: %08X\r\n"
+                      % (mode, self.next_session))
+
+    def _require_session(self, api, conn, cseq, headers) -> bool:
+        session = headers.get(b"SESSION", b"")
+        want = b"%08X" % conn.vars.get("session", 0)
+        if not conn.vars.get("session") or session != want:
+            self._respond(api, conn, cseq, b"454 Session Not Found")
+            return False
+        return True
+
+    def _play(self, api, conn, cseq, url, headers) -> None:
+        if not self._require_session(api, conn, cseq, headers):
+            return
+        conn.vars["playing"] = True
+        api.cpu(5e-6)  # start streaming machinery
+        self._respond(api, conn, cseq, b"200 OK",
+                      b"Range: npt=0.000-\r\nSession: %08X\r\n"
+                      % conn.vars["session"])
+
+    def _pause(self, api, conn, cseq, url, headers) -> None:
+        if not self._require_session(api, conn, cseq, headers):
+            return
+        conn.vars["playing"] = False
+        self._respond(api, conn, cseq, b"200 OK")
+
+    def _teardown(self, api, conn, cseq, url, headers) -> None:
+        if not self._require_session(api, conn, cseq, headers):
+            return
+        conn.vars.pop("session", None)
+        self._respond(api, conn, cseq, b"200 OK")
+
+    def _get_parameter(self, api, conn, cseq, url, headers) -> None:
+        self._respond(api, conn, cseq, b"200 OK")
+
+
+DICTIONARY = [b"OPTIONS ", b"DESCRIBE ", b"SETUP ", b"PLAY ", b"TEARDOWN ",
+              b"rtsp://127.0.0.1/stream0", b"CSeq: ", b"Accept: ",
+              b"Transport: RTP/AVP", b"Session: ", b"RTSP/1.0", b"\r\n\r\n"]
+
+
+def _req(method: bytes, url: bytes, cseq: int, *headers: bytes) -> bytes:
+    lines = [b"%s %s RTSP/1.0" % (method, url), b"CSeq: %d" % cseq]
+    lines.extend(headers)
+    return b"\r\n".join(lines) + b"\r\n\r\n"
+
+
+def make_seeds():
+    spec = default_network_spec()
+    url = b"rtsp://127.0.0.1:8554/stream0"
+    seeds = []
+    for packets in (
+        [_req(b"OPTIONS", url, 1),
+         _req(b"DESCRIBE", url, 2, b"Accept: application/sdp")],
+        [_req(b"OPTIONS", url, 1),
+         _req(b"DESCRIBE", url, 2, b"Accept: application/sdp"),
+         _req(b"SETUP", url + b"/track1", 3,
+              b"Transport: RTP/AVP;unicast;client_port=50000-50001")],
+        [_req(b"DESCRIBE", b"rtsp://127.0.0.1:8554/audio", 1,
+              b"Accept: application/sdp"),
+         _req(b"SETUP", b"rtsp://127.0.0.1:8554/audio", 2,
+              b"Transport: RTP/AVP/TCP;interleaved=0-1"),
+         _req(b"GET_PARAMETER", url, 3)],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="live555",
+    protocol="rtsp",
+    make_program=Live555Server,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.05,
+    libpreeny_compatible=False,
+    planted_bugs=("segv:live555-url-overflow",),
+    notes="Overlong-URL stack overflow; all fuzzers find it (Table 1).",
+)

@@ -1,0 +1,250 @@
+"""MySQL client: the §5.4 *client fuzzing* case study.
+
+Here the roles flip: the target is a client that ``connect()``s out,
+and the fuzzer plays the server, feeding it handshake and result-set
+packets.  The agent hooks the outgoing connection (client-mode attack
+surface).  The planted bug matches the paper's find: "an out-of-bound
+read on the current version of the client" — in the column-definition
+parser of the result set, a declared field count larger than the
+packet leads the parser off the end.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind, Errno, GuestError
+from repro.guestos.process import Program
+from repro.guestos.sockets import SockDomain, SockType
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import TargetProfile
+
+SERVER_PORT = 3306
+
+
+class MySqlClient(Program):
+    """mysql(1) connecting to a (fuzzer-played) server."""
+
+    name = "mysql-client"
+    asan = True
+
+    def __init__(self) -> None:
+        self.fd = None
+        self.state = "start"
+        self.heap_slack = 3
+        self.server_version = b""
+        self.columns = []
+        self.rows = []
+        self.queries_sent = 0
+
+    def on_start(self, api) -> None:
+        api.cpu(0.01)  # option-file parsing
+        self.fd = api.socket(SockDomain.INET, SockType.STREAM)
+        api.connect(self.fd, SERVER_PORT)
+        self.state = "await-handshake"
+
+    def poll(self, api) -> None:
+        if self.fd is None or self.state == "done":
+            return
+        while True:
+            try:
+                data = api.recv(self.fd)
+            except GuestError as err:
+                if err.errno is Errno.EAGAIN:
+                    return
+                self.state = "done"
+                return
+            if data == b"":
+                self.state = "done"
+                return
+            api.cpu(len(data) * 3e-9 + 1e-6)
+            self._packet(api, data)
+
+    # -- MySQL wire protocol (client side) ----------------------------------
+
+    def _packet(self, api, data: bytes) -> None:
+        if len(data) < 4:
+            return
+        length = int.from_bytes(data[:3], "little")
+        seq = data[3]
+        body = data[4:4 + length]
+        if self.state == "await-handshake":
+            self._handshake(api, body, seq)
+        elif self.state == "await-auth-ok":
+            self._auth_result(api, body)
+        elif self.state == "await-result":
+            self._result(api, body)
+        elif self.state == "await-columns":
+            self._column_def(api, body)
+        elif self.state == "await-rows":
+            self._row(api, body)
+
+    def _handshake(self, api, body: bytes, seq: int) -> None:
+        if not body or body[0] != 10:  # protocol version 10
+            self.state = "done"
+            return
+        end = body.find(b"\x00", 1)
+        if end < 0:
+            self.state = "done"
+            return
+        self.server_version = body[1:end][:64]
+        # Respond with a login packet.
+        login = struct.pack("<IIB23x", 0x00000200, 1 << 24, 33) \
+            + b"repro\x00" + b"\x00"
+        self._send(api, login, seq + 1)
+        self.state = "await-auth-ok"
+
+    def _auth_result(self, api, body: bytes) -> None:
+        if body[:1] == b"\x00":  # OK packet
+            query = b"\x03SELECT * FROM t"
+            self._send(api, query, 0)
+            self.queries_sent += 1
+            self.state = "await-result"
+        elif body[:1] == b"\xff":  # ERR
+            self.state = "done"
+        # anything else: keep waiting (auth switch etc.)
+
+    def _result(self, api, body: bytes) -> None:
+        if not body:
+            return
+        first = body[0]
+        if first == 0x00:     # OK (no result set)
+            self.state = "await-auth-ok"
+        elif first == 0xFF:   # ERR
+            self.state = "done"
+        else:
+            # Column count (length-encoded int, simple form).
+            self.expected_columns = first
+            if first == 0xFB or first > 0xF0:
+                self.state = "done"
+                return
+            self.columns = []
+            self.state = "await-columns"
+
+    def _column_def(self, api, body: bytes) -> None:
+        if body[:1] == b"\xfe":  # EOF: columns done
+            # The planted OOB read: the client trusts the column count
+            # from the result header; if fewer definitions arrived, the
+            # row decoder indexes past the materialized column array.
+            if len(self.columns) < getattr(self, "expected_columns", 0):
+                raise GuestCrashHelper.oob(
+                    "mysql-client-column-oob",
+                    "declared %d columns, got %d"
+                    % (self.expected_columns, len(self.columns)))
+            self.rows = []
+            self.state = "await-rows"
+            return
+        # Parse a (simplified) column definition: catalog, name.
+        fields = []
+        offset = 0
+        for _ in range(2):
+            if offset >= len(body):
+                fields.append(b"")
+                break
+            flen = body[offset]
+            fields.append(body[offset + 1:offset + 1 + flen])
+            offset += 1 + flen
+        self.columns.append(fields[-1][:64])
+
+    def _row(self, api, body: bytes) -> None:
+        if body[:1] == b"\xfe":  # EOF: result set complete
+            self.state = "done"
+            return
+        values = []
+        offset = 0
+        while offset < len(body) and len(values) < 32:
+            vlen = body[offset]
+            if vlen == 0xFB:  # NULL
+                values.append(None)
+                offset += 1
+                continue
+            values.append(body[offset + 1:offset + 1 + vlen])
+            offset += 1 + vlen
+        self.rows.append(values)
+
+    def _send(self, api, body: bytes, seq: int) -> None:
+        try:
+            api.send(self.fd, len(body).to_bytes(3, "little")
+                     + bytes([seq & 0xFF]) + body)
+        except GuestError:
+            pass
+
+
+class GuestCrashHelper:
+    """Raise crashes from places where MessageServer helpers are absent."""
+
+    @staticmethod
+    def oob(bug_id: str, detail: str):
+        from repro.guestos.errors import GuestCrash
+        return GuestCrash(CrashKind.ASAN_OOB_READ, bug_id, detail)
+
+
+def _mysql_packet(body: bytes, seq: int) -> bytes:
+    return len(body).to_bytes(3, "little") + bytes([seq]) + body
+
+
+def _server_greeting() -> bytes:
+    body = bytes([10]) + b"8.0.32-repro\x00" + struct.pack("<I", 42) \
+        + b"saltsalt\x00" + struct.pack("<HBH", 0xFFFF, 33, 2) + bytes(13)
+    return _mysql_packet(body, 0)
+
+
+def _ok() -> bytes:
+    return _mysql_packet(b"\x00\x00\x00\x02\x00\x00\x00", 2)
+
+
+def _result_header(columns: int) -> bytes:
+    return _mysql_packet(bytes([columns]), 1)
+
+
+def _column(name: bytes) -> bytes:
+    return _mysql_packet(bytes([3]) + b"def" + bytes([len(name)]) + name, 2)
+
+
+def _eof() -> bytes:
+    return _mysql_packet(b"\xfe\x00\x00\x02\x00", 3)
+
+
+def _row(*values: bytes) -> bytes:
+    body = b"".join(bytes([len(v)]) + v for v in values)
+    return _mysql_packet(body, 4)
+
+
+DICTIONARY = [b"\x0a8.0.32", b"\xfe\x00\x00\x02\x00", b"\x00\x00\x00\x02",
+              b"\xff", b"def", b"\xfb", bytes([3]) + b"def"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for packets in (
+        [_server_greeting(), _ok(),
+         _result_header(2), _column(b"id"), _column(b"name"), _eof(),
+         _row(b"1", b"alice"), _row(b"2", b"bob"), _eof()],
+        [_server_greeting(), _ok(),
+         _result_header(1), _column(b"x"), _eof(), _row(b"42"), _eof()],
+        [_server_greeting(), _mysql_packet(b"\xff\x15\x04denied", 2)],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="mysql-client",
+    protocol="mysql",
+    make_program=MySqlClient,
+    surface_factory=lambda: AttackSurface.tcp_client(SERVER_PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.01,
+    libpreeny_compatible=False,
+    planted_bugs=("asan-oob-read:mysql-client-column-oob",),
+    notes="§5.4 case study: client fuzzing, fuzzer plays the server.",
+)

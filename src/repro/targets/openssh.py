@@ -1,0 +1,271 @@
+"""openssh: the SSH transport layer (banner + binary packet protocol).
+
+Models sshd's pre-auth surface: version banner exchange, the binary
+packet framing, KEXINIT algorithm negotiation and a userauth state
+machine.  Table 1 lists no openssh crashes; the target is a workload
+whose binary framing makes byte-level mutation hard — the paper's
+Table 5 shows Nyx only matches AFLNet's final coverage here (1x).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 2222
+
+MSG_DISCONNECT = 1
+MSG_IGNORE = 2
+MSG_DEBUG = 4
+MSG_SERVICE_REQUEST = 5
+MSG_SERVICE_ACCEPT = 6
+MSG_KEXINIT = 20
+MSG_NEWKEYS = 21
+MSG_KEXDH_INIT = 30
+MSG_KEXDH_REPLY = 31
+MSG_USERAUTH_REQUEST = 50
+MSG_USERAUTH_FAILURE = 51
+MSG_USERAUTH_SUCCESS = 52
+
+KEX_ALGOS = b"curve25519-sha256,diffie-hellman-group14-sha256"
+HOSTKEY_ALGOS = b"ssh-ed25519,rsa-sha2-512"
+CIPHERS = b"chacha20-poly1305@openssh.com,aes128-ctr"
+
+
+class OpensshServer(MessageServer):
+    name = "openssh"
+    port = PORT
+    startup_cost = 0.15  # host key loading
+    parse_cost = 4e-9
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        if conn.state == "new":
+            self.reply(api, conn, b"SSH-2.0-OpenSSH_8.9 repro\r\n")
+            conn.state = "banner-sent"
+        if conn.state == "banner-sent":
+            if b"\n" not in conn.buffer:
+                return
+            idx = conn.buffer.find(b"\n")
+            banner, conn.buffer = conn.buffer[:idx], conn.buffer[idx + 1:]
+            banner = banner.rstrip(b"\r")
+            if not banner.startswith(b"SSH-2.0-") and \
+                    not banner.startswith(b"SSH-1.99-"):
+                self._disconnect(api, conn, 8, b"protocol mismatch")
+                return
+            conn.vars["client_banner"] = banner[:255]
+            conn.state = "transport"
+        while conn.state not in ("new", "banner-sent", "closed"):
+            packet = self._take_packet(conn)
+            if packet is None:
+                return
+            self._packet(api, conn, packet)
+
+    def _take_packet(self, conn: ConnCtx):
+        """Binary packet protocol: u32 length, u8 padding, payload."""
+        if len(conn.buffer) < 5:
+            return None
+        (packet_len,) = struct.unpack_from(">I", conn.buffer, 0)
+        if packet_len == 0 or packet_len > 35000:
+            conn.state = "closed"  # sshd drops oversized packets
+            return None
+        if len(conn.buffer) < 4 + packet_len:
+            return None
+        padding = conn.buffer[4]
+        if padding + 1 > packet_len:
+            conn.state = "closed"
+            return None
+        payload = conn.buffer[5:4 + packet_len - padding]
+        conn.buffer = conn.buffer[4 + packet_len:]
+        return payload
+
+    def _packet(self, api, conn: ConnCtx, payload: bytes) -> None:
+        if not payload:
+            return
+        msg = payload[0]
+        body = payload[1:]
+        if msg == MSG_KEXINIT:
+            self._kexinit(api, conn, body)
+        elif msg == MSG_KEXDH_INIT:
+            if conn.state != "kexinit-done":
+                self._disconnect(api, conn, 3, b"kex out of order")
+                return
+            api.cpu(3e-5)  # DH computation
+            self._send_packet(api, conn, bytes([MSG_KEXDH_REPLY]) + bytes(64))
+            conn.state = "kexdh-done"
+        elif msg == MSG_NEWKEYS:
+            if conn.state != "kexdh-done":
+                self._disconnect(api, conn, 3, b"newkeys out of order")
+                return
+            self._send_packet(api, conn, bytes([MSG_NEWKEYS]))
+            conn.state = "encrypted"
+        elif msg == MSG_SERVICE_REQUEST:
+            service = _ssh_string(body)
+            if conn.state != "encrypted":
+                self._disconnect(api, conn, 3, b"service before newkeys")
+            elif service == b"ssh-userauth":
+                self._send_packet(api, conn, bytes([MSG_SERVICE_ACCEPT])
+                                  + _pack_string(service))
+                conn.state = "userauth"
+            else:
+                self._disconnect(api, conn, 7, b"unknown service")
+        elif msg == MSG_USERAUTH_REQUEST:
+            self._userauth(api, conn, body)
+        elif msg == MSG_IGNORE or msg == MSG_DEBUG:
+            pass
+        elif msg == MSG_DISCONNECT:
+            conn.state = "closed"
+        else:
+            self._send_packet(api, conn, bytes([3]) + struct.pack(">I", 0))
+
+    def _kexinit(self, api, conn: ConnCtx, body: bytes) -> None:
+        if len(body) < 16:
+            self._disconnect(api, conn, 3, b"short kexinit")
+            return
+        offset = 16  # cookie
+        lists = []
+        for _ in range(10):
+            if offset + 4 > len(body):
+                self._disconnect(api, conn, 3, b"truncated kexinit")
+                return
+            (length,) = struct.unpack_from(">I", body, offset)
+            if offset + 4 + length > len(body) or length > 8192:
+                self._disconnect(api, conn, 3, b"bad name-list")
+                return
+            lists.append(body[offset + 4:offset + 4 + length])
+            offset += 4 + length
+        client_kex = lists[0].split(b",") if lists else []
+        if not any(algo in KEX_ALGOS for algo in client_kex):
+            self._disconnect(api, conn, 3, b"no matching kex")
+            return
+        conn.vars["kex"] = client_kex[0][:64]
+        reply = bytes([MSG_KEXINIT]) + bytes(16)
+        for name_list in (KEX_ALGOS, HOSTKEY_ALGOS, CIPHERS, CIPHERS,
+                          b"hmac-sha2-256", b"hmac-sha2-256", b"none",
+                          b"none", b"", b""):
+            reply += _pack_string(name_list)
+        self._send_packet(api, conn, reply)
+        conn.state = "kexinit-done"
+
+    def _userauth(self, api, conn: ConnCtx, body: bytes) -> None:
+        if conn.state != "userauth":
+            self._disconnect(api, conn, 3, b"userauth before service")
+            return
+        user, rest = _take_string(body)
+        service, rest = _take_string(rest)
+        method, rest = _take_string(rest)
+        conn.vars["auth_tries"] = conn.vars.get("auth_tries", 0) + 1
+        if conn.vars["auth_tries"] > 6:
+            self._disconnect(api, conn, 12, b"too many auth failures")
+            return
+        if method == b"none" or service != b"ssh-connection":
+            self._send_packet(api, conn, bytes([MSG_USERAUTH_FAILURE])
+                              + _pack_string(b"password,publickey") + b"\x00")
+        elif method == b"password" and user == b"repro":
+            api.cpu(1e-5)  # bcrypt-ish
+            self._send_packet(api, conn, bytes([MSG_USERAUTH_SUCCESS]))
+            conn.state = "authed"
+        else:
+            self._send_packet(api, conn, bytes([MSG_USERAUTH_FAILURE])
+                              + _pack_string(b"password,publickey") + b"\x00")
+
+    def _send_packet(self, api, conn: ConnCtx, payload: bytes) -> None:
+        padding = 8 - ((len(payload) + 5) % 8)
+        if padding < 4:
+            padding += 8
+        packet = struct.pack(">IB", len(payload) + padding + 1, padding) \
+            + payload + bytes(padding)
+        self.reply(api, conn, packet)
+
+    def _disconnect(self, api, conn: ConnCtx, code: int, why: bytes) -> None:
+        self._send_packet(api, conn, bytes([MSG_DISCONNECT])
+                          + struct.pack(">I", code) + _pack_string(why))
+        conn.state = "closed"
+
+
+def _pack_string(data: bytes) -> bytes:
+    return struct.pack(">I", len(data)) + data
+
+
+def _ssh_string(data: bytes) -> bytes:
+    value, _rest = _take_string(data)
+    return value
+
+
+def _take_string(data: bytes):
+    if len(data) < 4:
+        return b"", b""
+    (length,) = struct.unpack_from(">I", data, 0)
+    if 4 + length > len(data):
+        return b"", b""
+    return data[4:4 + length], data[4 + length:]
+
+
+def _packet_bytes(payload: bytes) -> bytes:
+    padding = 8 - ((len(payload) + 5) % 8)
+    if padding < 4:
+        padding += 8
+    return struct.pack(">IB", len(payload) + padding + 1, padding) \
+        + payload + bytes(padding)
+
+
+def _kexinit_bytes() -> bytes:
+    body = bytes([MSG_KEXINIT]) + bytes(16)
+    for name_list in (b"curve25519-sha256", b"ssh-ed25519", b"aes128-ctr",
+                      b"aes128-ctr", b"hmac-sha2-256", b"hmac-sha2-256",
+                      b"none", b"none", b"", b""):
+        body += _pack_string(name_list)
+    return _packet_bytes(body)
+
+
+DICTIONARY = [b"SSH-2.0-", b"curve25519-sha256", b"ssh-ed25519",
+              b"ssh-userauth", b"ssh-connection", b"password", b"publickey",
+              bytes([MSG_KEXINIT]), bytes([MSG_USERAUTH_REQUEST]),
+              struct.pack(">I", 12)]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    auth = _packet_bytes(bytes([MSG_USERAUTH_REQUEST])
+                         + _pack_string(b"repro")
+                         + _pack_string(b"ssh-connection")
+                         + _pack_string(b"password") + b"\x00"
+                         + _pack_string(b"hunter2"))
+    seeds = []
+    for packets in (
+        [b"SSH-2.0-OpenSSH_9.0\r\n", _kexinit_bytes()],
+        [b"SSH-2.0-fuzz_0.1\r\n", _kexinit_bytes(),
+         _packet_bytes(bytes([MSG_KEXDH_INIT]) + bytes(32)),
+         _packet_bytes(bytes([MSG_NEWKEYS]))],
+        [b"SSH-2.0-fuzz_0.1\r\n", _kexinit_bytes(),
+         _packet_bytes(bytes([MSG_KEXDH_INIT]) + bytes(32)),
+         _packet_bytes(bytes([MSG_NEWKEYS])),
+         _packet_bytes(bytes([MSG_SERVICE_REQUEST])
+                       + _pack_string(b"ssh-userauth")),
+         auth],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="openssh",
+    protocol="ssh",
+    make_program=OpensshServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.15,
+    libpreeny_compatible=True,
+    planted_bugs=(),
+    notes="Binary framing; hard for byte mutation — the 1x row of Table 5.",
+)

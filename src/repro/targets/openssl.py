@@ -1,0 +1,236 @@
+"""openssl (s_server): TLS record and handshake parsing.
+
+Models the TLS 1.2 server-side handshake surface ProFuzzBench fuzzes:
+record layer framing, ClientHello parsing (versions, cipher suites,
+extensions), key exchange and the session machine.  Crypto is replaced
+by CPU charges — the paper's AFLNet manages only 0.3 execs/s here, the
+slowest row of Table 3, largely because of handshake cost; our cost
+model mirrors that with heavy per-handshake charges.  No bug planted
+(no openssl crash in Table 1).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 4433
+
+REC_CCS = 20
+REC_ALERT = 21
+REC_HANDSHAKE = 22
+REC_APPDATA = 23
+
+HS_CLIENT_HELLO = 1
+HS_SERVER_HELLO = 2
+HS_CERTIFICATE = 11
+HS_SERVER_HELLO_DONE = 14
+HS_CLIENT_KEY_EXCHANGE = 16
+HS_FINISHED = 20
+
+SUPPORTED_SUITES = (0x002F, 0x0035, 0xC02F, 0xC030, 0x009C, 0x1301)
+
+KNOWN_EXTENSIONS = {0: "sni", 10: "groups", 11: "ec_point_formats",
+                    13: "sig_algs", 16: "alpn", 23: "ems", 35: "ticket",
+                    43: "versions", 51: "key_share"}
+
+
+class OpensslServer(MessageServer):
+    name = "openssl"
+    port = PORT
+    startup_cost = 0.20  # key/cert loading, RAND seeding
+    parse_cost = 8e-9
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.handshakes = 0
+        self.session_tickets = {}
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        conn.buffer += data
+        while len(conn.buffer) >= 5:
+            rec_type = conn.buffer[0]
+            version = struct.unpack_from(">H", conn.buffer, 1)[0]
+            (length,) = struct.unpack_from(">H", conn.buffer, 3)
+            if length > 16384 + 256:
+                self._alert(api, conn, 22)  # record_overflow
+                conn.buffer = b""
+                return
+            if len(conn.buffer) < 5 + length:
+                return
+            record = conn.buffer[5:5 + length]
+            conn.buffer = conn.buffer[5 + length:]
+            if version >> 8 != 3:
+                self._alert(api, conn, 70)  # protocol_version
+                continue
+            self._record(api, conn, rec_type, record)
+
+    def _record(self, api, conn: ConnCtx, rec_type: int, record: bytes) -> None:
+        if rec_type == REC_HANDSHAKE:
+            offset = 0
+            while offset + 4 <= len(record):
+                hs_type = record[offset]
+                hs_len = int.from_bytes(record[offset + 1:offset + 4], "big")
+                body = record[offset + 4:offset + 4 + hs_len]
+                if len(body) < hs_len:
+                    self._alert(api, conn, 50)  # decode_error
+                    return
+                offset += 4 + hs_len
+                self._handshake(api, conn, hs_type, body)
+        elif rec_type == REC_CCS:
+            if conn.state == "kex-done":
+                conn.state = "ccs"
+            else:
+                self._alert(api, conn, 10)  # unexpected_message
+        elif rec_type == REC_ALERT:
+            conn.state = "closed"
+        elif rec_type == REC_APPDATA:
+            if conn.state == "established":
+                api.cpu(len(record) * 5e-9)  # AES
+                self.reply(api, conn, _record(REC_APPDATA, b"HTTP/1.0 200 ok\r\n"))
+            else:
+                self._alert(api, conn, 10)
+
+    def _handshake(self, api, conn: ConnCtx, hs_type: int, body: bytes) -> None:
+        if hs_type == HS_CLIENT_HELLO:
+            self._client_hello(api, conn, body)
+        elif hs_type == HS_CLIENT_KEY_EXCHANGE:
+            if conn.state != "hello-done":
+                self._alert(api, conn, 10)
+                return
+            api.cpu(8e-5)  # RSA decrypt / ECDHE
+            conn.state = "kex-done"
+        elif hs_type == HS_FINISHED:
+            if conn.state != "ccs":
+                self._alert(api, conn, 10)
+                return
+            api.cpu(1e-5)  # PRF verify
+            self.handshakes += 1
+            self.reply(api, conn, _record(REC_CCS, b"\x01"))
+            self.reply(api, conn, _record(
+                REC_HANDSHAKE, bytes([HS_FINISHED]) + b"\x00\x00\x0c" + bytes(12)))
+            conn.state = "established"
+        else:
+            self._alert(api, conn, 10)
+
+    def _client_hello(self, api, conn: ConnCtx, body: bytes) -> None:
+        if len(body) < 34:
+            self._alert(api, conn, 50)
+            return
+        offset = 34  # version + random
+        # session id
+        sid_len = body[offset] if offset < len(body) else 255
+        offset += 1 + sid_len
+        if offset + 2 > len(body):
+            self._alert(api, conn, 50)
+            return
+        (suites_len,) = struct.unpack_from(">H", body, offset)
+        offset += 2
+        suites = []
+        for i in range(0, min(suites_len, len(body) - offset) - 1, 2):
+            suites.append(struct.unpack_from(">H", body, offset + i)[0])
+        offset += suites_len
+        chosen = next((s for s in suites if s in SUPPORTED_SUITES), None)
+        if chosen is None:
+            self._alert(api, conn, 40)  # handshake_failure
+            return
+        conn.vars["suite"] = chosen
+        # compression methods
+        if offset < len(body):
+            comp_len = body[offset]
+            offset += 1 + comp_len
+        # extensions
+        extensions = {}
+        if offset + 2 <= len(body):
+            (ext_total,) = struct.unpack_from(">H", body, offset)
+            offset += 2
+            end = min(len(body), offset + ext_total)
+            while offset + 4 <= end:
+                ext_type, ext_len = struct.unpack_from(">HH", body, offset)
+                extensions[ext_type] = body[offset + 4:offset + 4 + ext_len]
+                offset += 4 + ext_len
+        if 0 in extensions:  # SNI: u16 list len, u8 type, u16 name len
+            ext = extensions[0]
+            if len(ext) >= 5:
+                (name_len,) = struct.unpack_from(">H", ext, 3)
+                conn.vars["sni"] = ext[5:5 + min(name_len, 64)]
+        api.cpu(5e-5)  # key share generation
+        conn.state = "hello-done"
+        self.reply(api, conn, _record(
+            REC_HANDSHAKE,
+            bytes([HS_SERVER_HELLO]) + b"\x00\x00\x26" + b"\x03\x03"
+            + bytes(32) + b"\x00" + struct.pack(">H", chosen) + b"\x00"))
+        self.reply(api, conn, _record(
+            REC_HANDSHAKE, bytes([HS_CERTIFICATE]) + b"\x00\x00\x04" + bytes(4)))
+        self.reply(api, conn, _record(
+            REC_HANDSHAKE, bytes([HS_SERVER_HELLO_DONE]) + b"\x00\x00\x00"))
+
+    def _alert(self, api, conn: ConnCtx, code: int) -> None:
+        self.reply(api, conn, _record(REC_ALERT, bytes([2, code])))
+        conn.state = "closed"
+
+
+def _record(rec_type: int, payload: bytes) -> bytes:
+    return bytes([rec_type]) + b"\x03\x03" + struct.pack(">H", len(payload)) \
+        + payload
+
+
+def _client_hello_bytes(suites=(0xC02F, 0x002F), sni: bytes = b"test.local") -> bytes:
+    suite_bytes = b"".join(struct.pack(">H", s) for s in suites)
+    sni_ext = struct.pack(">HH", 0, len(sni) + 5) \
+        + struct.pack(">H", len(sni) + 3) + b"\x00" \
+        + struct.pack(">H", len(sni)) + sni
+    body = (b"\x03\x03" + bytes(32) + b"\x00"
+            + struct.pack(">H", len(suite_bytes)) + suite_bytes
+            + b"\x01\x00"
+            + struct.pack(">H", len(sni_ext)) + sni_ext)
+    hs = bytes([HS_CLIENT_HELLO]) + len(body).to_bytes(3, "big") + body
+    return _record(REC_HANDSHAKE, hs)
+
+
+DICTIONARY = [b"\x16\x03\x03", b"\x03\x03", struct.pack(">H", 0xC02F),
+              struct.pack(">H", 0x1301), bytes([HS_CLIENT_HELLO]),
+              bytes([HS_CLIENT_KEY_EXCHANGE]), bytes([HS_FINISHED]),
+              b"\x14\x03\x03\x00\x01\x01", b"test.local"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    ccs = _record(REC_CCS, b"\x01")
+    kex = _record(REC_HANDSHAKE, bytes([HS_CLIENT_KEY_EXCHANGE])
+                  + b"\x00\x00\x20" + bytes(32))
+    fin = _record(REC_HANDSHAKE, bytes([HS_FINISHED]) + b"\x00\x00\x0c"
+                  + bytes(12))
+    seeds = []
+    for packets in (
+        [_client_hello_bytes()],
+        [_client_hello_bytes(), kex, ccs, fin],
+        [_client_hello_bytes(suites=(0x1301, 0x009C), sni=b"alt.local"),
+         kex, ccs, fin,
+         _record(REC_APPDATA, b"GET / HTTP/1.0\r\n\r\n")],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="openssl",
+    protocol="tls",
+    make_program=OpensslServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.20,
+    libpreeny_compatible=True,
+    planted_bugs=(),
+    notes="Crypto replaced by CPU charges; slowest AFLNet row of Table 3.",
+)

@@ -1,0 +1,213 @@
+"""proftpd: a featureful FTP server with a deep, Nyx-only bug.
+
+proftpd is the target where the paper reports its biggest coverage win
+(+70% over AFLNet, Table 2) and one of the two new crashes that "no
+other fuzzer is able to uncover" (Table 1).  We model that with a
+large command surface (proftpd modules: core, ls, site, facts) and a
+bug buried behind a four-step stateful sequence — realistic for a
+use-after-free in a rarely exercised module — that a fuzzer at a few
+executions per second is overwhelmingly unlikely to assemble.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 2123
+
+
+class ProftpdServer(MessageServer):
+    name = "proftpd"
+    port = PORT
+    startup_cost = 0.08  # parses a big config at boot
+
+    def on_boot(self, api) -> None:
+        api.write_whole_file(
+            "/etc/proftpd.conf",
+            b"ServerName proftpd\nPort 2123\nUmask 022\n"
+            b"<Limit LOGIN>\nAllowAll\n</Limit>\n")
+        api.write_whole_file("/srv/ftp/index.html", b"<html></html>")
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        if conn.state == "new":
+            self.reply(api, conn, b"220 ProFTPD Server ready\r\n")
+            conn.state = "greeted"
+        conn.buffer += data
+        while b"\n" in conn.buffer:
+            idx = conn.buffer.find(b"\n")
+            line, conn.buffer = conn.buffer[:idx], conn.buffer[idx + 1:]
+            self._command(api, conn, line.strip())
+
+    def _command(self, api, conn: ConnCtx, line: bytes) -> None:
+        parts = line.split(None, 1)
+        cmd = parts[0].upper() if parts else b""
+        arg = parts[1] if len(parts) > 1 else b""
+        if cmd == b"USER":
+            conn.vars["user"] = arg
+            self.reply(api, conn, b"331 Password required for %s\r\n" % arg[:32])
+        elif cmd == b"PASS":
+            if conn.vars.get("user"):
+                conn.state = "authed"
+                self.reply(api, conn, b"230 User logged in\r\n")
+            else:
+                self.reply(api, conn, b"503 Login first\r\n")
+        elif cmd == b"QUIT":
+            self.reply(api, conn, b"221 Goodbye\r\n")
+            conn.state = "quit"
+        elif conn.state != "authed":
+            self.reply(api, conn, b"530 Please login with USER and PASS\r\n")
+        elif cmd == b"EPSV":
+            conn.vars["data_mode"] = "extended"
+            self.reply(api, conn, b"229 Entering Extended Passive (|||2124|)\r\n")
+        elif cmd == b"PASV":
+            conn.vars["data_mode"] = "passive"
+            self.reply(api, conn, b"227 Entering Passive Mode\r\n")
+        elif cmd == b"MODE":
+            mode = arg.upper()
+            if mode in (b"S", b"B", b"C"):
+                conn.vars["mode"] = mode
+                self.reply(api, conn, b"200 Mode set to %s\r\n" % mode)
+            elif mode == b"Z":
+                # mod_deflate: compressed mode — first step of the bug.
+                conn.vars["mode"] = b"Z"
+                self.reply(api, conn, b"200 MODE Z ok\r\n")
+            else:
+                self.reply(api, conn, b"504 Unsupported mode\r\n")
+        elif cmd == b"OPTS":
+            sub = arg.split(None, 1)
+            key = sub[0].upper() if sub else b""
+            if key == b"MLST":
+                conn.vars["facts"] = sub[1] if len(sub) > 1 else b""
+                self.reply(api, conn, b"200 MLST OPTS %s\r\n"
+                           % conn.vars["facts"][:64])
+            elif key == b"UTF8":
+                self.reply(api, conn, b"200 UTF8 set\r\n")
+            elif key == b"Z":
+                # mod_deflate options: step two — stores an engine
+                # object that MODE resets can leave dangling.
+                conn.vars["z_engine"] = arg[2:]
+                self.reply(api, conn, b"200 Z OPTS ok\r\n")
+            else:
+                self.reply(api, conn, b"501 Bad OPTS\r\n")
+        elif cmd == b"MLST" or cmd == b"MLSD":
+            facts = conn.vars.get("facts", b"type;size;")
+            self.reply(api, conn, b"250-Listing\r\n type=file;size=12; index\r\n"
+                       b"250 End (%s)\r\n" % facts[:32])
+        elif cmd == b"MFMT":
+            sub = arg.split(None, 1)
+            if len(sub) == 2 and sub[0].isdigit() and len(sub[0]) == 14:
+                self.reply(api, conn, b"213 Modify=%s\r\n" % sub[0])
+            else:
+                self.reply(api, conn, b"501 Invalid MFMT\r\n")
+        elif cmd == b"SITE":
+            self._site(api, conn, arg)
+        elif cmd == b"RETR":
+            if conn.vars.get("mode") == b"Z" and "z_engine" in conn.vars:
+                if conn.vars.pop("dangling", False):
+                    # Step four: transfer through the freed deflate
+                    # engine — the Nyx-only use-after-free.
+                    self.crash(CrashKind.ASAN_USE_AFTER_FREE,
+                               "proftpd-deflate-uaf",
+                               "RETR through freed z_engine")
+                self.reply(api, conn, b"150 Compressed transfer\r\n226 Done\r\n")
+            elif not conn.vars.get("data_mode"):
+                self.reply(api, conn, b"425 Unable to build data connection\r\n")
+            else:
+                self.reply(api, conn, b"150 Opening\r\n226 Transfer complete\r\n")
+        elif cmd == b"ABOR":
+            # Step three: aborting a compressed transfer frees the
+            # deflate engine but leaves conn.vars["z_engine"] set.
+            if conn.vars.get("mode") == b"Z" and "z_engine" in conn.vars:
+                conn.vars["dangling"] = True
+            self.reply(api, conn, b"226 Abort successful\r\n")
+        elif cmd == b"LIST" or cmd == b"NLST":
+            if conn.vars.get("data_mode"):
+                self.reply(api, conn, b"150 Opening ASCII mode\r\n226 Done\r\n")
+            else:
+                self.reply(api, conn, b"425 Use PASV or EPSV first\r\n")
+        elif cmd == b"TYPE":
+            self.reply(api, conn, b"200 Type set to %s\r\n" % arg[:8])
+        elif cmd == b"CWD" or cmd == b"XCWD":
+            conn.vars["cwd"] = arg[:256]
+            self.reply(api, conn, b"250 CWD command successful\r\n")
+        elif cmd == b"FEAT":
+            self.reply(api, conn,
+                       b"211-Features:\r\n EPSV\r\n MLST type*;size*;\r\n"
+                       b" MODE Z\r\n MFMT\r\n211 End\r\n")
+        elif cmd == b"HELP":
+            self.reply(api, conn, b"214-Commands\r\n214 Direct comments to root\r\n")
+        elif cmd == b"NOOP":
+            self.reply(api, conn, b"200 NOOP command successful\r\n")
+        else:
+            self.reply(api, conn, b"500 %s not understood\r\n" % cmd[:16])
+
+    def _site(self, api, conn: ConnCtx, arg: bytes) -> None:
+        sub = arg.split(None, 1)
+        key = sub[0].upper() if sub else b""
+        rest = sub[1] if len(sub) > 1 else b""
+        if key == b"CHMOD":
+            bits = rest.split(None, 1)
+            if bits and bits[0].isdigit() and len(bits[0]) == 3:
+                self.reply(api, conn, b"200 SITE CHMOD successful\r\n")
+            else:
+                self.reply(api, conn, b"501 Bad mode\r\n")
+        elif key == b"CHGRP":
+            self.reply(api, conn, b"200 SITE CHGRP successful\r\n")
+        elif key == b"QUOTA":
+            self.reply(api, conn, b"202 Quotas off\r\n")
+        else:
+            self.reply(api, conn, b"500 SITE %s unknown\r\n" % key[:16])
+
+
+# Line-framed tokens: inserted after any newline they form complete
+# commands, which is how the spec-derived dictionary expresses whole
+# opcodes.
+DICTIONARY = [b"USER ", b"PASS ", b"MODE Z\r\n", b"OPTS Z level=9\r\n",
+              b"ABOR\r\n", b"RETR x\r\n", b"EPSV\r\n", b"MLST",
+              b"OPTS MLST type;size;", b"MFMT ", b"SITE CHMOD 644 ",
+              b"FEAT", b"QUIT", b"\r\n"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for session in (
+        [b"USER ftp\r\n", b"PASS ftp\r\n", b"FEAT\r\n", b"PWD\r\n",
+         b"QUIT\r\n"],
+        [b"USER ftp\r\n", b"PASS ftp\r\n", b"EPSV\r\n", b"TYPE I\r\n",
+         b"LIST\r\n", b"RETR index.html\r\n", b"QUIT\r\n"],
+        [b"USER ftp\r\n", b"PASS ftp\r\n", b"MODE Z\r\n", b"EPSV\r\n",
+         b"RETR index.html\r\n", b"QUIT\r\n"],
+        [b"USER ftp\r\n", b"PASS ftp\r\n", b"MODE Z\r\n",
+         b"OPTS Z level=7\r\n", b"EPSV\r\n", b"RETR index.html\r\n",
+         b"QUIT\r\n"],
+        [b"USER ftp\r\n", b"PASS ftp\r\n", b"OPTS MLST type;size;\r\n",
+         b"MLST index.html\r\n", b"MFMT 20210101000000 index.html\r\n",
+         b"QUIT\r\n"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for line in session:
+            builder.packet(con, line)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="proftpd",
+    protocol="ftp",
+    make_program=ProftpdServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.08,
+    libpreeny_compatible=False,
+    planted_bugs=("asan-use-after-free:proftpd-deflate-uaf",),
+    notes="Deep MODE Z / OPTS Z / ABOR / RETR use-after-free; Nyx-only "
+          "crash in Table 1 and the +70% coverage row of Table 2.",
+)

@@ -1,0 +1,144 @@
+"""pure-ftpd: FTP server with an *internal* allocation limit.
+
+Table 1 footnote (*): "On pure-ftpd, AFLNET-no-state managed to
+trigger an OOM that was due to an internal limit and not the
+ProFuzzBench limit."  We model it faithfully: the server keeps an
+in-memory session spool that grows with commands such as ``APPE`` and
+long arguments, and deliberately aborts (its internal out-of-memory
+guard) once the *accumulated across sessions* global spool exceeds a
+limit.  A fuzzer that resets all state between tests (snapshots, or a
+proper cleanup script) can never accumulate enough; a no-state fuzzer
+that keeps the server running without cleanup eventually trips it.
+"""
+
+from __future__ import annotations
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 2122
+
+#: The internal limit (bytes of spooled session data).
+INTERNAL_SPOOL_LIMIT = 64 * 1024
+
+
+class PureFtpdServer(MessageServer):
+    name = "pure-ftpd"
+    port = PORT
+    startup_cost = 0.04
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Global spool surviving connections — only ever reset by a
+        #: server restart or a VM snapshot.
+        self.global_spool = 0
+        self.sessions_served = 0
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        if conn.state == "new":
+            self.reply(api, conn, b"220 Pure-FTPd ready\r\n")
+            conn.state = "greeted"
+            self.sessions_served += 1
+        conn.buffer += data
+        while b"\n" in conn.buffer:
+            idx = conn.buffer.find(b"\n")
+            line, conn.buffer = conn.buffer[:idx], conn.buffer[idx + 1:]
+            self._command(api, conn, line.strip())
+
+    def _spool(self, amount: int) -> None:
+        self.global_spool += amount
+        if self.global_spool > INTERNAL_SPOOL_LIMIT:
+            # pure-ftpd's internal OOM guard: die rather than thrash.
+            self.crash(CrashKind.OOM, "pure-ftpd-internal-oom",
+                       "session spool exceeded internal limit")
+
+    def _command(self, api, conn: ConnCtx, line: bytes) -> None:
+        parts = line.split(None, 1)
+        cmd = parts[0].upper() if parts else b""
+        arg = parts[1] if len(parts) > 1 else b""
+        self._spool(len(line) + 16)  # command history ring
+        if cmd == b"USER":
+            conn.vars["user"] = arg[:128]
+            self._spool(len(arg))
+            self.reply(api, conn, b"331 Any password will do\r\n")
+        elif cmd == b"PASS":
+            if "user" in conn.vars:
+                conn.state = "authed"
+                self.reply(api, conn, b"230 Welcome\r\n")
+            else:
+                self.reply(api, conn, b"530 USER first\r\n")
+        elif cmd == b"QUIT":
+            self.reply(api, conn, b"221 Logout\r\n")
+            conn.state = "quit"
+        elif conn.state != "authed":
+            self.reply(api, conn, b"530 You aren't logged in\r\n")
+        elif cmd == b"STAT":
+            self.reply(api, conn, b"211-Up. Sessions: %d\r\n211 End\r\n"
+                       % self.sessions_served)
+        elif cmd == b"APPE":
+            # Append spools the whole pending payload server-side.
+            self._spool(512 + len(arg) * 8)
+            self.reply(api, conn, b"150 Appending\r\n226 Done\r\n")
+        elif cmd == b"MLSD" or cmd == b"LIST":
+            self._spool(256)
+            self.reply(api, conn, b"150 Listing\r\n226 Done\r\n")
+        elif cmd == b"PASV":
+            conn.vars["pasv"] = True
+            self.reply(api, conn, b"227 (127,0,0,1,12,7)\r\n")
+        elif cmd == b"TYPE":
+            self.reply(api, conn, b"200 TYPE is now %s\r\n" % arg[:8])
+        elif cmd == b"CWD":
+            conn.vars["cwd"] = arg[:256]
+            self._spool(len(arg))
+            self.reply(api, conn, b"250 OK. Current directory changed\r\n")
+        elif cmd == b"SITE":
+            if arg.upper().startswith(b"IDLE"):
+                self.reply(api, conn, b"200 Idle time set\r\n")
+            else:
+                self.reply(api, conn, b"500 Unknown SITE command\r\n")
+        elif cmd == b"FEAT":
+            self.reply(api, conn, b"211-Extensions:\r\n MLSD\r\n211 End\r\n")
+        elif cmd == b"NOOP":
+            self.reply(api, conn, b"200 OK\r\n")
+        else:
+            self.reply(api, conn, b"500 Unknown command\r\n")
+
+
+DICTIONARY = [b"USER ", b"PASS ", b"APPE ", b"MLSD", b"STAT", b"PASV",
+              b"CWD ", b"SITE IDLE", b"FEAT", b"QUIT", b"\r\n"]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    seeds = []
+    for session in (
+        [b"USER joe\r\n", b"PASS pw\r\n", b"STAT\r\n", b"QUIT\r\n"],
+        [b"USER joe\r\n", b"PASS pw\r\n", b"PASV\r\n", b"APPE log.txt\r\n",
+         b"MLSD\r\n", b"QUIT\r\n"],
+        [b"USER joe\r\n", b"PASS pw\r\n", b"CWD /var/spool\r\n", b"FEAT\r\n",
+         b"SITE IDLE 30\r\n", b"QUIT\r\n"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for line in session:
+            builder.packet(con, line)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="pure-ftpd",
+    protocol="ftp",
+    make_program=PureFtpdServer,
+    surface_factory=lambda: AttackSurface.tcp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.04,
+    libpreeny_compatible=False,
+    planted_bugs=("oom:pure-ftpd-internal-oom",),
+    notes="Internal OOM only reachable by no-state fuzzing (Table 1 *).",
+)

@@ -1,0 +1,180 @@
+"""tinydtls: a DTLS server over UDP.
+
+Parses DTLS record headers and handshake fragments (ClientHello with
+cookie exchange, ClientKeyExchange, Finished).  The planted bug is the
+style of crash all fuzzers found in Table 1: a fragment-length
+mismatch in the handshake reassembly that reads out of bounds on a
+single crafted datagram.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.emu.surface import AttackSurface
+from repro.fuzz.input import FuzzInput
+from repro.guestos.errors import CrashKind
+from repro.guestos.sockets import SockType
+from repro.spec.builder import Builder
+from repro.spec.nodes import default_network_spec
+from repro.targets.base import ConnCtx, MessageServer, TargetProfile
+
+PORT = 20220
+
+CONTENT_HANDSHAKE = 22
+CONTENT_ALERT = 21
+CONTENT_APPDATA = 23
+CONTENT_CCS = 20
+
+HS_CLIENT_HELLO = 1
+HS_SERVER_HELLO = 2
+HS_HELLO_VERIFY = 3
+HS_CLIENT_KEY_EXCHANGE = 16
+HS_FINISHED = 20
+
+DTLS_VERSION = 0xFEFD  # DTLS 1.2
+
+
+class TinyDtlsServer(MessageServer):
+    name = "tinydtls"
+    port = PORT
+    sock_type = SockType.DGRAM
+    startup_cost = 0.03
+    parse_cost = 6e-9  # crypto-ish work
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cookie_secret = 0x5EED
+        self.handshakes_completed = 0
+
+    def handle_message(self, api, conn: ConnCtx, data: bytes) -> None:
+        offset = 0
+        while offset + 13 <= len(data):
+            content_type = data[offset]
+            (version,) = struct.unpack_from(">H", data, offset + 1)
+            (epoch,) = struct.unpack_from(">H", data, offset + 3)
+            (length,) = struct.unpack_from(">H", data, offset + 11)
+            record = data[offset + 13:offset + 13 + length]
+            if len(record) < length:
+                return  # truncated datagram: drop (DTLS is lossy anyway)
+            offset += 13 + length
+            if version not in (DTLS_VERSION, 0xFEFF):
+                continue  # silently ignore bad versions
+            if content_type == CONTENT_HANDSHAKE:
+                self._handshake(api, conn, record, epoch)
+            elif content_type == CONTENT_CCS:
+                if conn.state == "key-exchanged":
+                    conn.state = "ccs"
+            elif content_type == CONTENT_ALERT:
+                conn.state = "new"
+                conn.vars.clear()
+            elif content_type == CONTENT_APPDATA:
+                if conn.state == "established":
+                    api.cpu(1e-6)  # decrypt
+                    self.reply(api, conn, self._record(
+                        CONTENT_APPDATA, b"echo:" + record[:64]))
+
+    def _handshake(self, api, conn: ConnCtx, record: bytes, epoch: int) -> None:
+        if len(record) < 12:
+            return
+        msg_type = record[0]
+        msg_len = int.from_bytes(record[1:4], "big")
+        frag_off = int.from_bytes(record[6:9], "big")
+        frag_len = int.from_bytes(record[9:12], "big")
+        body = record[12:]
+        if frag_len != len(body):
+            # The bug: reassembly trusts frag_len over the actual body
+            # size and copies out of bounds (single-datagram OOB read).
+            if frag_len > len(body) and frag_off + frag_len > msg_len:
+                self.crash(CrashKind.ASAN_OOB_READ, "tinydtls-frag-oob",
+                           "fragment length exceeds record body")
+            return  # benign mismatch: drop fragment
+        if msg_type == HS_CLIENT_HELLO:
+            self._client_hello(api, conn, body)
+        elif msg_type == HS_CLIENT_KEY_EXCHANGE:
+            if conn.state == "hello-done":
+                conn.state = "key-exchanged"
+                api.cpu(2e-5)  # ECDH
+        elif msg_type == HS_FINISHED:
+            if conn.state == "ccs":
+                conn.state = "established"
+                self.handshakes_completed += 1
+                self.reply(api, conn, self._record(
+                    CONTENT_HANDSHAKE, bytes([HS_FINISHED]) + bytes(11)))
+
+    def _client_hello(self, api, conn: ConnCtx, body: bytes) -> None:
+        if len(body) < 34:
+            return
+        cookie_len = body[34] if len(body) > 34 else 0
+        cookie = body[35:35 + cookie_len]
+        expected = struct.pack(">H", self.cookie_secret)
+        if cookie != expected:
+            # First flight: demand a cookie (DoS protection).
+            verify = bytes([HS_HELLO_VERIFY]) + bytes(11) + b"\x02" + expected
+            self.reply(api, conn, self._record(CONTENT_HANDSHAKE, verify))
+            conn.state = "verify-sent"
+            return
+        conn.state = "hello-done"
+        server_hello = bytes([HS_SERVER_HELLO]) + bytes(11) + bytes(34)
+        self.reply(api, conn, self._record(CONTENT_HANDSHAKE, server_hello))
+
+    def _record(self, content_type: int, payload: bytes) -> bytes:
+        return (bytes([content_type]) + struct.pack(">H", DTLS_VERSION)
+                + bytes(8) + struct.pack(">H", len(payload)) + payload)
+
+
+def _hs_record(msg_type: int, body: bytes, frag_len: int = None) -> bytes:
+    frag = frag_len if frag_len is not None else len(body)
+    hs = (bytes([msg_type]) + len(body).to_bytes(3, "big") + bytes(2)
+          + (0).to_bytes(3, "big") + frag.to_bytes(3, "big") + body)
+    return (bytes([CONTENT_HANDSHAKE]) + struct.pack(">H", DTLS_VERSION)
+            + bytes(8) + struct.pack(">H", len(hs)) + hs)
+
+
+def _client_hello(cookie: bytes = b"") -> bytes:
+    body = bytes(34) + bytes([len(cookie)]) + cookie
+    return _hs_record(HS_CLIENT_HELLO, body)
+
+
+DICTIONARY = [bytes([CONTENT_HANDSHAKE]), struct.pack(">H", DTLS_VERSION),
+              bytes([HS_CLIENT_HELLO]), bytes([HS_CLIENT_KEY_EXCHANGE]),
+              bytes([HS_FINISHED]), struct.pack(">H", 0x5EED),
+              bytes([CONTENT_CCS]) + struct.pack(">H", DTLS_VERSION)]
+
+
+def make_seeds():
+    spec = default_network_spec()
+    cookie = struct.pack(">H", 0x5EED)
+    ccs = (bytes([CONTENT_CCS]) + struct.pack(">H", DTLS_VERSION) + bytes(8)
+           + struct.pack(">H", 1) + b"\x01")
+    seeds = []
+    for packets in (
+        [_client_hello()],
+        [_client_hello(), _client_hello(cookie)],
+        [_client_hello(), _client_hello(cookie),
+         _hs_record(HS_CLIENT_KEY_EXCHANGE, bytes(32)), ccs,
+         _hs_record(HS_FINISHED, bytes(12)),
+         bytes([CONTENT_APPDATA]) + struct.pack(">H", DTLS_VERSION) + bytes(8)
+         + struct.pack(">H", 5) + b"hello"],
+    ):
+        builder = Builder(spec)
+        con = builder.connection()
+        for packet in packets:
+            builder.packet(con, packet)
+        seeds.append(FuzzInput(builder.build()))
+    return seeds
+
+
+PROFILE = TargetProfile(
+    name="tinydtls",
+    protocol="dtls",
+    make_program=TinyDtlsServer,
+    surface_factory=lambda: AttackSurface.udp_server(PORT),
+    seed_factory=make_seeds,
+    dictionary=DICTIONARY,
+    startup_cost=0.03,
+    libpreeny_compatible=False,
+    planted_bugs=("asan-oob-read:tinydtls-frag-oob",),
+    notes="Single-datagram OOB read in fragment reassembly; all fuzzers "
+          "crash this target in Table 1.",
+)

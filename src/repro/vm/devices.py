@@ -1,0 +1,145 @@
+"""Emulated device state with fast and slow reset paths.
+
+The paper (§2.3, §5.3) notes that Nyx "implements a custom reset
+mechanism for the state of emulated devices that is much faster than
+QEMU's native device serialization/deserialization routine" and that
+Nyx-Net "uses faster emulated device resets, reducing the fixed cost of
+resetting devices".  We model both paths:
+
+* :meth:`DeviceBoard.capture_fast` / :meth:`restore_fast` — Nyx's
+  direct field copy (cheap, charged ``device_reset_fast``).
+* :meth:`DeviceBoard.capture_slow` / :meth:`restore_slow` — the
+  QEMU-style full serialize/deserialize that the Agamotto baseline pays
+  (charged ``device_reset_slow``).
+
+The devices themselves are deliberately small but stateful, so that a
+botched restore is observable in tests.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class TimerDevice:
+    """A periodic timer: guest code reads ticks, configures the period."""
+
+    ticks: int = 0
+    period_us: int = 10_000
+    armed: bool = True
+
+    def tick(self) -> None:
+        if self.armed:
+            self.ticks += 1
+
+    def fields(self) -> Tuple:
+        return (self.ticks, self.period_us, self.armed)
+
+    def load_fields(self, fields: Tuple) -> None:
+        self.ticks, self.period_us, self.armed = fields
+
+
+@dataclass
+class SerialDevice:
+    """Serial console; the guest's stdout ends up here."""
+
+    tx_buffer: List[bytes] = field(default_factory=list)
+    bytes_written: int = 0
+
+    def write(self, data: bytes) -> None:
+        self.tx_buffer.append(data)
+        self.bytes_written += len(data)
+
+    def fields(self) -> Tuple:
+        return (list(self.tx_buffer), self.bytes_written)
+
+    def load_fields(self, fields: Tuple) -> None:
+        buf, count = fields
+        self.tx_buffer = list(buf)
+        self.bytes_written = count
+
+
+@dataclass
+class VirtioNetDevice:
+    """Virtual NIC counters; the emulation layer bypasses it, the real
+    network path bumps its counters."""
+
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+
+    def on_rx(self, nbytes: int) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += nbytes
+
+    def on_tx(self, nbytes: int) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += nbytes
+
+    def fields(self) -> Tuple:
+        return (self.rx_packets, self.tx_packets, self.rx_bytes, self.tx_bytes)
+
+    def load_fields(self, fields: Tuple) -> None:
+        (self.rx_packets, self.tx_packets,
+         self.rx_bytes, self.tx_bytes) = fields
+
+
+@dataclass
+class RtcDevice:
+    """Real-time clock: guest-visible time, frozen by snapshots."""
+
+    epoch_us: int = 1_600_000_000_000_000
+
+    def advance(self, us: int) -> None:
+        self.epoch_us += us
+
+    def fields(self) -> Tuple:
+        return (self.epoch_us,)
+
+    def load_fields(self, fields: Tuple) -> None:
+        (self.epoch_us,) = fields
+
+
+class DeviceBoard:
+    """The full set of emulated devices attached to a machine."""
+
+    def __init__(self) -> None:
+        self.timer = TimerDevice()
+        self.serial = SerialDevice()
+        self.nic = VirtioNetDevice()
+        self.rtc = RtcDevice()
+        self._devices = {
+            "timer": self.timer,
+            "serial": self.serial,
+            "nic": self.nic,
+            "rtc": self.rtc,
+        }
+
+    # -- Nyx fast path: direct field copies --------------------------------
+
+    def capture_fast(self) -> Dict[str, Tuple]:
+        """Capture device state as plain field tuples (Nyx fast path)."""
+        return {name: dev.fields() for name, dev in self._devices.items()}
+
+    def restore_fast(self, state: Dict[str, Tuple]) -> None:
+        """Restore from :meth:`capture_fast` output."""
+        for name, fields in state.items():
+            self._devices[name].load_fields(fields)
+
+    # -- QEMU slow path: full serialize / deserialize -----------------------
+
+    def capture_slow(self) -> bytes:
+        """Serialize all devices the way QEMU's migration code would."""
+        return pickle.dumps(self.capture_fast(), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore_slow(self, blob: bytes) -> None:
+        """Deserialize a :meth:`capture_slow` blob."""
+        self.restore_fast(pickle.loads(blob))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DeviceBoard(ticks=%d, rx=%d, tx=%d)" % (
+            self.timer.ticks, self.nic.rx_packets, self.nic.tx_packets)

@@ -1,0 +1,126 @@
+"""Emulated block device with two-level snapshot overlays.
+
+§4.2 of the paper: "To handle write accesses to emulated disks, Nyx-Net
+introduces a second caching layer to store dirtied sectors representing
+incremental snapshots.  Like Nyx, we use a hashmap lookup to find
+sectors in the snapshot, otherwise we fall back to Nyx's root snapshot."
+
+We model the same structure: a read-only base image, a *root overlay*
+hashmap holding sectors written since boot (this is what the root
+snapshot freezes) and an *incremental overlay* on top of it.  Reads walk
+incremental overlay → root overlay → base image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+SECTOR_SIZE = 512
+
+_ZERO_SECTOR = bytes(SECTOR_SIZE)
+
+
+class DiskError(Exception):
+    """Raised on out-of-range sector accesses."""
+
+
+class EmulatedDisk:
+    """A sector-addressed block device with snapshot overlays."""
+
+    def __init__(self, num_sectors: int, base_image: Optional[Dict[int, bytes]] = None) -> None:
+        if num_sectors <= 0:
+            raise ValueError("disk must have at least one sector")
+        self.num_sectors = num_sectors
+        #: Immutable content present at boot (sparse; missing = zeros).
+        self._base: Dict[int, bytes] = dict(base_image or {})
+        #: Live writes since boot.  The root snapshot freezes a copy.
+        self._live: Dict[int, bytes] = {}
+        #: Sectors written since the last dirty flush.
+        self._dirty: Set[int] = set()
+        for sector, data in self._base.items():
+            self._check(sector)
+            if len(data) != SECTOR_SIZE:
+                raise ValueError("base image sector %d has wrong size" % sector)
+
+    # -- I/O ---------------------------------------------------------------
+
+    def read_sector(self, sector: int) -> bytes:
+        self._check(sector)
+        if sector in self._live:
+            return self._live[sector]
+        return self._base.get(sector, _ZERO_SECTOR)
+
+    def write_sector(self, sector: int, data: bytes) -> None:
+        self._check(sector)
+        if len(data) != SECTOR_SIZE:
+            raise ValueError("sector writes must be exactly SECTOR_SIZE bytes")
+        self._live[sector] = data
+        self._dirty.add(sector)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Byte-granular write helper (read-modify-write per sector)."""
+        end = offset + len(data)
+        if offset < 0 or end > self.num_sectors * SECTOR_SIZE:
+            raise DiskError("write outside disk bounds")
+        pos = offset
+        view = memoryview(data)
+        while view:
+            sector, s_off = divmod(pos, SECTOR_SIZE)
+            chunk = min(len(view), SECTOR_SIZE - s_off)
+            old = self.read_sector(sector)
+            self.write_sector(sector, old[:s_off] + bytes(view[:chunk]) + old[s_off + chunk:])
+            view = view[chunk:]
+            pos += chunk
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Byte-granular read helper."""
+        end = offset + length
+        if offset < 0 or end > self.num_sectors * SECTOR_SIZE:
+            raise DiskError("read outside disk bounds")
+        out = bytearray()
+        pos = offset
+        remaining = length
+        while remaining:
+            sector, s_off = divmod(pos, SECTOR_SIZE)
+            chunk = min(remaining, SECTOR_SIZE - s_off)
+            out += self.read_sector(sector)[s_off:s_off + chunk]
+            pos += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    # -- snapshot support -----------------------------------------------------
+
+    def take_dirty(self) -> List[int]:
+        """Return and clear the set of sectors written since last flush."""
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def capture_overlay(self) -> Dict[int, bytes]:
+        """Copy of the live overlay (what a snapshot must remember)."""
+        return dict(self._live)
+
+    def restore_overlay(self, overlay: Dict[int, bytes], dirty_sectors: List[int]) -> None:
+        """Reset ``dirty_sectors`` to their content in ``overlay``.
+
+        Sectors absent from the overlay fall back to the base image —
+        the same hashmap-then-root-fallback lookup as §4.2.
+        """
+        for sector in dirty_sectors:
+            if sector in overlay:
+                self._live[sector] = overlay[sector]
+            else:
+                self._live.pop(sector, None)
+
+    def _check(self, sector: int) -> None:
+        if not 0 <= sector < self.num_sectors:
+            raise DiskError(
+                "sector %d out of range (disk has %d sectors)" % (sector, self.num_sectors))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EmulatedDisk(%d sectors, %d live, %d dirty)" % (
+            self.num_sectors, len(self._live), len(self._dirty))

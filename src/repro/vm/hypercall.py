@@ -1,0 +1,46 @@
+"""The hypercall interface between the in-guest agent and the fuzzer.
+
+"Hypercalls are like syscalls but for VMs: they leave the VM context
+and pass the control to the hypervisor" (§2.3).  The agent (our
+emulation layer, :mod:`repro.emu.interceptor`) uses them to drive the
+fuzzing cycle: announce readiness, request snapshots, report test-case
+completion and panics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Hypercall(enum.Enum):
+    """Hypercall numbers understood by the (simulated) hypervisor."""
+
+    #: Agent is ready; the hypervisor should take the root snapshot.
+    READY_AND_SNAPSHOT = "ready_and_snapshot"
+    #: Take the secondary (incremental) snapshot right now (§4.3's
+    #: special "snapshot" opcode lands here).
+    CREATE_INCREMENTAL = "create_incremental"
+    #: The test case finished cleanly.
+    RELEASE = "release"
+    #: The guest observed a crash in the target.
+    PANIC = "panic"
+    #: The target performed an operation the emulation cannot satisfy
+    #: (used for diagnostics, mirrors Nyx's abort hypercall).
+    ABORT = "abort"
+
+
+class HypercallError(Exception):
+    """Raised when the guest issues a hypercall the host cannot honor."""
+
+
+@dataclass
+class HypercallEvent:
+    """A single hypercall as observed by the hypervisor."""
+
+    call: Hypercall
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HypercallEvent(%s, %r)" % (self.call.value, self.payload)

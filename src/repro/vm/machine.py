@@ -1,0 +1,120 @@
+"""The virtual machine: memory + devices + disk + snapshots + clock.
+
+A :class:`Machine` is the host-side object the fuzzer controls.  The
+guest OS (:mod:`repro.guestos.kernel`) runs "inside" it, storing all of
+its mutable state in guest memory so that snapshot restores genuinely
+rewind guest execution.  Components that cache guest state host-side
+register ``on_restore`` callbacks and reload themselves from memory
+after every restore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.vm.devices import DeviceBoard
+from repro.vm.disk import EmulatedDisk
+from repro.vm.hypercall import Hypercall, HypercallEvent
+from repro.vm.memory import GuestMemory, RegionAllocator
+from repro.vm.snapshot import RootSnapshot, SnapshotManager
+
+#: Default VM geometry: enough pages for a busy guest without making
+#: root snapshot captures slow in host time.
+DEFAULT_MEMORY_BYTES = 64 * 1024 * 1024
+DEFAULT_DISK_SECTORS = 8192
+
+
+class Machine:
+    """A simulated whole VM with two-level snapshot support."""
+
+    def __init__(self, memory_bytes: int = DEFAULT_MEMORY_BYTES,
+                 disk_sectors: int = DEFAULT_DISK_SECTORS,
+                 costs: Optional[CostModel] = None,
+                 clock: Optional[SimClock] = None) -> None:
+        self.costs = costs or DEFAULT_COSTS
+        self.clock = clock or SimClock()
+        self.memory = GuestMemory(memory_bytes)
+        self.devices = DeviceBoard()
+        self.disk = EmulatedDisk(disk_sectors)
+        self.allocator = RegionAllocator(self.memory)
+        self.snapshots = SnapshotManager(
+            self.memory, self.devices, self.disk, self.clock, self.costs)
+        self._on_restore: List[Callable[[], None]] = []
+        self._hypercall_log: List[HypercallEvent] = []
+        self._hypercall_handler: Optional[Callable[[HypercallEvent], None]] = None
+
+    # -- guest <-> host plumbing ------------------------------------------------
+
+    def on_restore(self, callback: Callable[[], None]) -> None:
+        """Register a callback invoked after every snapshot restore."""
+        self._on_restore.append(callback)
+
+    def set_hypercall_handler(self, handler: Callable[[HypercallEvent], None]) -> None:
+        """Install the fuzzer-side hypercall handler."""
+        self._hypercall_handler = handler
+
+    def hypercall(self, call: Hypercall, **payload: Any) -> None:
+        """Issue a hypercall from the guest (charges a VM exit)."""
+        self.clock.charge(self.costs.context_switch)
+        event = HypercallEvent(call, payload)
+        self._hypercall_log.append(event)
+        if self._hypercall_handler is not None:
+            self._hypercall_handler(event)
+
+    def drain_hypercalls(self) -> List[HypercallEvent]:
+        """Return and clear the hypercall log."""
+        log = self._hypercall_log
+        self._hypercall_log = []
+        return log
+
+    # -- snapshot operations (fuzzer-facing) -----------------------------------
+
+    def capture_root(self) -> RootSnapshot:
+        """Take the root snapshot of the current VM state."""
+        return self.snapshots.capture_root()
+
+    def adopt_root(self, root: RootSnapshot) -> None:
+        """Share another machine's root snapshot (§5.3 scalability)."""
+        self.snapshots.adopt_root(root)
+        self._notify_restore()
+
+    def restore_root(self) -> int:
+        """Reset to the root snapshot; returns pages reset."""
+        n = self.snapshots.restore_root()
+        self._notify_restore()
+        return n
+
+    def create_incremental(self) -> int:
+        """Take the secondary snapshot at the current execution point."""
+        return self.snapshots.create_incremental()
+
+    def restore_incremental(self) -> int:
+        """Reset to the secondary snapshot; returns pages reset."""
+        n = self.snapshots.restore_incremental()
+        self._notify_restore()
+        return n
+
+    def reset_for_next_test(self) -> int:
+        """Reset to whichever snapshot is active (incremental if any)."""
+        if self.snapshots.incremental_active:
+            return self.restore_incremental()
+        return self.restore_root()
+
+    def _notify_restore(self) -> None:
+        for callback in self._on_restore:
+            callback()
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot statistics merged with memory counters."""
+        out = self.snapshots.stats.as_dict()
+        out["total_pages"] = self.memory.num_pages
+        out["pages_ever_dirtied"] = self.memory.total_dirtied
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Machine(%d MiB, t=%.3fs)" % (
+            self.memory.size_bytes // (1024 * 1024), self.clock.now)

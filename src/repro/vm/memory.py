@@ -1,0 +1,267 @@
+"""Paged guest physical memory with hardware-style dirty logging.
+
+This module substitutes for the VM physical memory managed by KVM in
+the paper.  Two dirty-tracking structures are maintained side by side,
+exactly as §2.3 describes:
+
+* a **dirty bitmap** with one byte per page ("for some reason, KVM uses
+  1 byte in the bitmap for each page"), and
+* Nyx's **dirty-page stack**, which records each page the first time it
+  is dirtied so a reset never needs to scan the whole bitmap.
+
+Pages are immutable ``bytes`` objects; an all-zero page is shared via a
+sentinel, which is the Python analogue of lazily allocated guest
+memory.  Copying a page reference is our copy-on-write primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+PAGE_SIZE = 4096
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-range guest physical accesses."""
+
+
+class GuestMemory:
+    """Guest physical memory: a page array plus dirty logging.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total guest physical memory.  Rounded up to whole pages.
+    """
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.num_pages = -(-size_bytes // PAGE_SIZE)
+        self.size_bytes = self.num_pages * PAGE_SIZE
+        self._pages: List[bytes] = [_ZERO_PAGE] * self.num_pages
+        #: KVM-style dirty bitmap, one byte per page.
+        self.dirty_bitmap = bytearray(self.num_pages)
+        #: Nyx-style stack of pages dirtied since the last flush.
+        self.dirty_stack: List[int] = []
+        #: Count of pages ever dirtied (statistics only).
+        self.total_dirtied = 0
+
+    # -- raw page access -------------------------------------------------
+
+    def page(self, index: int) -> bytes:
+        """Return the current content of page ``index``."""
+        self._check_page(index)
+        return self._pages[index]
+
+    def set_page(self, index: int, content: bytes, *, log: bool = True) -> None:
+        """Replace page ``index``; marks it dirty unless ``log`` is False.
+
+        Restores pass ``log=False`` — resetting a page must not make it
+        appear dirty again, or the next reset would do wasted work.
+        """
+        self._check_page(index)
+        if len(content) != PAGE_SIZE:
+            raise ValueError("page content must be exactly PAGE_SIZE bytes")
+        self._pages[index] = content
+        if log:
+            self.mark_dirty(index)
+
+    def pages_snapshot(self) -> List[bytes]:
+        """Shallow copy of the page array (CoW view of all memory)."""
+        return list(self._pages)
+
+    # -- byte-granular access ---------------------------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at guest physical ``addr``."""
+        self._check_range(addr, length)
+        if length == 0:
+            return b""
+        out = bytearray()
+        remaining = length
+        offset = addr
+        while remaining:
+            page_idx, page_off = divmod(offset, PAGE_SIZE)
+            chunk = min(remaining, PAGE_SIZE - page_off)
+            out += self._pages[page_idx][page_off:page_off + chunk]
+            offset += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at guest physical ``addr``, dirtying pages."""
+        self._check_range(addr, len(data))
+        offset = addr
+        view = memoryview(data)
+        while view:
+            page_idx, page_off = divmod(offset, PAGE_SIZE)
+            chunk = min(len(view), PAGE_SIZE - page_off)
+            old = self._pages[page_idx]
+            new = old[:page_off] + bytes(view[:chunk]) + old[page_off + chunk:]
+            self._pages[page_idx] = new
+            self.mark_dirty(page_idx)
+            view = view[chunk:]
+            offset += chunk
+
+    # -- dirty logging -----------------------------------------------------
+
+    def mark_dirty(self, index: int) -> None:
+        """Record a write to page ``index``.
+
+        The stack only records the *first* write since the last flush —
+        the bitmap byte acts as the dedup filter, mirroring how Nyx's
+        KVM extension maintains its stack.
+        """
+        if not self.dirty_bitmap[index]:
+            self.dirty_bitmap[index] = 1
+            self.dirty_stack.append(index)
+            self.total_dirtied += 1
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of distinct pages dirtied since the last flush."""
+        return len(self.dirty_stack)
+
+    def take_dirty(self) -> List[int]:
+        """Pop and return all dirty pages, clearing the log (Nyx path).
+
+        This is O(number of dirty pages): the stack is drained and only
+        the bitmap bytes it names are cleared.
+        """
+        pages = self.dirty_stack
+        self.dirty_stack = []
+        bitmap = self.dirty_bitmap
+        for idx in pages:
+            bitmap[idx] = 0
+        return pages
+
+    def scan_bitmap(self) -> List[int]:
+        """Scan the whole bitmap for dirty pages (Agamotto path).
+
+        O(total pages) regardless of how few are dirty — this is the
+        cost asymmetry Figure 6 of the paper measures.  The log is
+        cleared as a side effect, like ``take_dirty``.
+        """
+        pages = [i for i, b in enumerate(self.dirty_bitmap) if b]
+        self.dirty_stack = []
+        for idx in pages:
+            self.dirty_bitmap[idx] = 0
+        return pages
+
+    def clear_dirty_log(self) -> None:
+        """Drop all dirty state without reporting it."""
+        self.take_dirty()
+
+    # -- validation --------------------------------------------------------
+
+    def _check_page(self, index: int) -> None:
+        if not 0 <= index < self.num_pages:
+            raise MemoryError_(
+                "page %d out of range (memory has %d pages)" % (index, self.num_pages)
+            )
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size_bytes:
+            raise MemoryError_(
+                "access [%#x, +%d) outside guest memory of %d bytes"
+                % (addr, length, self.size_bytes)
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "GuestMemory(%d pages, %d dirty)" % (self.num_pages, self.dirty_count)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A page-aligned allocation of guest physical memory."""
+
+    start_page: int
+    num_pages: int
+
+    @property
+    def start_addr(self) -> int:
+        return self.start_page * PAGE_SIZE
+
+    @property
+    def size(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+
+class RegionAllocator:
+    """Bump allocator handing out page-aligned regions of guest memory.
+
+    The guest OS stores every piece of mutable state (process control
+    blocks, socket buffers, target state machines) in regions, so that
+    whole-VM snapshots of the page array genuinely capture and restore
+    guest state.  The bump pointer itself is part of guest state and is
+    saved/restored through :meth:`state` / :meth:`set_state`.
+    """
+
+    def __init__(self, memory: GuestMemory, first_page: int = 0) -> None:
+        self._memory = memory
+        self._next_page = first_page
+
+    def alloc(self, nbytes: int) -> Region:
+        """Allocate a region large enough for ``nbytes``."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        npages = -(-nbytes // PAGE_SIZE)
+        if self._next_page + npages > self._memory.num_pages:
+            raise MemoryError_(
+                "guest out of memory: need %d pages, %d free"
+                % (npages, self._memory.num_pages - self._next_page)
+            )
+        region = Region(self._next_page, npages)
+        self._next_page += npages
+        return region
+
+    def write_blob(self, region: Region, blob: bytes) -> None:
+        """Store ``blob`` (length-prefixed) into ``region``."""
+        framed = len(blob).to_bytes(8, "little") + blob
+        if len(framed) > region.size:
+            raise MemoryError_(
+                "blob of %d bytes does not fit region of %d bytes"
+                % (len(blob), region.size)
+            )
+        self._memory.write(region.start_addr, framed)
+
+    def read_blob(self, region: Region) -> bytes:
+        """Read back a blob previously stored with :meth:`write_blob`."""
+        length = int.from_bytes(self._memory.read(region.start_addr, 8), "little")
+        if length > region.size - 8:
+            raise MemoryError_("corrupt blob header in region %r" % (region,))
+        return self._memory.read(region.start_addr + 8, length)
+
+    def state(self) -> int:
+        """The bump pointer, for inclusion in snapshotted state."""
+        return self._next_page
+
+    def set_state(self, next_page: int) -> None:
+        """Restore the bump pointer from a snapshot."""
+        self._next_page = next_page
+
+    @property
+    def pages_used(self) -> int:
+        return self._next_page
+
+    def writes_fit(self, blob_len: int, region: Optional[Region]) -> bool:
+        """Whether a blob of ``blob_len`` fits ``region`` (None = no)."""
+        return region is not None and blob_len + 8 <= region.size
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of pages needed to hold ``nbytes``."""
+    return -(-nbytes // PAGE_SIZE)
+
+
+def iter_page_chunks(data: bytes) -> Iterable[bytes]:
+    """Yield PAGE_SIZE chunks of ``data``, zero-padding the last one."""
+    for off in range(0, len(data), PAGE_SIZE):
+        chunk = data[off:off + PAGE_SIZE]
+        if len(chunk) < PAGE_SIZE:
+            chunk = chunk + bytes(PAGE_SIZE - len(chunk))
+        yield chunk

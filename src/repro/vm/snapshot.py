@@ -1,0 +1,315 @@
+"""Root and incremental whole-VM snapshots (the paper's §4.2).
+
+The root snapshot is a full copy of guest memory, device state and the
+disk overlay.  Restoring it walks the Nyx dirty-page *stack* (never the
+whole bitmap) and resets exactly the pages that diverged.
+
+Incremental snapshots add a second level:
+
+* A **mirror** of the physical memory is kept as copy-on-write
+  references into the root snapshot's page array, so the incremental
+  snapshot "looks like a complete root snapshot without incurring
+  anywhere near the full memory cost".
+* Creating an incremental snapshot overwrites the mirror entries for
+  every page dirtied since the root snapshot with a real copy of the
+  current content; stale copies from the previous incremental snapshot
+  are reverted to root references first.
+* Because real copies accumulate, the mirror is **re-mirrored** to a
+  clean CoW view of the root "every 2,000 snapshots created".
+* Only one incremental snapshot exists at any time; scheduling a new
+  input discards it (§3.4).
+
+Cost accounting: every operation charges the machine clock through the
+cost model, so Table 3 and Figure 6 reproduce the structural costs of
+the paper (per-dirty-page work + a fixed hypercall/device cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.vm.devices import DeviceBoard
+from repro.vm.disk import EmulatedDisk
+from repro.vm.memory import GuestMemory
+
+#: The paper's re-mirror period: "we re-mirror the physical memory used
+#: in the incremental snapshot to a clean copy of the original root
+#: memory every 2,000 snapshots created."
+REMIRROR_PERIOD = 2000
+
+
+class SnapshotError(Exception):
+    """Raised on snapshot protocol violations (e.g., no root yet)."""
+
+
+class RootSnapshot:
+    """An immutable full copy of the VM state.
+
+    Instances can be *shared* between machines (§5.3 scalability: "we
+    share the root snapshots between different instances"): the page
+    list is never mutated after capture, so any number of VMs may hold
+    references into it.
+    """
+
+    __slots__ = ("pages", "device_state", "disk_overlay", "guest_blob")
+
+    def __init__(self, pages: List[bytes], device_state: Dict[str, Tuple],
+                 disk_overlay: Dict[int, bytes], guest_blob: bytes) -> None:
+        self.pages = pages
+        self.device_state = device_state
+        self.disk_overlay = disk_overlay
+        #: Opaque host-side guest-OS bookkeeping captured with the root
+        #: (the directory of state regions; see repro.guestos.kernel).
+        self.guest_blob = guest_blob
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+
+class SnapshotStats:
+    """Counters describing snapshot activity for a machine."""
+
+    def __init__(self) -> None:
+        self.root_restores = 0
+        self.incremental_creates = 0
+        self.incremental_restores = 0
+        self.remirrors = 0
+        self.pages_reset = 0
+        self.pages_captured = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class SnapshotManager:
+    """Implements Nyx-Net's two-level snapshot scheme over a machine."""
+
+    def __init__(self, memory: GuestMemory, devices: DeviceBoard,
+                 disk: EmulatedDisk, clock: SimClock, costs: CostModel) -> None:
+        self._memory = memory
+        self._devices = devices
+        self._disk = disk
+        self._clock = clock
+        self._costs = costs
+        self.stats = SnapshotStats()
+
+        self._root: Optional[RootSnapshot] = None
+        #: Pages that may differ from the root snapshot.
+        self._diverged: set = set()
+        #: Disk sectors that may differ from the root overlay.
+        self._disk_diverged: set = set()
+
+        # Incremental snapshot state.
+        self._mirror: Optional[List[bytes]] = None
+        self._mirror_touched: set = set()
+        self._inc_device_state: Optional[Dict[str, Tuple]] = None
+        self._inc_disk_overlay: Optional[Dict[int, bytes]] = None
+        self._inc_active = False
+        self._creates_since_remirror = 0
+
+    # -- root snapshot ------------------------------------------------------
+
+    @property
+    def has_root(self) -> bool:
+        return self._root is not None
+
+    @property
+    def incremental_active(self) -> bool:
+        return self._inc_active
+
+    @property
+    def root(self) -> RootSnapshot:
+        if self._root is None:
+            raise SnapshotError("no root snapshot has been captured")
+        return self._root
+
+    def capture_root(self, guest_blob: bytes = b"") -> RootSnapshot:
+        """Take the (expensive) full-copy root snapshot.
+
+        "Creating a root snapshot is expensive because it requires to
+        copy the whole physical memory" — we charge per page of the
+        whole memory, not per dirty page.
+        """
+        pages = self._memory.pages_snapshot()
+        root = RootSnapshot(
+            pages=pages,
+            device_state=self._devices.capture_fast(),
+            disk_overlay=self._disk.capture_overlay(),
+            guest_blob=guest_blob,
+        )
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + self._memory.num_pages * self._costs.root_page_copy)
+        self._root = root
+        self._memory.clear_dirty_log()
+        self._disk.take_dirty()
+        self._diverged = set()
+        self._disk_diverged = set()
+        self._mirror = list(pages)
+        self._mirror_touched = set()
+        self._inc_active = False
+        self._creates_since_remirror = 0
+        return root
+
+    def adopt_root(self, root: RootSnapshot) -> None:
+        """Attach a *shared* root snapshot captured by another machine.
+
+        This is the §5.3 scalability mechanism: 80 instances sharing one
+        root only pay for their private dirty pages.  The caller must
+        ensure memory geometry matches.
+        """
+        if root.num_pages != self._memory.num_pages:
+            raise SnapshotError("shared root has mismatched memory geometry")
+        self._root = root
+        # Load the shared image into this machine (CoW references).
+        for idx, page in enumerate(root.pages):
+            self._memory.set_page(idx, page, log=False)
+        self._devices.restore_fast(root.device_state)
+        self._disk.restore_overlay(root.disk_overlay, self._disk.take_dirty())
+        self._memory.clear_dirty_log()
+        self._diverged = set()
+        self._disk_diverged = set()
+        self._mirror = list(root.pages)
+        self._mirror_touched = set()
+        self._inc_active = False
+        self._creates_since_remirror = 0
+
+    def restore_root(self) -> int:
+        """Reset the VM to the root snapshot; returns pages reset."""
+        root = self.root
+        self._absorb_dirty()
+        for idx in self._diverged:
+            self._memory.set_page(idx, root.pages[idx], log=False)
+        n = len(self._diverged)
+        self._diverged = set()
+        self._devices.restore_fast(root.device_state)
+        for sector in self._disk_diverged:
+            overlay = root.disk_overlay
+            self._disk.restore_overlay(overlay, [sector])
+        nsect = len(self._disk_diverged)
+        self._disk_diverged = set()
+        self._disk.take_dirty()
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + self._costs.device_reset_fast
+            + n * self._costs.page_copy
+            + nsect * self._costs.sector_copy)
+        self.stats.root_restores += 1
+        self.stats.pages_reset += n
+        # Discarding any incremental snapshot is free: the mirror is
+        # lazily re-populated on the next create.
+        self._inc_active = False
+        return n
+
+    # -- incremental snapshot --------------------------------------------------
+
+    def create_incremental(self) -> int:
+        """Snapshot the *current* state as the secondary snapshot.
+
+        Returns the number of pages captured.  Cost: per page diverged
+        from root (plus reverting stale mirror entries), a fixed
+        hypercall cost, and a device state copy.
+        """
+        root = self.root
+        self._absorb_dirty()
+
+        if self._creates_since_remirror >= REMIRROR_PERIOD:
+            # Re-mirror: throw away accumulated real copies and start
+            # from a clean CoW view of the root image.
+            self._mirror = list(root.pages)
+            self._mirror_touched = set()
+            self._creates_since_remirror = 0
+            self.stats.remirrors += 1
+            self._clock.charge(self._costs.snapshot_fixed)
+
+        mirror = self._mirror
+        assert mirror is not None
+        # Revert mirror entries left over from the previous incremental
+        # snapshot that are no longer diverged.
+        stale = self._mirror_touched - self._diverged
+        for idx in stale:
+            mirror[idx] = root.pages[idx]
+        # Copy every diverged page's current content into the mirror.
+        for idx in self._diverged:
+            mirror[idx] = self._memory.page(idx)
+        self._mirror_touched = set(self._diverged)
+
+        self._inc_device_state = self._devices.capture_fast()
+        self._inc_disk_overlay = self._disk.capture_overlay()
+        self._inc_active = True
+        self._creates_since_remirror += 1
+
+        n = len(self._diverged)
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + self._costs.device_reset_fast
+            + (n + len(stale)) * self._costs.page_copy)
+        self.stats.incremental_creates += 1
+        self.stats.pages_captured += n
+        return n
+
+    def restore_incremental(self) -> int:
+        """Reset the VM to the incremental snapshot; returns pages reset.
+
+        Only pages dirtied *since the incremental snapshot* are touched:
+        the mirror looks like a full snapshot, so no per-page decision
+        between root and incremental content is needed (§4.2).
+        """
+        if not self._inc_active:
+            raise SnapshotError("no incremental snapshot is active")
+        mirror = self._mirror
+        assert mirror is not None
+        dirty = self._memory.take_dirty()
+        for idx in dirty:
+            self._memory.set_page(idx, mirror[idx], log=False)
+            self._diverged.add(idx)
+        assert self._inc_device_state is not None
+        self._devices.restore_fast(self._inc_device_state)
+        dirty_sectors = self._disk.take_dirty()
+        assert self._inc_disk_overlay is not None
+        self._disk.restore_overlay(self._inc_disk_overlay, dirty_sectors)
+        self._disk_diverged.update(dirty_sectors)
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + self._costs.device_reset_fast
+            + len(dirty) * self._costs.page_copy
+            + len(dirty_sectors) * self._costs.sector_copy)
+        self.stats.incremental_restores += 1
+        self.stats.pages_reset += len(dirty)
+        return len(dirty)
+
+    def discard_incremental(self) -> None:
+        """Drop the secondary snapshot (scheduling a new input, §3.4)."""
+        self._inc_active = False
+
+    # -- accounting -----------------------------------------------------------
+
+    def diverged_pages(self) -> int:
+        """Pages currently known to differ from the root snapshot."""
+        self._absorb_dirty()
+        return len(self._diverged)
+
+    def private_page_count(self) -> int:
+        """Pages of this VM not shared (by identity) with the root.
+
+        Used by the §5.3 scalability experiment: instances sharing a
+        root snapshot only own their diverged pages plus mirror copies.
+        """
+        root = self.root
+        private = 0
+        for idx in range(self._memory.num_pages):
+            if self._memory.page(idx) is not root.pages[idx]:
+                private += 1
+        if self._mirror is not None:
+            private += len(self._mirror_touched)
+        return private
+
+    def _absorb_dirty(self) -> None:
+        """Fold the hardware dirty log into the diverged-from-root set."""
+        for idx in self._memory.take_dirty():
+            self._diverged.add(idx)
+        for sector in self._disk.take_dirty():
+            self._disk_diverged.add(sector)

@@ -1,0 +1,59 @@
+"""Tiny harness for driving one target through the emulation layer."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.emu.interceptor import Interceptor
+from repro.guestos.errors import CrashReport
+from repro.guestos.kernel import Kernel
+from repro.targets.base import TargetProfile
+from repro.vm.machine import Machine
+
+
+class TargetHarness:
+    """Boots a profile's target and exchanges packets with it."""
+
+    def __init__(self, profile: TargetProfile, asan: bool = True) -> None:
+        self.profile = profile
+        self.machine = Machine(memory_bytes=32 * 1024 * 1024)
+        self.kernel = Kernel(self.machine)
+        self.interceptor = Interceptor(self.kernel, profile.surface())
+        self.program = profile.make_program()
+        if hasattr(self.program, "asan"):
+            self.program.asan = asan
+        self.kernel.spawn(self.program)
+        self.kernel.run(max_rounds=256)
+        self.kernel.flush_to_memory(full=True)
+        self.machine.capture_root()
+        self._conn_open = False
+
+    def send(self, *packets: bytes) -> List[bytes]:
+        """Deliver packets on connection 0; returns target responses."""
+        if not self._conn_open:
+            self.interceptor.reset_for_test()
+            self.interceptor.open_connection(0)
+            self._conn_open = True
+        for packet in packets:
+            self.interceptor.queue_packet(0, packet)
+            self.kernel.run()
+        return self.interceptor.responses(0)
+
+    def crash(self) -> Optional[CrashReport]:
+        if self.kernel.crash_reports:
+            return self.kernel.crash_reports[0]
+        return None
+
+    def reset(self) -> None:
+        """Snapshot-reset to the pristine booted state."""
+        self.kernel.flush_to_memory()
+        self.kernel.crash_reports.clear()
+        self.machine.restore_root()
+        self._conn_open = False
+
+    def run_session(self, packets: Sequence[bytes]) -> Optional[CrashReport]:
+        """Fresh session: send all packets, report any crash, reset."""
+        self.reset()
+        self.send(*packets)
+        report = self.crash()
+        return report

@@ -1,0 +1,174 @@
+"""Tests for the baseline fuzzers: AFLNet, AFLNwe, AFL++/desock,
+Agamotto."""
+
+import pytest
+
+from repro.baselines.aflnet import AflNetConfig, AflNetFuzzer
+from repro.baselines.aflnwe import AflNweFuzzer
+from repro.baselines.aflpp_desock import (AflPlusPlusDesockFuzzer,
+                                          DesockConfig, DesockError)
+from repro.baselines.agamotto import AgamottoSnapshotter
+from repro.fuzz.input import packets_input
+from repro.targets.bftpd import PROFILE as BFTPD
+from repro.targets.lightftp import PROFILE as LIGHTFTP
+from repro.targets.dnsmasq import PROFILE as DNSMASQ
+from repro.vm.machine import Machine
+from repro.vm.memory import PAGE_SIZE
+
+
+class TestAflNet:
+    def test_campaign_runs_and_finds_coverage(self):
+        fuzzer = AflNetFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=120))
+        stats = fuzzer.run_campaign()
+        assert stats.execs == 120
+        assert stats.final_edges > 30
+        assert stats.fuzzer_name == "aflnet"
+
+    def test_throughput_is_single_digit_ish(self):
+        fuzzer = AflNetFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=100))
+        stats = fuzzer.run_campaign()
+        # "single digit test executions per second" territory (§2.1):
+        # far below even 100/s, orders below Nyx-Net.
+        assert stats.execs_per_second() < 100
+
+    def test_state_feedback_tracks_response_codes(self):
+        fuzzer = AflNetFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=80))
+        fuzzer.run_campaign()
+        assert len(fuzzer.states_seen) >= 2
+
+    def test_no_state_variant_never_restarts(self):
+        fuzzer = AflNetFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=120, state_aware=False,
+            restart_interval=10))
+        fuzzer.run_campaign()
+        assert fuzzer.stats.fuzzer_name == "aflnet-no-state"
+        # The persistent server accumulated sessions across all tests.
+        server = next(p for p in fuzzer.harness.kernel.processes.values())
+        assert getattr(server.program, "conns", None) is not None
+
+    def test_stateful_variant_restarts_periodically(self):
+        fuzzer = AflNetFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=60, restart_interval=10))
+        t_before = fuzzer.clock.now
+        fuzzer.run_campaign()
+        # Restart + cleanup costs show up in the simulated clock.
+        assert fuzzer.clock.now > t_before + 5 * (
+            fuzzer.harness.machine.costs.aflnet_cleanup_script)
+
+    def test_works_on_udp_targets(self):
+        fuzzer = AflNetFuzzer(DNSMASQ, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=60))
+        stats = fuzzer.run_campaign()
+        assert stats.final_edges > 20
+
+
+class TestAflNwe:
+    def test_flattening_destroys_boundaries(self):
+        fuzzer = AflNweFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=10))
+        flat = fuzzer._flatten(packets_input([b"USER a\r\n", b"PASS b\r\n"]))
+        payloads = [flat.payload_of(i) for i in flat.packet_indices()]
+        assert payloads == [b"USER a\r\nPASS b\r\n"]  # one merged chunk
+
+    def test_campaign_runs(self):
+        fuzzer = AflNweFuzzer(LIGHTFTP, AflNetConfig(
+            seed=1, time_budget=1e9, max_execs=80))
+        stats = fuzzer.run_campaign()
+        assert stats.fuzzer_name == "aflnwe"
+        assert stats.execs == 80
+
+
+class TestAflPlusPlusDesock:
+    def test_incompatible_target_is_na(self):
+        with pytest.raises(DesockError):
+            AflPlusPlusDesockFuzzer(BFTPD)  # forking server
+
+    def test_compatible_target_runs(self):
+        fuzzer = AflPlusPlusDesockFuzzer(LIGHTFTP, DesockConfig(
+            seed=1, time_budget=1e9, max_execs=60))
+        stats = fuzzer.run_campaign()
+        assert stats.execs == 60
+        assert stats.final_edges > 10
+
+    def test_exec_cost_dominated_by_linger(self):
+        fuzzer = AflPlusPlusDesockFuzzer(LIGHTFTP, DesockConfig(
+            seed=1, time_budget=1e9, max_execs=40))
+        stats = fuzzer.run_campaign()
+        costs = fuzzer.harness.machine.costs
+        assert stats.end_time >= 40 * costs.desock_exec_linger
+
+
+class TestAgamotto:
+    def machine(self):
+        return Machine(memory_bytes=512 * PAGE_SIZE)
+
+    def test_snapshot_restore_roundtrip(self):
+        machine = self.machine()
+        machine.memory.write(0, b"base")
+        snap = AgamottoSnapshotter(machine)
+        machine.memory.write(0, b"gen1")
+        s1 = snap.create_snapshot()
+        machine.memory.write(0, b"gen2")
+        snap.restore(s1)
+        assert machine.memory.read(0, 4) == b"gen1"
+        snap.restore(0)
+        assert machine.memory.read(0, 4) == b"base"
+
+    def test_tree_of_snapshots(self):
+        machine = self.machine()
+        snap = AgamottoSnapshotter(machine)
+        machine.memory.write(0, b"A")
+        s1 = snap.create_snapshot()
+        machine.memory.write(PAGE_SIZE, b"B")
+        s2 = snap.create_snapshot()
+        machine.memory.write(0, b"X")
+        snap.restore(s2)
+        assert machine.memory.read(0, 1) == b"A"
+        assert machine.memory.read(PAGE_SIZE, 1) == b"B"
+        snap.restore(s1)
+        assert machine.memory.read(PAGE_SIZE, 1) == b"\x00"
+
+    def test_lru_eviction_under_budget_pressure(self):
+        machine = self.machine()
+        snap = AgamottoSnapshotter(machine, storage_budget=40 * PAGE_SIZE)
+        ids = []
+        for i in range(12):
+            for page in range(8):
+                machine.memory.write(page * PAGE_SIZE, b"gen %d" % i)
+            ids.append(snap.create_snapshot())
+        assert snap.evictions > 0
+        # The most recent snapshot must always survive.
+        snap.restore(ids[-1])
+        assert machine.memory.read(0, 6) == b"gen 11"
+
+    def test_restoring_evicted_snapshot_raises(self):
+        machine = self.machine()
+        snap = AgamottoSnapshotter(machine, storage_budget=20 * PAGE_SIZE)
+        ids = []
+        for i in range(10):
+            for page in range(6):
+                machine.memory.write(page * PAGE_SIZE, b"g%d" % i)
+            ids.append(snap.create_snapshot())
+        evicted = next(i for i in ids if i not in snap._snapshots)
+        with pytest.raises(KeyError):
+            snap.restore(evicted)
+
+    def test_agamotto_charges_more_than_nyx(self):
+        """The Figure 6 asymmetry, at the cost-model level."""
+        machine_nyx = self.machine()
+        machine_nyx.capture_root()
+        machine_nyx.memory.write(0, b"d")
+        t0 = machine_nyx.clock.now
+        machine_nyx.create_incremental()
+        nyx_cost = machine_nyx.clock.now - t0
+
+        machine_aga = self.machine()
+        snap = AgamottoSnapshotter(machine_aga)
+        machine_aga.memory.write(0, b"d")
+        t0 = machine_aga.clock.now
+        snap.create_snapshot()
+        aga_cost = machine_aga.clock.now - t0
+        assert aga_cost > nyx_cost

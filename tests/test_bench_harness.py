@@ -1,0 +1,60 @@
+"""Tests for the benchmark harness itself (config, matrix, memoization)."""
+
+from repro.bench.profuzzbench import (BenchConfig, FUZZER_NAMES,
+                                      run_fuzzer_once, run_matrix,
+                                      _MATRIX_CACHE)
+
+
+SMALL = BenchConfig(sim_budget=30.0, seeds=1, exec_cap_nyx=60,
+                    exec_cap_afl=40, exec_cap_aflpp=30)
+
+
+class TestBenchConfig:
+    def test_scaled(self):
+        scaled = SMALL.scaled(0.5)
+        assert scaled.sim_budget == 15.0
+        assert scaled.exec_cap_nyx == 100  # floor applies
+        assert scaled.seeds == SMALL.seeds
+
+    def test_hashable_for_memoization(self):
+        assert hash(SMALL) == hash(BenchConfig(
+            sim_budget=30.0, seeds=1, exec_cap_nyx=60, exec_cap_afl=40,
+            exec_cap_aflpp=30))
+
+
+class TestRunFuzzerOnce:
+    def test_every_fuzzer_name_runs(self):
+        for fuzzer in FUZZER_NAMES:
+            result = run_fuzzer_once(fuzzer, "lightftp", 0, SMALL)
+            assert result.fuzzer == fuzzer
+            assert result.not_applicable or result.stats.execs > 0
+
+    def test_na_for_desock_incompatible(self):
+        result = run_fuzzer_once("afl++", "bftpd", 0, SMALL)
+        assert result.not_applicable
+
+    def test_unknown_fuzzer_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            run_fuzzer_once("libfuzzer", "lightftp", 0, SMALL)
+
+
+class TestMatrix:
+    def test_matrix_and_memoization(self):
+        _MATRIX_CACHE.clear()
+        matrix = run_matrix(targets=["lightftp"],
+                            fuzzers=("aflnet", "nyx-none"), config=SMALL)
+        assert len(matrix.of("aflnet", "lightftp")) == 1
+        again = run_matrix(targets=["lightftp"],
+                           fuzzers=("aflnet", "nyx-none"), config=SMALL)
+        assert again is matrix  # memoized
+        _MATRIX_CACHE.clear()
+
+    def test_seeds_multiply_runs(self):
+        _MATRIX_CACHE.clear()
+        config = BenchConfig(sim_budget=20.0, seeds=2, exec_cap_nyx=40,
+                             exec_cap_afl=30, exec_cap_aflpp=20)
+        matrix = run_matrix(targets=["dnsmasq"], fuzzers=("nyx-none",),
+                            config=config)
+        assert len(matrix.of("nyx-none", "dnsmasq")) == 2
+        _MATRIX_CACHE.clear()

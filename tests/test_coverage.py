@@ -1,0 +1,143 @@
+"""Unit tests for the coverage bitmap and edge tracer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.bitmap import (BUCKET_LOOKUP, CoverageMap, MAP_SIZE,
+                                   classify_counts, count_bits)
+from repro.coverage.tracer import EdgeTracer
+
+
+class TestBuckets:
+    def test_afl_bucket_boundaries(self):
+        expected = {0: 0, 1: 1, 2: 2, 3: 4, 4: 8, 7: 8, 8: 16, 15: 16,
+                    16: 32, 31: 32, 32: 64, 127: 64, 128: 128, 255: 128}
+        for count, bucket in expected.items():
+            assert BUCKET_LOOKUP[count] == bucket, count
+
+    def test_classify_counts_sparse(self):
+        assert classify_counts({5: 1, 9: 300}) == {5: 1, 9: 128}
+
+
+class TestCoverageMap:
+    def test_new_edge_then_nothing(self):
+        cov = CoverageMap()
+        assert cov.has_new_bits({10: 1}) == CoverageMap.NEW_EDGE
+        assert cov.has_new_bits({10: 1}) == CoverageMap.NEW_NOTHING
+
+    def test_new_count_bucket(self):
+        cov = CoverageMap()
+        cov.has_new_bits({10: 1})
+        assert cov.has_new_bits({10: 5}) == CoverageMap.NEW_COUNT
+        assert cov.has_new_bits({10: 5}) == CoverageMap.NEW_NOTHING
+
+    def test_edge_count_tracks_distinct_edges(self):
+        cov = CoverageMap()
+        cov.has_new_bits({1: 1, 2: 1})
+        cov.has_new_bits({2: 3, 3: 1})
+        assert cov.edge_count() == 3
+
+    def test_update_false_leaves_virgin_untouched(self):
+        cov = CoverageMap()
+        assert cov.has_new_bits({7: 1}, update=False) == CoverageMap.NEW_EDGE
+        assert cov.has_new_bits({7: 1}) == CoverageMap.NEW_EDGE
+
+    def test_indices_wrap_modulo_map_size(self):
+        cov = CoverageMap()
+        cov.has_new_bits({MAP_SIZE + 5: 1})
+        assert cov.has_new_bits({5: 1}) == CoverageMap.NEW_NOTHING
+
+    def test_checksum_bucket_invariant(self):
+        cov = CoverageMap()
+        # 4..7 share a bucket, so checksums match.
+        assert cov.checksum({3: 4}) == cov.checksum({3: 7})
+        assert cov.checksum({3: 1}) != cov.checksum({3: 4})
+
+    def test_copy_is_independent(self):
+        cov = CoverageMap()
+        cov.has_new_bits({1: 1})
+        clone = cov.copy()
+        clone.has_new_bits({2: 1})
+        assert cov.edge_count() == 1
+        assert clone.edge_count() == 2
+
+    @given(st.dictionaries(st.integers(0, MAP_SIZE - 1),
+                           st.integers(1, 255), max_size=50))
+    @settings(max_examples=50)
+    def test_absorbing_twice_is_idempotent(self, trace):
+        cov = CoverageMap()
+        cov.has_new_bits(trace)
+        assert cov.has_new_bits(trace) == CoverageMap.NEW_NOTHING
+
+
+def count_nonzero(trace):
+    return count_bits(trace.values())
+
+
+class TestEdgeTracer:
+    def test_traces_only_matching_files(self):
+        tracer = EdgeTracer(traced_fragments=("test_coverage",))
+
+        def traced():
+            x = 1
+            return x + 1
+
+        tracer.begin()
+        tracer.run(traced)
+        assert tracer.take_trace()  # this file matches
+
+        tracer2 = EdgeTracer(traced_fragments=("/no/such/path/",))
+        tracer2.begin()
+        tracer2.run(traced)
+        assert not tracer2.take_trace()
+
+    def test_different_branches_differ(self):
+        tracer = EdgeTracer(traced_fragments=("test_coverage",))
+
+        def branchy(flag):
+            if flag:
+                return "yes"
+            return "no"
+
+        tracer.begin()
+        tracer.run(branchy, True)
+        trace_true = dict(tracer.take_trace())
+        tracer.begin()
+        tracer.run(branchy, False)
+        trace_false = dict(tracer.take_trace())
+        assert trace_true != trace_false
+
+    def test_loop_raises_hit_counts(self):
+        tracer = EdgeTracer(traced_fragments=("test_coverage",))
+
+        def loop(n):
+            total = 0
+            for i in range(n):
+                total += i
+            return total
+
+        tracer.begin()
+        tracer.run(loop, 10)
+        assert max(tracer.take_trace().values()) >= 9
+
+    def test_begin_resets(self):
+        tracer = EdgeTracer(traced_fragments=("test_coverage",))
+        tracer.run(lambda: sum(range(3)))
+        tracer.begin()
+        assert tracer.take_trace() == {}
+
+    def test_ijon_set_lands_in_trace(self):
+        tracer = EdgeTracer()
+        tracer.begin()
+        tracer.ijon_set(3)
+        tracer.ijon_set(3)
+        trace = tracer.take_trace()
+        assert len(trace) == 1
+        assert list(trace.values()) == [2]
+
+    def test_ijon_slots_distinct(self):
+        tracer = EdgeTracer()
+        tracer.begin()
+        tracer.ijon_set(1)
+        tracer.ijon_set(2)
+        assert len(tracer.take_trace()) == 2

@@ -1,0 +1,86 @@
+"""Determinism guarantees: identical runs produce identical outcomes.
+
+The paper's motivation for snapshot fuzzing is *noise-free* execution
+(§1: background threads and leftover state make AFLNet's coverage
+noisy).  These tests pin the property down: same input, same boot →
+bit-identical traces, responses and simulated cost; and repeated
+executions against a snapshot never drift.
+"""
+
+from repro.emu.interceptor import Interceptor
+from repro.emu.surface import AttackSurface
+from repro.coverage.tracer import EdgeTracer
+from repro.fuzz.executor import NyxExecutor
+from repro.fuzz.input import packets_input
+from repro.guestos.kernel import Kernel
+from repro.targets.lightftp import LightFtpServer, PORT
+from repro.vm.machine import Machine
+
+
+def fresh_executor():
+    machine = Machine(memory_bytes=32 * 1024 * 1024)
+    kernel = Kernel(machine)
+    interceptor = Interceptor(kernel, AttackSurface.tcp_server(PORT))
+    kernel.spawn(LightFtpServer())
+    kernel.run(max_rounds=256)
+    kernel.flush_to_memory(full=True)
+    machine.capture_root()
+    return NyxExecutor(machine, kernel, interceptor, EdgeTracer()), machine
+
+
+SESSION = packets_input([b"USER anonymous\r\n", b"PASS x\r\n",
+                         b"PASV\r\n", b"LIST\r\n", b"QUIT\r\n"])
+
+
+class TestCrossMachineDeterminism:
+    def test_identical_traces_and_costs(self):
+        results = []
+        for _ in range(2):
+            executor, machine = fresh_executor()
+            result = executor.run_full(SESSION)
+            results.append((sorted(result.trace.items()),
+                            result.packets_consumed,
+                            round(result.exec_time, 12)))
+        assert results[0] == results[1]
+
+    def test_identical_responses(self):
+        outs = []
+        for _ in range(2):
+            executor, _machine = fresh_executor()
+            executor.run_full(SESSION)
+            outs.append(executor.interceptor.responses(0))
+        assert outs[0] == outs[1]
+
+
+class TestWithinMachineStability:
+    def test_hundred_replays_never_drift(self):
+        executor, machine = fresh_executor()
+        reference = None
+        for i in range(100):
+            result = executor.run_full(SESSION)
+            key = (sorted(result.trace.items()), result.packets_consumed)
+            if reference is None:
+                reference = key
+            assert key == reference, "drift at replay %d" % i
+
+    def test_suffix_replays_never_drift(self):
+        executor, machine = fresh_executor()
+        executor.run_full(SESSION, snapshot_after_packet=2)
+        reference = None
+        for i in range(50):
+            result = executor.run_suffix(SESSION)
+            key = (result.packets_consumed,
+                   tuple(executor.interceptor.responses(0)[-2:]))
+            if reference is None:
+                reference = key
+            assert key == reference, "suffix drift at replay %d" % i
+
+    def test_no_state_leak_between_different_inputs(self):
+        executor, machine = fresh_executor()
+        baseline = executor.run_full(SESSION)
+        # Run something completely different...
+        executor.run_full(packets_input([b"\xff" * 100, b"SYST\r\n"]))
+        # ...then the original input again: identical to the baseline.
+        again = executor.run_full(SESSION)
+        assert sorted(again.trace.items()) == sorted(baseline.trace.items())
+        assert again.packets_consumed == baseline.packets_consumed

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts parse and their helpers work.
+
+The examples' full campaigns run for tens of seconds; tests exercise
+their building blocks with tiny budgets instead.
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_all_examples_parse():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 4, "at least quickstart + three scenarios"
+    for script in scripts:
+        ast.parse(script.read_text(), filename=str(script))
+
+
+def test_examples_have_docstrings_and_main():
+    for script in sorted(EXAMPLES.glob("*.py")):
+        tree = ast.parse(script.read_text())
+        assert ast.get_docstring(tree), "%s needs a docstring" % script.name
+        names = {node.name for node in tree.body
+                 if isinstance(node, ast.FunctionDef)}
+        assert "main" in names, "%s needs a main()" % script.name
+
+
+def test_pcap_example_pipeline():
+    """The pcap example's pipeline, end to end, without the campaign."""
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import pcap_to_seeds
+        blob = pcap_to_seeds.fabricate_capture()
+        seed = pcap_to_seeds.capture_to_seed(blob)
+        assert seed.num_packets >= 6
+    finally:
+        sys.path.pop(0)
+        sys.modules.pop("pcap_to_seeds", None)
+
+
+@pytest.mark.slow
+def test_quickstart_runs_end_to_end():
+    """Actually execute the quickstart (seconds, not minutes)."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "execs" in result.stdout

@@ -1,0 +1,79 @@
+"""Tests for the generative (seedless) input synthesis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.campaign import build_campaign
+from repro.sim.rng import DeterministicRandom
+from repro.spec.bytecode import validate
+from repro.spec.generate import generate_input
+from repro.spec.nodes import Spec, default_network_spec
+from repro.targets import PROFILES
+
+
+class TestGenerateInput:
+    def test_generates_valid_sequences(self):
+        spec = default_network_spec()
+        rng = DeterministicRandom(3)
+        for _ in range(50):
+            ops = generate_input(spec, rng)
+            validate(spec, ops)  # raises on any affine violation
+
+    @given(st.integers(0, 2**31), st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_for_any_seed_and_length(self, seed, max_ops):
+        spec = default_network_spec()
+        ops = generate_input(spec, DeterministicRandom(seed), max_ops=max_ops)
+        validate(spec, ops)
+        assert len(ops) <= max_ops
+
+    def test_dictionary_tokens_used(self):
+        spec = default_network_spec()
+        rng = DeterministicRandom(1)
+        token_seen = False
+        for _ in range(30):
+            ops = generate_input(spec, rng, dictionary=[b"MAGIC-TOKEN"])
+            for op in ops:
+                if any(arg == b"MAGIC-TOKEN" for arg in op.args):
+                    token_seen = True
+        assert token_seen
+
+    def test_consume_respected(self):
+        """After shutdown consumes the only connection, no packet may
+        reference it — generation must never retry it."""
+        spec = default_network_spec()
+        rng = DeterministicRandom(9)
+        for _ in range(100):
+            ops = generate_input(spec, rng, max_ops=8)
+            consumed = set()
+            for op in ops:
+                if op.node == "shutdown":
+                    consumed.add(op.refs[0])
+                elif op.node == "packet":
+                    assert op.refs[0] not in consumed
+
+    def test_spec_without_producers(self):
+        spec = Spec("no-producer")
+        e = spec.edge_type("thing")
+        spec.node_type("use", borrows=[e])
+        ops = generate_input(spec, DeterministicRandom(0))
+        assert ops == []  # nothing satisfiable, never crashes
+
+    def test_deterministic(self):
+        spec = default_network_spec()
+        a = generate_input(spec, DeterministicRandom(5))
+        b = generate_input(spec, DeterministicRandom(5))
+        assert [(o.node, o.refs, o.args) for o in a] == \
+            [(o.node, o.refs, o.args) for o in b]
+
+
+class TestSeedlessCampaign:
+    def test_campaign_without_seeds_still_fuzzes(self):
+        handles = build_campaign(PROFILES["lightftp"], policy="none",
+                                 seed=2, time_budget=1e9, max_execs=120,
+                                 seeds=[])
+        stats = handles.fuzzer.run_campaign()
+        assert stats.execs == 120
+        assert stats.final_edges > 0
+        origins = {e.input.origin for e in handles.fuzzer.corpus.entries}
+        assert "generated" in origins or "havoc" in origins

@@ -1,0 +1,239 @@
+"""Integration tests: guest OS semantics and snapshot-backed resets."""
+
+import pytest
+
+from repro.guestos.errors import Errno, GuestError
+from repro.guestos.kernel import Kernel
+from repro.guestos.sockets import SockDomain, SockType
+
+from tests.helpers import (EchoServer, FileWriter, ForkingEchoServer,
+                           boot_echo, make_machine)
+
+
+class TestEchoServer:
+    def test_external_echo_roundtrip(self):
+        machine, kernel = boot_echo(port=7)
+        conn = kernel.external_connect(7)
+        conn.send(b"ping")
+        kernel.run()
+        assert conn.recv() == [b"1:ping"]
+
+    def test_multiple_packets_increment_counter(self):
+        machine, kernel = boot_echo(port=7)
+        conn = kernel.external_connect(7)
+        conn.send(b"a")
+        kernel.run()
+        conn.send(b"b")
+        kernel.run()
+        assert conn.recv() == [b"1:a", b"2:b"]
+
+    def test_connect_refused_without_listener(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        with pytest.raises(GuestError) as exc:
+            kernel.external_connect(9999)
+        assert exc.value.errno is Errno.ECONNREFUSED
+
+    def test_snapshot_reset_rolls_back_server_state(self):
+        machine, kernel = boot_echo(port=7)
+        kernel.coalesce_external = False  # keep the two messages distinct
+        conn = kernel.external_connect(7)
+        conn.send(b"one")
+        conn.send(b"two")
+        kernel.run()
+        server = next(p for p in kernel.processes.values()
+                      if p.program.name == "echo")
+        assert server.program.counter == 2
+        kernel.flush_to_memory()
+        machine.restore_root()
+        server = next(p for p in kernel.processes.values()
+                      if p.program.name == "echo")
+        assert server.program.counter == 0
+        assert server.program.seen == []
+        # And the server still works after the reset.
+        conn2 = kernel.external_connect(7)
+        conn2.send(b"again")
+        kernel.run()
+        assert conn2.recv() == [b"1:again"]
+
+    def test_stale_external_conn_after_reset(self):
+        machine, kernel = boot_echo(port=7)
+        conn = kernel.external_connect(7)
+        kernel.run()
+        kernel.flush_to_memory()
+        machine.restore_root()
+        with pytest.raises(GuestError):
+            conn.send(b"late")
+
+
+class TestForking:
+    def test_fork_per_connection(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        kernel.spawn(ForkingEchoServer(port=21))
+        kernel.run()
+        conn = kernel.external_connect(21)
+        kernel.run()
+        conn.send(b"hello")
+        kernel.run()
+        assert conn.recv() == [b"worker:hello"]
+        assert len(kernel.processes) == 2
+
+    def test_forked_children_rolled_back_by_snapshot(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        kernel.spawn(ForkingEchoServer(port=21))
+        kernel.run()
+        kernel.flush_to_memory(full=True)
+        machine.capture_root()
+        conn = kernel.external_connect(21)
+        kernel.run()
+        assert len(kernel.processes) == 2
+        kernel.flush_to_memory()
+        machine.restore_root()
+        assert len(kernel.processes) == 1
+
+    def test_shared_socket_refcounts_across_fork(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        kernel.spawn(ForkingEchoServer(port=21))
+        kernel.run()
+        conn = kernel.external_connect(21)
+        kernel.run()
+        # Parent closed its copy; the worker still owns the conn.
+        conn.send(b"x")
+        kernel.run()
+        assert conn.recv() == [b"worker:x"]
+
+
+class TestFilesystemState:
+    def test_uploads_are_reset_by_snapshot(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        kernel.spawn(FileWriter(port=9000))
+        kernel.run()
+        kernel.flush_to_memory(full=True)
+        machine.capture_root()
+        conn = kernel.external_connect(9000)
+        conn.send(b"uploaded-bytes")
+        kernel.run()
+        assert kernel.fs.exists("/srv/upload.bin")
+        kernel.flush_to_memory()
+        machine.restore_root()
+        assert not kernel.fs.exists("/srv/upload.bin")
+
+    def test_file_content_roundtrip(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        kernel.fs.write_file(machine.disk, "/etc/conf", b"key=value")
+        assert kernel.fs.read_file(machine.disk, "/etc/conf") == b"key=value"
+        kernel.fs.write_file(machine.disk, "/etc/conf", b"more", append=True)
+        assert kernel.fs.read_file(machine.disk, "/etc/conf") == b"key=valuemore"
+
+
+class TestSyscallSemantics:
+    def test_dup_and_close_keep_socket_alive(self):
+        machine, kernel = boot_echo(port=7)
+        server = next(p for p in kernel.processes.values())
+        api = kernel.api_for(server.pid)
+        fd = server.program.listen_fd
+        dup_fd = api.dup(fd)
+        api.close(fd)
+        # Listener still bound via the dup'd fd.
+        conn = kernel.external_connect(7)
+        assert conn is not None
+
+    def test_close_last_fd_tears_down_listener(self):
+        machine, kernel = boot_echo(port=7)
+        server = next(p for p in kernel.processes.values())
+        api = kernel.api_for(server.pid)
+        api.close(server.program.listen_fd)
+        with pytest.raises(GuestError):
+            kernel.external_connect(7)
+
+    def test_bind_conflict(self):
+        machine, kernel = boot_echo(port=7)
+        server = next(p for p in kernel.processes.values())
+        api = kernel.api_for(server.pid)
+        fd = api.socket(SockDomain.INET, SockType.STREAM)
+        with pytest.raises(GuestError) as exc:
+            api.bind(fd, 7)
+        assert exc.value.errno is Errno.EADDRINUSE
+
+    def test_recv_on_bad_fd(self):
+        machine, kernel = boot_echo(port=7)
+        server = next(p for p in kernel.processes.values())
+        api = kernel.api_for(server.pid)
+        with pytest.raises(GuestError) as exc:
+            api.recv(99)
+        assert exc.value.errno is Errno.EBADF
+
+    def test_pipe_roundtrip(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        proc = kernel.spawn(EchoServer(port=800))
+        api = kernel.api_for(proc.pid)
+        r, w = api.pipe()
+        api.write(w, b"through the pipe")
+        assert api.read(r) == b"through the pipe"
+
+    def test_udp_datagram_boundaries(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        proc = kernel.spawn(EchoServer(port=801))
+        api = kernel.api_for(proc.pid)
+        fd = api.socket(SockDomain.INET, SockType.DGRAM)
+        api.bind(fd, 53)
+        conn = kernel.external_connect(53, dgram=True)
+        conn.send(b"q1")
+        conn.send(b"q2")
+        data1, _ = api.recvfrom(fd)
+        data2, _ = api.recvfrom(fd)
+        assert (data1, data2) == (b"q1", b"q2")
+
+    def test_external_stream_coalesces_like_tcp(self):
+        machine, kernel = boot_echo(port=7)
+        kernel.coalesce_external = True
+        conn = kernel.external_connect(7)
+        # Two sends before the guest runs: the real TCP path merges them.
+        conn.send(b"ab")
+        conn.send(b"cd")
+        kernel.run()
+        assert conn.recv() == [b"1:abcd"]
+
+    def test_epoll_readiness(self):
+        machine = make_machine()
+        kernel = Kernel(machine)
+        proc = kernel.spawn(EchoServer(port=802))
+        api = kernel.api_for(proc.pid)
+        fd = api.socket(SockDomain.INET, SockType.DGRAM)
+        api.bind(fd, 5353)
+        epfd = api.epoll_create()
+        api.epoll_ctl_add(epfd, fd)
+        assert api.epoll_wait(epfd) == []
+        conn = kernel.external_connect(5353, dgram=True)
+        conn.send(b"wake")
+        events = api.epoll_wait(epfd)
+        assert [e.fd for e in events] == [fd]
+
+
+class TestStateSerialization:
+    def test_flush_reload_preserves_kernel_state(self):
+        machine, kernel = boot_echo(port=7)
+        conn = kernel.external_connect(7)
+        conn.send(b"persisted")
+        kernel.run()
+        kernel.flush_to_memory()
+        kernel.reload_from_memory()
+        server = next(p for p in kernel.processes.values()
+                      if p.program.name == "echo")
+        assert server.program.seen == [b"persisted"]
+        assert 7 in kernel.g.tcp_bindings
+
+    def test_flush_is_stable_when_idle(self):
+        machine, kernel = boot_echo(port=7)
+        kernel.flush_to_memory(full=True)
+        machine.memory.take_dirty()
+        kernel.flush_to_memory(full=True)
+        # Nothing changed, so a second full flush dirties nothing.
+        assert machine.memory.dirty_count == 0

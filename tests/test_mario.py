@@ -1,0 +1,198 @@
+"""Tests for the Super Mario substrate: engine, levels, target, solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mario.engine import (Buttons, MarioEngine, JUMP_VELOCITY,
+                                MAX_RUN)
+from repro.mario.levels import GROUND_ROW, LEVEL_NAMES, load_level, render
+from repro.mario.solver import speedrun_seconds
+from repro.mario.target import (FRAMES_PER_PACKET, MarioTarget,
+                                make_seeds, mario_profile)
+
+from tests.target_harness import TargetHarness
+
+RUN = int(Buttons.RIGHT | Buttons.B)
+JUMP = RUN | int(Buttons.A)
+
+
+class TestLevels:
+    def test_all_32_levels_generate(self):
+        assert len(LEVEL_NAMES) == 32
+        for name in LEVEL_NAMES:
+            level = load_level(name)
+            assert level.flag_x < level.width
+            assert level.solids
+
+    def test_levels_are_deterministic_and_cached(self):
+        assert load_level("3-2") is load_level("3-2")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            load_level("9-9")
+
+    def test_start_has_ground(self):
+        for name in ("1-1", "8-4"):
+            level = load_level(name)
+            col, row = level.start
+            assert (col, row + 1) in level.solids
+
+    def test_21_has_glitch_pit(self):
+        """2-1's signature: a pit bounded by a wall taller than any
+        jump (only the wall-jump glitch climbs it)."""
+        level = load_level("2-1")
+        run = 0
+        found = False
+        for col in range(level.width):
+            if (col, GROUND_ROW) not in level.solids:
+                run += 1
+            else:
+                if run >= 4 and (col, GROUND_ROW - 5) in level.solids:
+                    found = True
+                run = 0
+        assert found
+
+    def test_render_shape(self):
+        level = load_level("1-1")
+        art = render(level)
+        lines = art.splitlines()
+        assert len(lines) == level.height
+        assert all(len(line) == level.width for line in lines)
+        assert "#" in art and "F" in art
+
+
+class TestEngine:
+    def engine(self, name="1-1"):
+        return MarioEngine(load_level(name))
+
+    def test_gravity_lands_on_ground(self):
+        engine = self.engine()
+        state = engine.new_game()
+        for _ in range(60):
+            engine.step(state, 0)
+        assert state.on_ground
+        # Feet rest exactly on the ground row's top edge.
+        assert state.y == GROUND_ROW
+
+    def test_running_right_moves_right(self):
+        engine = self.engine()
+        state = engine.new_game()
+        for _ in range(100):
+            engine.step(state, RUN)
+            if not state.alive:
+                break
+        assert state.max_x > state.enemies[0].x * 0 + 5  # moved well right
+
+    def test_run_speed_cap(self):
+        engine = self.engine()
+        state = engine.new_game()
+        for _ in range(120):
+            engine.step(state, RUN)
+            if not state.alive:
+                break
+        assert state.vx <= MAX_RUN + 1e-9
+
+    def test_jump_only_from_ground(self):
+        engine = self.engine()
+        state = engine.new_game()
+        for _ in range(30):
+            engine.step(state, 0)  # settle
+        engine.step(state, int(Buttons.A))
+        # One frame of gravity already applied within the step.
+        assert state.vy < JUMP_VELOCITY / 2
+        vy_after_jump = state.vy
+        engine.step(state, int(Buttons.A))
+        assert state.vy > vy_after_jump  # gravity, no double jump
+
+    def test_plain_run_dies_or_stalls_before_flag(self):
+        """The seed premise: no-jump tapes never finish a level."""
+        engine = self.engine()
+        state = engine.new_game()
+        for _ in range(4000):
+            engine.step(state, RUN)
+            if not state.alive or state.won:
+                break
+        assert not state.won
+
+    def test_determinism(self):
+        engine = self.engine()
+        tape = bytes((JUMP if i % 37 < 9 else RUN) for i in range(600))
+        a, b = engine.new_game(), engine.new_game()
+        engine.run(a, tape)
+        engine.run(b, tape)
+        assert (a.x, a.y, a.alive, a.frame) == (b.x, b.y, b.alive, b.frame)
+
+    def test_ijon_slot_monotone_in_progress(self):
+        engine = self.engine()
+        state = engine.new_game()
+        slots = []
+        for _ in range(300):
+            engine.step(state, RUN)
+            slots.append(engine.ijon_slot(state))
+            if not state.alive:
+                break
+        assert slots == sorted(slots)
+
+    @given(st.binary(min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_engine_never_crashes_on_any_tape(self, tape):
+        engine = self.engine()
+        state = engine.new_game()
+        engine.run(state, tape)
+        assert isinstance(state.x, float)
+
+
+class TestMarioTarget:
+    def test_target_plays_frames_from_network(self):
+        harness = TargetHarness(mario_profile("1-1"))
+        harness.send(bytes([RUN]) * 25)
+        assert harness.program.game.frame == 25
+        assert harness.program.game.x > 2.0
+
+    def test_dead_game_stops_consuming(self):
+        harness = TargetHarness(mario_profile("1-1"))
+        # Kill the game, then deliver more input: the target must stop
+        # reading, leaving the packet unconsumed (the effective-packets
+        # signal snapshot placement relies on).
+        harness.send(bytes([RUN]) * FRAMES_PER_PACKET)
+        harness.program.game.alive = False
+        harness.send(bytes([RUN]) * FRAMES_PER_PACKET)
+        assert harness.interceptor.pending_packets(0) == 1
+
+    def test_snapshot_rewinds_the_game(self):
+        harness = TargetHarness(mario_profile("1-1"))
+        harness.send(bytes([RUN]) * 25)
+        assert harness.program.game.frame == 25
+        harness.reset()
+        program = next(p for p in harness.kernel.processes.values()).program
+        assert program.game.frame == 0
+
+    def test_win_reports_solved(self):
+        # Drive 1-1 with the solver-quality tape: run + periodic jumps
+        # is not guaranteed to win, so instead teleport-check the
+        # reporting path with a tiny synthetic level: use level 1-1 and
+        # place the game just before the flag.
+        harness = TargetHarness(mario_profile("1-1"))
+        program = harness.program
+        program.game.x = float(program.engine.level.flag_x - 1)
+        harness.kernel.touch("proc:1")
+        harness.send(bytes([RUN]) * 30)
+        report = harness.crash()
+        assert report is not None
+        assert report.kind.value == "solved"
+
+    def test_seeds_cover_the_level_length(self):
+        for seed in make_seeds("1-1"):
+            frames = sum(len(p) for p in
+                         (seed.payload_of(i) for i in seed.packet_indices()))
+            level = load_level("1-1")
+            assert frames * MAX_RUN > level.width  # enough tape to win
+
+
+class TestSolverHelpers:
+    def test_speedrun_time_reasonable(self):
+        t = speedrun_seconds("1-1")
+        level = load_level("1-1")
+        assert 0 < t < 60
+        assert t == pytest.approx((level.flag_x / MAX_RUN) / 60.0)

@@ -1,0 +1,85 @@
+"""Property-based tests on the mutation engine's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.input import packets_input
+from repro.fuzz.mutators import MutationEngine, _digit_runs
+from repro.sim.rng import DeterministicRandom
+from repro.spec.bytecode import validate
+from repro.spec.nodes import default_network_spec
+
+SPEC = default_network_spec()
+
+payloads_strategy = st.lists(st.binary(max_size=120), min_size=1, max_size=12)
+dict_strategy = st.lists(st.binary(min_size=1, max_size=16), max_size=4)
+
+
+@given(payloads_strategy, st.integers(0, 2**31), dict_strategy)
+@settings(max_examples=120, deadline=None)
+def test_children_always_validate(payloads, seed, dictionary):
+    """Any mutated child remains a well-typed op sequence: the fuzzer
+    never produces inputs the bytecode serializer would reject."""
+    parent = packets_input(payloads)
+    engine = MutationEngine(DeterministicRandom(seed), dictionary)
+    for _ in range(5):
+        child = engine.mutate(parent)
+        validate(SPEC, child.ops)
+
+
+@given(payloads_strategy, st.integers(0, 2**31),
+       st.integers(0, 12), dict_strategy)
+@settings(max_examples=120, deadline=None)
+def test_prefix_immutable_under_from_index(payloads, seed, from_index,
+                                           dictionary):
+    """Suffix fuzzing may never rewrite ops before the snapshot point
+    (§4.3: 'the fuzzer continues fuzzing starting from the next packet
+    only')."""
+    parent = packets_input(payloads)
+    engine = MutationEngine(DeterministicRandom(seed), dictionary)
+    child = engine.mutate(parent, from_index=from_index)
+    bound = min(from_index, len(parent.ops))
+    for i in range(bound):
+        assert child.ops[i].node == parent.ops[i].node
+        assert child.ops[i].args == parent.ops[i].args
+
+
+@given(payloads_strategy, st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_splice_children_validate(payloads, seed):
+    parent = packets_input(payloads)
+    donor = packets_input([b"donor-1", b"donor-2", b"donor-3"])
+    engine = MutationEngine(DeterministicRandom(seed))
+    for _ in range(5):
+        child = engine.mutate(parent, splice_donor=donor)
+        validate(SPEC, child.ops)
+
+
+@given(st.binary(max_size=60))
+@settings(max_examples=80)
+def test_digit_runs_are_exact(data):
+    runs = _digit_runs(bytearray(data))
+    covered = set()
+    for start, end in runs:
+        assert start < end
+        assert all(0x30 <= data[i] <= 0x39 for i in range(start, end))
+        # maximal: neighbors are not digits
+        if start > 0:
+            assert not 0x30 <= data[start - 1] <= 0x39
+        if end < len(data):
+            assert not 0x30 <= data[end] <= 0x39
+        covered.update(range(start, end))
+    for i, byte in enumerate(data):
+        if 0x30 <= byte <= 0x39:
+            assert i in covered
+
+
+@given(payloads_strategy, st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_mutation_is_pure_wrt_parent(payloads, seed):
+    parent = packets_input(payloads)
+    snapshot = [(op.node, op.refs, op.args) for op in parent.ops]
+    engine = MutationEngine(DeterministicRandom(seed), [b"TOK"])
+    for _ in range(10):
+        engine.mutate(parent)
+    assert [(op.node, op.refs, op.args) for op in parent.ops] == snapshot

@@ -1,0 +1,52 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.plots import ascii_chart, coverage_chart, fig6_chart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_single_series_dimensions(self):
+        chart = ascii_chart({"a": [(0, 0), (10, 100)]}, width=40, height=8,
+                            title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len([line for line in lines if "|" in line]) == 8
+
+    def test_glyphs_distinct_per_series(self):
+        chart = ascii_chart({"up": [(0, 0), (10, 10)],
+                             "down": [(0, 10), (10, 0)]})
+        assert "o up" in chart and "* down" in chart
+        assert "o" in chart and "*" in chart
+
+    def test_log_axis_labels(self):
+        chart = ascii_chart({"a": [(1, 1), (1000, 1000)]},
+                            log_x=True, log_y=True)
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_extreme_flat_series(self):
+        chart = ascii_chart({"flat": [(0, 5), (10, 5)]})
+        assert "|" in chart  # no div-by-zero on zero spans
+
+
+class TestFigureCharts:
+    def test_coverage_chart_extends_to_budget(self):
+        chart = coverage_chart({"nyx": [(0.1, 50)],
+                                "aflnet": [(1.0, 10), (500.0, 45)]},
+                               target="lightftp", budget=600.0)
+        assert "lightftp" in chart
+        assert "legend:" in chart
+
+    def test_fig6_chart_filters_rows(self):
+        rows = [
+            ("nyx-net", 128, 100, "create", 1e-4, 1e-3),
+            ("nyx-net", 128, 1000, "create", 1e-3, 1e-2),
+            ("agamotto", 128, 100, "create", 1e-3, 1e-2),
+            ("agamotto", 128, 1000, "create", 2e-3, 2e-2),
+            ("nyx-net", 1024, 100, "create", 1e-4, 1e-3),  # other VM
+            ("nyx-net", 128, 100, "restore", 1e-4, 1e-3),  # other op
+        ]
+        chart = fig6_chart(rows, op="create", vm_mb=128)
+        assert "128 MiB" in chart
+        assert "nyx-net" in chart and "agamotto" in chart

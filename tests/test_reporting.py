@@ -1,0 +1,162 @@
+"""Tests for the benchmark statistics and table rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.profuzzbench import BenchConfig, MatrixResult, RunResult
+from repro.bench.reporting import (coverage_series_csv, coverage_table,
+                                   crash_matrix, crash_table, format_table,
+                                   mann_whitney_u, median,
+                                   throughput_table, time_to_coverage_table)
+from repro.fuzz.stats import CampaignStats
+
+
+def _run(fuzzer, target, seed=0, edges=100, execs=1000, end=10.0,
+         crashes=(), na=False, series=None):
+    stats = CampaignStats(fuzzer_name=fuzzer, target_name=target)
+    stats.execs = execs
+    stats.end_time = end
+    for t, e in (series or [(end, edges)]):
+        stats.coverage_series.append((t, e))
+    return RunResult(fuzzer, target, seed, stats, tuple(crashes),
+                     not_applicable=na)
+
+
+def _matrix(runs):
+    matrix = MatrixResult(BenchConfig(seeds=1))
+    for run in runs:
+        matrix.add(run)
+    return matrix
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        assert mann_whitney_u([1, 2, 3], [1, 2, 3]) > 0.5
+
+    def test_clearly_separated_samples(self):
+        a = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        b = [101, 102, 103, 104, 105, 106, 107, 108, 109, 110]
+        assert mann_whitney_u(a, b) < 0.05
+
+    def test_empty_sample_returns_one(self):
+        assert mann_whitney_u([], [1, 2]) == 1.0
+
+    def test_symmetry(self):
+        a, b = [1, 5, 9, 12], [3, 4, 20, 30]
+        assert mann_whitney_u(a, b) == pytest.approx(mann_whitney_u(b, a))
+
+    def test_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = [12, 15, 9, 22, 30, 7, 18, 25, 11, 16]
+        b = [28, 33, 40, 21, 36, 19, 45, 31, 27, 38]
+        ours = mann_whitney_u(a, b)
+        ref = scipy_stats.mannwhitneyu(a, b, alternative="two-sided",
+                                       method="asymptotic").pvalue
+        assert ours == pytest.approx(ref, rel=0.15)
+
+    @given(st.lists(st.floats(0, 100), min_size=2, max_size=15),
+           st.lists(st.floats(0, 100), min_size=2, max_size=15))
+    @settings(max_examples=50)
+    def test_p_value_in_range(self, a, b):
+        p = mann_whitney_u(a, b)
+        assert 0.0 <= p <= 1.0 and not math.isnan(p)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bee"], [["1", "2"], ["333", "4"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_coverage_table_deltas(self):
+        matrix = _matrix([
+            _run("aflnet", "t1", edges=100),
+            _run("nyx-none", "t1", edges=150),
+            _run("afl++", "t1", na=True),
+        ])
+        table = coverage_table(matrix, fuzzers=("aflnet", "nyx-none",
+                                                "afl++"))
+        assert "+50.0%" in table
+        assert "n/a" in table
+
+    def test_throughput_table_mean_std(self):
+        matrix = _matrix([
+            _run("aflnet", "t1", execs=100, end=10.0, seed=0),
+            _run("aflnet", "t1", execs=300, end=10.0, seed=1),
+        ])
+        table = throughput_table(matrix, fuzzers=("aflnet",))
+        assert "20.0 ± 10.0" in table
+
+    def test_crash_table_filters_empty_targets(self):
+        matrix = _matrix([
+            _run("aflnet", "boring"),
+            _run("aflnet", "buggy", crashes=("segv:deep-bug",)),
+        ])
+        table = crash_table(matrix, fuzzers=("aflnet",))
+        assert "buggy" in table and "boring" not in table
+        assert "deep-bug" in table
+
+    def test_crash_matrix_raw(self):
+        matrix = _matrix([_run("aflnet", "t", crashes=("a:b", "c:d"))])
+        assert crash_matrix(matrix)[("aflnet", "t")] == ["a:b", "c:d"]
+
+    def test_time_to_coverage_speedup(self):
+        matrix = _matrix([
+            _run("aflnet", "t1", edges=100, series=[(100.0, 100)]),
+            _run("nyx-none", "t1", edges=120,
+                 series=[(1.0, 100), (5.0, 120)]),
+        ])
+        table = time_to_coverage_table(matrix, nyx_fuzzers=("nyx-none",))
+        assert "100x" in table
+
+    def test_time_to_coverage_dash_when_never_matched(self):
+        matrix = _matrix([
+            _run("aflnet", "t1", edges=100, series=[(100.0, 100)]),
+            _run("nyx-none", "t1", edges=50, series=[(1.0, 50)]),
+        ])
+        table = time_to_coverage_table(matrix, nyx_fuzzers=("nyx-none",))
+        assert "-" in table.splitlines()[-1]
+
+    def test_coverage_series_csv(self):
+        matrix = _matrix([_run("aflnet", "t1",
+                               series=[(1.0, 10), (2.0, 20)])])
+        csv = coverage_series_csv(matrix)
+        assert "t1,aflnet,0,1.000,10" in csv
+        assert csv.splitlines()[0].startswith("target,")
+
+
+class TestCampaignStats:
+    def test_edges_at_step_function(self):
+        stats = CampaignStats()
+        stats.coverage_series = [(1.0, 10), (5.0, 30)]
+        assert stats.edges_at(0.5) == 0
+        assert stats.edges_at(1.0) == 10
+        assert stats.edges_at(10.0) == 30
+
+    def test_time_to_edges(self):
+        stats = CampaignStats()
+        stats.coverage_series = [(1.0, 10), (5.0, 30)]
+        assert stats.time_to_edges(10) == 1.0
+        assert stats.time_to_edges(25) == 5.0
+        assert stats.time_to_edges(99) is None
+
+    def test_record_coverage_dedups(self):
+        stats = CampaignStats()
+        stats.record_coverage(1.0, 10)
+        stats.record_coverage(2.0, 10)
+        stats.record_coverage(3.0, 20)
+        assert len(stats.coverage_series) == 2
+
+    def test_crash_recorded_once(self):
+        stats = CampaignStats()
+        stats.record_crash("segv:x", 1.0)
+        stats.record_crash("segv:x", 2.0)
+        assert stats.crash_times["segv:x"] == 1.0
+        assert stats.crashes_found == 1
+
+    def test_median_helper(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0

@@ -1,0 +1,65 @@
+"""Tests for share-folder packing (§5.4 step 4)."""
+
+import json
+
+import pytest
+
+from repro.spec.nodes import Spec, default_network_spec
+from repro.spec.share import (load_share, pack_share, spec_from_dict,
+                              spec_to_dict)
+from repro.targets import PROFILES
+
+
+class TestSpecSerialization:
+    def test_roundtrip_default_spec(self):
+        spec = default_network_spec()
+        rebuilt = spec_from_dict(spec_to_dict(spec))
+        assert rebuilt.checksum() == spec.checksum()
+
+    def test_roundtrip_custom_spec(self):
+        spec = Spec("custom")
+        d_bytes = spec.data_vec("payload", spec.data_u8("u8"))
+        d_port = spec.data_u16("port")
+        e_con = spec.edge_type("connection")
+        e_stream = spec.edge_type("stream")
+        spec.node_type("open", outputs=[e_con], data=[d_port])
+        spec.node_type("upgrade", consumes=[e_con], outputs=[e_stream])
+        spec.node_type("send", borrows=[e_stream], data=[d_bytes])
+        rebuilt = spec_from_dict(spec_to_dict(spec))
+        assert rebuilt.checksum() == spec.checksum()
+        node = rebuilt.node_by_name("upgrade")
+        assert node.consumes[0].name == "connection"
+        assert node.outputs[0].name == "stream"
+
+    def test_dict_is_json_able(self):
+        json.dumps(spec_to_dict(default_network_spec()))
+
+
+class TestShareFolder:
+    @pytest.mark.parametrize("target", ["lightftp", "dnsmasq",
+                                        "firefox-ipc", "mysql-client"])
+    def test_pack_and_load_roundtrip(self, tmp_path, target):
+        profile = PROFILES[target]
+        spec = default_network_spec()
+        written = pack_share(profile, spec, str(tmp_path))
+        assert written >= 3
+        manifest, spec2, seeds, dictionary, surface = load_share(
+            str(tmp_path))
+        assert manifest["target"] == target
+        assert spec2.checksum() == spec.checksum()
+        assert len(seeds) == len(profile.seeds())
+        assert dictionary == [bytes(t) for t in profile.dictionary]
+        original = profile.surface()
+        assert surface.mode == original.mode
+        assert surface.addresses == original.addresses
+        assert surface.datagram == original.datagram
+
+    def test_loaded_seeds_are_runnable(self, tmp_path):
+        from repro.fuzz.campaign import build_campaign
+        profile = PROFILES["lightftp"]
+        pack_share(profile, default_network_spec(), str(tmp_path))
+        _m, _s, seeds, _d, _surface = load_share(str(tmp_path))
+        handles = build_campaign(profile, policy="none", seed=1,
+                                 time_budget=1e9, max_execs=20, seeds=seeds)
+        stats = handles.fuzzer.run_campaign()
+        assert stats.execs == 20

@@ -1,0 +1,188 @@
+"""Unit tests for the spec engine: types, nodes, bytecode, builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.builder import Builder, TrackedValue
+from repro.spec.bytecode import Op, SpecError, deserialize, serialize, validate
+from repro.spec.nodes import Spec, default_network_spec
+from repro.spec.types import U8, U16, U32, ByteVec
+
+
+class TestDataTypes:
+    def test_u8_roundtrip(self):
+        u8 = U8("b")
+        assert u8.unpack(u8.pack(200), 0) == (200, 1)
+
+    def test_u16_masks_overflow(self):
+        u16 = U16("w")
+        assert u16.unpack(u16.pack(0x12345), 0)[0] == 0x2345
+
+    def test_u32_roundtrip(self):
+        u32 = U32("d")
+        assert u32.unpack(u32.pack(0xDEADBEEF), 0) == (0xDEADBEEF, 4)
+
+    def test_bytevec_roundtrip(self):
+        vec = ByteVec("bytes", U8("u8"))
+        packed = vec.pack(b"hello")
+        assert vec.unpack(packed, 0) == (b"hello", 9)
+
+    def test_bytevec_truncated_raises(self):
+        vec = ByteVec("bytes", U8("u8"))
+        packed = vec.pack(b"hello")[:-2]
+        with pytest.raises(ValueError):
+            vec.unpack(packed, 0)
+
+
+class TestSpec:
+    def test_listing1_shape(self):
+        # The paper's Listing 1, verbatim structure.
+        s = Spec("multi-connection")
+        d_bytes = s.data_vec("bytes", s.data_u8("u8"))
+        e_con = s.edge_type("connection")
+        n_con = s.node_type("connection", outputs=[e_con])
+        n_pkt = s.node_type("pkt", borrows=[e_con], data=[d_bytes])
+        assert n_con.node_id == 0
+        assert n_pkt.arity == 1
+        assert s.node_by_name("pkt") is n_pkt
+
+    def test_duplicate_node_rejected(self):
+        s = Spec("x")
+        s.node_type("a")
+        with pytest.raises(SpecError):
+            s.node_type("a")
+
+    def test_checksum_stable_and_shape_sensitive(self):
+        a, b = default_network_spec(), default_network_spec()
+        assert a.checksum() == b.checksum()
+        c = default_network_spec()
+        c.node_type("extra")
+        assert c.checksum() != a.checksum()
+
+
+class TestValidate:
+    def setup_method(self):
+        self.spec = default_network_spec()
+
+    def test_valid_sequence(self):
+        ops = [Op("connection"), Op("packet", (0,), (b"hi",)),
+               Op("shutdown", (0,))]
+        values = validate(self.spec, ops)
+        assert values == [(0, "connection")]
+
+    def test_ref_out_of_range(self):
+        with pytest.raises(SpecError):
+            validate(self.spec, [Op("packet", (0,), (b"x",))])
+
+    def test_consumed_value_rejected(self):
+        ops = [Op("connection"), Op("shutdown", (0,)),
+               Op("packet", (0,), (b"late",))]
+        with pytest.raises(SpecError):
+            validate(self.spec, ops)
+
+    def test_wrong_arity(self):
+        with pytest.raises(SpecError):
+            validate(self.spec, [Op("connection", (0,))])
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(SpecError):
+            validate(self.spec, [Op("connection"), Op("packet", (0,), ())])
+
+    def test_snapshot_marker_allowed_anywhere(self):
+        ops = [Op("snapshot"), Op("connection"), Op("snapshot"),
+               Op("packet", (0,), (b"x",))]
+        validate(self.spec, ops)
+
+
+class TestBytecode:
+    def setup_method(self):
+        self.spec = default_network_spec()
+
+    def test_roundtrip(self):
+        ops = [Op("connection"), Op("packet", (0,), (b"GET /",)),
+               Op("snapshot"), Op("packet", (0,), (b"",)),
+               Op("shutdown", (0,))]
+        blob = serialize(self.spec, ops)
+        back = deserialize(self.spec, blob)
+        assert [(o.node, o.refs, o.args) for o in back] == \
+            [(o.node, o.refs, o.args) for o in ops]
+
+    def test_bad_magic(self):
+        with pytest.raises(SpecError):
+            deserialize(self.spec, b"XXXX" + bytes(100))
+
+    def test_wrong_spec_checksum(self):
+        other = Spec("other")
+        other.node_type("solo")
+        blob = serialize(other, [Op("solo")])
+        with pytest.raises(SpecError):
+            deserialize(self.spec, blob)
+
+    @given(st.lists(st.binary(max_size=64), min_size=0, max_size=10))
+    @settings(max_examples=50)
+    def test_roundtrip_any_payloads(self, payloads):
+        ops = [Op("connection")]
+        ops += [Op("packet", (0,), (p,)) for p in payloads]
+        blob = serialize(self.spec, ops)
+        back = deserialize(self.spec, blob)
+        assert [o.args for o in back[1:]] == [(p,) for p in payloads]
+
+
+class TestBuilder:
+    def test_listing2(self):
+        # The paper's Listing 2, nearly verbatim.
+        spec = default_network_spec()
+        b = Builder(spec)
+        con = b.connection()
+        b.packet(con, b"HTTP/1.1 200 OK")
+        b.packet(con, b"Content-Type: text/html")
+        ops = b.build()
+        assert len(ops) == 3
+        assert ops[1].args == (b"HTTP/1.1 200 OK",)
+        assert ops[1].refs == (0,)
+
+    def test_tracked_value_identity(self):
+        b = Builder(default_network_spec())
+        con = b.connection()
+        assert isinstance(con, TrackedValue)
+        assert con.edge_name == "connection"
+        assert con.op_index == 0
+
+    def test_wrong_operand_type_rejected(self):
+        b = Builder(default_network_spec())
+        with pytest.raises(SpecError):
+            b.packet("not-a-value", b"data")
+
+    def test_cross_builder_value_rejected(self):
+        spec = default_network_spec()
+        b1, b2 = Builder(spec), Builder(spec)
+        con = b1.connection()
+        with pytest.raises(SpecError):
+            b2.packet(con, b"x")
+
+    def test_snapshot_marker(self):
+        b = Builder(default_network_spec())
+        con = b.connection()
+        b.packet(con, b"one")
+        b.snapshot()
+        b.packet(con, b"two")
+        ops = b.build()
+        assert ops[2].is_snapshot_marker()
+
+    def test_bytecode_output_parses(self):
+        spec = default_network_spec()
+        b = Builder(spec)
+        con = b.connection()
+        b.packet(con, b"data")
+        blob = b.build_bytecode()
+        assert deserialize(spec, blob)[1].args == (b"data",)
+
+    def test_consume_then_use_rejected_at_build(self):
+        spec = default_network_spec()
+        b = Builder(spec)
+        con = b.connection()
+        b.shutdown(con)
+        b.packet(con, b"late")
+        with pytest.raises(SpecError):
+            b.build()

@@ -1,0 +1,60 @@
+"""Tests for attack-surface configuration and hook classification."""
+
+from repro.emu.interceptor import Interceptor
+from repro.emu.surface import AttackSurface, SurfaceMode
+from repro.guestos.kernel import Kernel
+from repro.guestos.sockets import SockDomain, SockType
+from repro.vm.machine import Machine
+
+from tests.helpers import EchoServer
+
+
+class TestAttackSurface:
+    def test_explicit_addresses(self):
+        surface = AttackSurface.tcp_server(80, 443)
+        assert surface.matches(80, seen_any=False)
+        assert surface.matches(443, seen_any=True)
+        assert not surface.matches(8080, seen_any=False)
+
+    def test_auto_mode_hooks_first_only(self):
+        surface = AttackSurface()
+        assert surface.matches(1234, seen_any=False)
+        assert not surface.matches(1234, seen_any=True)
+
+    def test_factory_helpers(self):
+        assert AttackSurface.udp_server(53).datagram
+        assert AttackSurface.unix_server("/run/x.sock").addresses == \
+            ["/run/x.sock"]
+        assert AttackSurface.tcp_client(3306).mode is SurfaceMode.CLIENT
+
+
+class TestSurfaceClassification:
+    def test_auto_mode_hooks_first_bind(self):
+        machine = Machine(memory_bytes=16 * 1024 * 1024)
+        kernel = Kernel(machine)
+        interceptor = Interceptor(kernel, AttackSurface())  # auto
+        kernel.spawn(EchoServer(7))
+        kernel.spawn(EchoServer(8))
+        kernel.run()
+        # Only the first bound port became the surface.
+        assert len(interceptor.listener_sids) == 1
+
+    def test_non_surface_ports_ignored(self):
+        machine = Machine(memory_bytes=16 * 1024 * 1024)
+        kernel = Kernel(machine)
+        interceptor = Interceptor(kernel, AttackSurface.tcp_server(7))
+        kernel.spawn(EchoServer(9))  # binds a non-surface port
+        kernel.run()
+        assert not interceptor.listener_sids
+
+    def test_dgram_sockets_classified_separately(self):
+        machine = Machine(memory_bytes=16 * 1024 * 1024)
+        kernel = Kernel(machine)
+        interceptor = Interceptor(kernel, AttackSurface.udp_server(53))
+        proc = kernel.spawn(EchoServer(900))
+        kernel.run()
+        api = kernel.api_for(proc.pid)
+        fd = api.socket(SockDomain.INET, SockType.DGRAM)
+        api.bind(fd, 53)
+        assert len(interceptor.dgram_sids) == 1
+        assert not interceptor.listener_sids

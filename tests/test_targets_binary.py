@@ -1,0 +1,207 @@
+"""Protocol tests for the binary-format targets (dnsmasq, tinydtls,
+dcmtk, openssl, openssh)."""
+
+import struct
+
+import pytest
+
+from repro.guestos.errors import CrashKind
+from repro.targets.dcmtk import (PROFILE as DCMTK, _assoc_rq, _pdata,
+                                 _release)
+from repro.targets.dnsmasq import PROFILE as DNSMASQ, QTYPE_A, QTYPE_ANY, _query
+from repro.targets.openssh import (PROFILE as OPENSSH, _kexinit_bytes,
+                                   _packet_bytes, _pack_string,
+                                   MSG_KEXDH_INIT, MSG_NEWKEYS,
+                                   MSG_SERVICE_REQUEST, MSG_USERAUTH_REQUEST)
+from repro.targets.openssl import PROFILE as OPENSSL, _client_hello_bytes
+from repro.targets.tinydtls import (PROFILE as TINYDTLS, _client_hello,
+                                    _hs_record, HS_CLIENT_KEY_EXCHANGE)
+
+from tests.target_harness import TargetHarness
+
+
+class TestDnsmasq:
+    @pytest.fixture()
+    def dns(self):
+        return TargetHarness(DNSMASQ)
+
+    def test_a_record_answered(self, dns):
+        responses = dns.send(_query(7, b"router.lan", QTYPE_A))
+        assert len(responses) == 1
+        txid, flags, qd, an, _ns, _ar = struct.unpack_from(
+            ">HHHHHH", responses[0], 0)
+        assert txid == 7
+        assert flags & 0x8000        # response bit
+        assert an == 1
+
+    def test_nxdomain_for_unknown(self, dns):
+        responses = dns.send(_query(9, b"nowhere.example", QTYPE_A))
+        flags = struct.unpack_from(">HHHHHH", responses[0], 0)[1]
+        assert flags & 0x000F == 3   # NXDOMAIN
+
+    def test_short_datagram_dropped(self, dns):
+        assert dns.send(b"\x01\x02\x03") == []
+
+    def test_formerr_on_zero_questions(self, dns):
+        packet = struct.pack(">HHHHHH", 1, 0x0100, 0, 0, 0, 0)
+        responses = dns.send(packet)
+        assert struct.unpack_from(">HHHHHH", responses[0], 0)[1] & 0xF == 1
+
+    def test_pointer_loop_with_any_crashes(self, dns):
+        # name = pointer to itself, qtype ANY: the Table 1 bug.
+        evil = struct.pack(">HHHHHH", 2, 0x0100, 1, 0, 0, 0) \
+            + b"\xc0\x0c" + struct.pack(">HH", QTYPE_ANY, 1)
+        dns.send(evil)
+        report = dns.crash()
+        assert report is not None and report.kind is CrashKind.NULL_DEREF
+
+    def test_pointer_loop_with_a_is_survivable(self, dns):
+        evil = struct.pack(">HHHHHH", 2, 0x0100, 1, 0, 0, 0) \
+            + b"\xc0\x0c" + struct.pack(">HH", QTYPE_A, 1)
+        dns.send(evil)
+        assert dns.crash() is None
+
+
+class TestTinyDtls:
+    @pytest.fixture()
+    def dtls(self):
+        return TargetHarness(TINYDTLS)
+
+    def test_cookie_exchange(self, dtls):
+        responses = dtls.send(_client_hello())
+        assert responses and responses[0][13] == 3  # HelloVerifyRequest
+
+    def test_hello_with_cookie_advances(self, dtls):
+        cookie = struct.pack(">H", 0x5EED)
+        responses = dtls.send(_client_hello(), _client_hello(cookie))
+        assert any(r[13] == 2 for r in responses)   # ServerHello
+
+    def test_bad_version_ignored(self, dtls):
+        record = bytearray(_client_hello())
+        record[1:3] = b"\x01\x01"
+        assert dtls.send(bytes(record)) == []
+
+    def test_fragment_oob_crash(self, dtls):
+        evil = _hs_record(HS_CLIENT_KEY_EXCHANGE, b"xy", frag_len=4000)
+        dtls.send(evil)
+        report = dtls.crash()
+        assert report is not None
+        assert report.kind is CrashKind.ASAN_OOB_READ
+
+    def test_benign_fragment_mismatch_dropped(self, dtls):
+        # frag_len smaller than the body: dropped without crash.
+        evil = _hs_record(HS_CLIENT_KEY_EXCHANGE, b"0123456789", frag_len=4)
+        dtls.send(evil)
+        assert dtls.crash() is None
+
+
+class TestDcmtk:
+    @pytest.fixture()
+    def dicom(self):
+        return TargetHarness(DCMTK)
+
+    def test_associate_accept(self, dicom):
+        responses = dicom.send(_assoc_rq())
+        assert responses and responses[0][0] == 0x02  # A-ASSOCIATE-AC
+
+    def test_echo_roundtrip(self, dicom):
+        echo = struct.pack("<H", 0x0030) + bytes(10)
+        responses = dicom.send(_assoc_rq(), _pdata(echo), _release())
+        assert any(r[0] == 0x04 for r in responses)   # P-DATA response
+        assert any(r[0] == 0x06 for r in responses)   # release rp
+
+    def test_reject_short_associate(self, dicom):
+        short = struct.pack(">BBI", 0x01, 0, 10) + bytes(10)
+        responses = dicom.send(short)
+        assert responses[0][0] == 0x03                # A-ASSOCIATE-RJ
+
+    def test_pdata_before_associate_aborts(self, dicom):
+        responses = dicom.send(_pdata(b"xx"))
+        assert responses[0][0] == 0x07                # A-ABORT
+
+    def test_userinfo_overflow_asan(self, dicom):
+        evil = _assoc_rq(user_info=b"\x51\x00\x40\x00")  # sub_len 0x4000
+        dicom.send(evil)
+        report = dicom.crash()
+        assert report is not None
+        assert report.kind is CrashKind.ASAN_HEAP_OVERFLOW
+
+    def test_userinfo_overflow_without_asan_accumulates(self):
+        dicom = TargetHarness(DCMTK, asan=False)
+        dicom.program.heap_slack = 3
+        evil = _assoc_rq(user_info=b"\x51\x00\x40\x00")
+        dicom.send(evil)
+        assert dicom.crash() is None      # first hit absorbed by slack
+        dicom.send(evil)
+        report = dicom.crash()            # accumulation crosses slack
+        assert report is not None and report.kind is CrashKind.SEGV
+
+
+class TestOpenssl:
+    @pytest.fixture()
+    def tls(self):
+        return TargetHarness(OPENSSL)
+
+    def test_client_hello_gets_server_flight(self, tls):
+        responses = tls.send(_client_hello_bytes())
+        joined = b"".join(responses)
+        assert joined[0] == 22                        # handshake records
+        assert len(responses) >= 3                    # SH + cert + done
+
+    def test_no_common_cipher_alerts(self, tls):
+        responses = tls.send(_client_hello_bytes(suites=(0x9999,)))
+        assert responses[0][0] == 21                  # alert
+        assert responses[0][6] == 40                  # handshake_failure
+
+    def test_oversized_record_alerts(self, tls):
+        evil = bytes([22]) + b"\x03\x03" + struct.pack(">H", 20000)
+        responses = tls.send(evil + bytes(60))
+        assert responses == [] or responses[0][0] == 21
+
+    def test_ccs_out_of_order_alerts(self, tls):
+        ccs = bytes([20]) + b"\x03\x03\x00\x01\x01"
+        responses = tls.send(ccs)
+        assert responses[0][0] == 21
+        assert responses[0][6] == 10                  # unexpected_message
+
+
+class TestOpenssh:
+    @pytest.fixture()
+    def ssh(self):
+        return TargetHarness(OPENSSH)
+
+    def test_banner_exchange(self, ssh):
+        responses = ssh.send(b"SSH-2.0-client\r\n")
+        assert responses[0].startswith(b"SSH-2.0-OpenSSH")
+
+    def test_bad_banner_disconnects(self, ssh):
+        responses = ssh.send(b"HELLO WORLD\r\n")
+        # Server banner then a DISCONNECT packet.
+        assert len(responses) == 2
+
+    def test_full_preauth_handshake(self, ssh):
+        auth = _packet_bytes(bytes([MSG_USERAUTH_REQUEST])
+                             + _pack_string(b"repro")
+                             + _pack_string(b"ssh-connection")
+                             + _pack_string(b"password") + b"\x00"
+                             + _pack_string(b"hunter2"))
+        responses = ssh.send(
+            b"SSH-2.0-client\r\n", _kexinit_bytes(),
+            _packet_bytes(bytes([MSG_KEXDH_INIT]) + bytes(32)),
+            _packet_bytes(bytes([MSG_NEWKEYS])),
+            _packet_bytes(bytes([MSG_SERVICE_REQUEST])
+                          + _pack_string(b"ssh-userauth")),
+            auth)
+        # 52 = SSH_MSG_USERAUTH_SUCCESS in the last payload.
+        assert any(r[5] == 52 for r in responses if len(r) > 5)
+
+    def test_kex_out_of_order_disconnects(self, ssh):
+        responses = ssh.send(
+            b"SSH-2.0-client\r\n",
+            _packet_bytes(bytes([MSG_KEXDH_INIT]) + bytes(32)))
+        assert any(r[5] == 1 for r in responses if len(r) > 5)  # DISCONNECT
+
+    def test_oversized_packet_drops_connection(self, ssh):
+        evil = struct.pack(">I", 100000) + bytes(64)
+        ssh.send(b"SSH-2.0-client\r\n", evil)
+        assert ssh.crash() is None

@@ -1,0 +1,193 @@
+"""Additional protocol edge cases across the target suite."""
+
+import struct
+
+import pytest
+
+from repro.targets.dnsmasq import PROFILE as DNSMASQ, QTYPE_TXT, _query
+from repro.targets.exim import PROFILE as EXIM
+from repro.targets.kamailio import PROFILE as KAMAILIO, _sip
+from repro.targets.lightftp import PROFILE as LIGHTFTP
+from repro.targets.live555 import PROFILE as LIVE555, _req
+from repro.targets.openssh import PROFILE as OPENSSH
+from repro.targets.openssl import PROFILE as OPENSSL, _client_hello_bytes
+
+from tests.target_harness import TargetHarness
+
+
+class TestLightFtpEdges:
+    @pytest.fixture()
+    def ftp(self):
+        return TargetHarness(LIGHTFTP)
+
+    def login(self):
+        return [b"USER anonymous\r\n", b"PASS x\r\n"]
+
+    def test_cdup_walks_up(self, ftp):
+        responses = ftp.send(*self.login(), b"CWD /srv/ftp/sub\r\n",
+                             b"CDUP\r\n", b"PWD\r\n")
+        assert b'257 "/srv/ftp"' in b"".join(responses)
+
+    def test_port_validation(self, ftp):
+        responses = ftp.send(*self.login(),
+                             b"PORT 127,0,0,1,20,1\r\n",
+                             b"PORT not,numbers\r\n")
+        joined = b"".join(responses)
+        assert b"200 PORT OK" in joined
+        assert b"501 Bad PORT" in joined
+
+    def test_rest_offset(self, ftp):
+        responses = ftp.send(*self.login(), b"REST 100\r\n", b"REST x\r\n")
+        joined = b"".join(responses)
+        assert b"350" in joined and b"501" in joined
+
+    def test_empty_command_line(self, ftp):
+        responses = ftp.send(b"\r\n")
+        assert b"500" in b"".join(responses)
+
+    def test_size_of_missing_file(self, ftp):
+        responses = ftp.send(*self.login(), b"SIZE ghost.bin\r\n")
+        assert b"550" in b"".join(responses)
+
+
+class TestDnsmasqEdges:
+    @pytest.fixture()
+    def dns(self):
+        return TargetHarness(DNSMASQ)
+
+    def test_txt_record(self, dns):
+        responses = dns.send(_query(5, b"anything.example", QTYPE_TXT))
+        assert b"dnsmasq ok" in responses[0]
+
+    def test_response_bit_ignored(self, dns):
+        packet = struct.pack(">HHHHHH", 1, 0x8400, 1, 0, 0, 0) + b"\x00" \
+            + struct.pack(">HH", 1, 1)
+        assert dns.send(packet) == []
+
+    def test_excessive_qdcount_formerr(self, dns):
+        packet = struct.pack(">HHHHHH", 1, 0x0100, 99, 0, 0, 0)
+        responses = dns.send(packet)
+        assert struct.unpack_from(">HHHHHH", responses[0], 0)[1] & 0xF == 1
+
+    def test_label_too_long_is_poisoned_but_safe(self, dns):
+        packet = struct.pack(">HHHHHH", 3, 0x0100, 1, 0, 0, 0) \
+            + bytes([70]) + b"x" * 3 + struct.pack(">HH", 1, 1)
+        dns.send(packet)
+        assert dns.crash() is None
+
+
+class TestEximEdges:
+    @pytest.fixture()
+    def smtp(self):
+        return TargetHarness(EXIM)
+
+    def test_pipelined_commands_in_one_packet(self, smtp):
+        responses = smtp.send(b"EHLO a\r\nMAIL FROM:<x@a>\r\n"
+                              b"RCPT TO:<y@b>\r\nDATA\r\n")
+        assert b"354" in b"".join(responses)
+
+    def test_rset_clears_transaction(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n", b"MAIL FROM:<x@a>\r\n",
+                              b"RSET\r\n", b"RCPT TO:<y@b>\r\n")
+        assert b"503" in b"".join(responses)  # sender gone after RSET
+
+    def test_bad_body_param(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n",
+                              b"MAIL FROM:<x@a> BODY=QUANTUM\r\n")
+        assert b"501" in b"".join(responses)
+
+    def test_relay_denied(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n", b"MAIL FROM:<x@a>\r\n",
+                              b"RCPT TO:<no-at-sign>\r\n")
+        assert b"550" in b"".join(responses)
+
+    def test_vrfy_and_expn(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n", b"VRFY root\r\n", b"EXPN all\r\n")
+        joined = b"".join(responses)
+        assert b"252" in joined and b"550 Expansion" in joined
+
+
+class TestKamailioEdges:
+    @pytest.fixture()
+    def sip(self):
+        return TargetHarness(KAMAILIO)
+
+    def test_folded_header(self, sip):
+        raw = (b"OPTIONS sip:a@t.org SIP/2.0\r\n"
+               b"Via: SIP/2.0/UDP h;\r\n branch=z9\r\n"
+               b"Call-ID: fold-1\r\n\r\n")
+        responses = sip.send(raw)
+        assert b"200 OK" in responses[0]
+
+    def test_tel_uri_accepted(self, sip):
+        responses = sip.send(_sip(b"OPTIONS", b"tel:+15551234", b"t1", 1))
+        assert b"200 OK" in responses[0]
+
+    def test_bad_scheme_416(self, sip):
+        responses = sip.send(_sip(b"OPTIONS", b"gopher:x", b"g1", 1))
+        assert b"416" in responses[0]
+
+    def test_deregistration(self, sip):
+        sip.send(_sip(b"REGISTER", b"sip:a@t.org", b"r1", 1,
+                      b"Contact: <sip:a@h>"))
+        assert b"sip:a@t.org" in sip.program.registrations
+        sip.send(_sip(b"REGISTER", b"sip:a@t.org", b"r2", 2,
+                      b"Contact: *", b"Expires: 0"))
+        assert b"sip:a@t.org" not in sip.program.registrations
+
+    def test_message_too_large(self, sip):
+        responses = sip.send(_sip(b"MESSAGE", b"sip:a@t.org", b"m9", 1,
+                                  body=b"z" * 1400))
+        assert b"513" in responses[0]
+
+
+class TestTlsSshEdges:
+    def test_openssl_sni_recorded(self):
+        tls = TargetHarness(OPENSSL)
+        tls.send(_client_hello_bytes(sni=b"secret.host"))
+        server = next(p for p in tls.kernel.processes.values()).program
+        ctx = next(iter(server.conns.values()))
+        assert ctx.vars.get("sni") == b"secret.host"
+
+    def test_openssl_fragmented_record_buffered(self):
+        tls = TargetHarness(OPENSSL)
+        hello = _client_hello_bytes()
+        # Split the record across two TCP chunks.
+        responses = tls.send(hello[:10], hello[10:])
+        assert responses  # handshake proceeded once reassembled
+
+    def test_openssh_auth_rate_limit(self):
+        from repro.targets.openssh import (_kexinit_bytes, _pack_string,
+                                           _packet_bytes, MSG_KEXDH_INIT,
+                                           MSG_NEWKEYS, MSG_SERVICE_REQUEST,
+                                           MSG_USERAUTH_REQUEST)
+        ssh = TargetHarness(OPENSSH)
+        bad_auth = _packet_bytes(bytes([MSG_USERAUTH_REQUEST])
+                                 + _pack_string(b"root")
+                                 + _pack_string(b"ssh-connection")
+                                 + _pack_string(b"password") + b"\x00"
+                                 + _pack_string(b"guess"))
+        packets = [b"SSH-2.0-c\r\n", _kexinit_bytes(),
+                   _packet_bytes(bytes([MSG_KEXDH_INIT]) + bytes(32)),
+                   _packet_bytes(bytes([MSG_NEWKEYS])),
+                   _packet_bytes(bytes([MSG_SERVICE_REQUEST])
+                                 + _pack_string(b"ssh-userauth"))]
+        packets += [bad_auth] * 8
+        ssh.send(*packets)
+        server = next(p for p in ssh.kernel.processes.values()).program
+        ctx = next(iter(server.conns.values()))
+        assert ctx.state == "closed"  # too many failures -> disconnect
+
+
+class TestLive555Edges:
+    def test_interleaved_transport(self):
+        rtsp = TargetHarness(LIVE555)
+        responses = rtsp.send(_req(
+            b"SETUP", b"rtsp://h/stream0", 1,
+            b"Transport: RTP/AVP/TCP;interleaved=0-1"))
+        assert b"interleaved=0-1" in responses[0]
+
+    def test_unknown_method_405(self):
+        rtsp = TargetHarness(LIVE555)
+        responses = rtsp.send(_req(b"RECORD", b"rtsp://h/stream0", 1))
+        assert b"405" in responses[0]

@@ -1,0 +1,176 @@
+"""Protocol tests for the FTP-family targets (lightftp, bftpd,
+pure-ftpd, proftpd)."""
+
+import pytest
+
+from repro.guestos.errors import CrashKind
+from repro.targets.bftpd import PROFILE as BFTPD
+from repro.targets.lightftp import PROFILE as LIGHTFTP
+from repro.targets.proftpd import PROFILE as PROFTPD
+from repro.targets.pure_ftpd import PROFILE as PURE_FTPD
+
+from tests.target_harness import TargetHarness
+
+
+class TestLightFtp:
+    @pytest.fixture()
+    def ftp(self):
+        return TargetHarness(LIGHTFTP)
+
+    def test_greeting_and_login(self, ftp):
+        responses = ftp.send(b"USER anonymous\r\n", b"PASS guest\r\n")
+        assert responses[0].startswith(b"220")
+        assert b"331" in b"".join(responses)
+        assert b"230" in b"".join(responses)
+
+    def test_wrong_password_rejected(self, ftp):
+        responses = ftp.send(b"USER root\r\n", b"PASS wrong\r\n")
+        assert b"530" in b"".join(responses)
+
+    def test_commands_require_auth(self, ftp):
+        responses = ftp.send(b"USER u\r\n", b"PWD\r\n")
+        assert b"530" in b"".join(responses)
+
+    def test_full_session_with_transfer(self, ftp):
+        responses = ftp.send(
+            b"USER anonymous\r\n", b"PASS x\r\n", b"TYPE I\r\n",
+            b"PASV\r\n", b"SIZE readme.txt\r\n", b"RETR readme.txt\r\n")
+        joined = b"".join(responses)
+        assert b"227" in joined      # PASV
+        assert b"213" in joined      # SIZE
+        assert b"226" in joined      # transfer complete
+
+    def test_retr_requires_pasv(self, ftp):
+        responses = ftp.send(b"USER anonymous\r\n", b"PASS x\r\n",
+                             b"RETR readme.txt\r\n")
+        assert b"425" in b"".join(responses)
+
+    def test_stor_and_dele_roundtrip(self, ftp):
+        ftp.send(b"USER anonymous\r\n", b"PASS x\r\n", b"PASV\r\n",
+                 b"STOR new.bin\r\n", b"DELE new.bin\r\n")
+        assert not ftp.kernel.fs.exists("/srv/ftp/new.bin")
+
+    def test_unknown_command(self, ftp):
+        responses = ftp.send(b"FROB x\r\n")
+        assert b"502" in b"".join(responses)
+
+    def test_no_planted_crash(self, ftp):
+        ftp.send(b"USER a\r\n", b"PASS x\r\n", b"\xff" * 200 + b"\r\n")
+        assert ftp.crash() is None
+
+
+class TestBftpd:
+    @pytest.fixture()
+    def ftp(self):
+        return TargetHarness(BFTPD)
+
+    def test_forks_worker_per_connection(self, ftp):
+        ftp.send(b"USER ftp\r\n")
+        assert len(ftp.kernel.processes) == 2
+        worker = max(ftp.kernel.processes.values(), key=lambda p: p.pid)
+        assert worker.program.name == "bftpd-worker"
+
+    def test_worker_serves_session(self, ftp):
+        responses = ftp.send(b"USER ftp\r\n", b"PASS ftp\r\n", b"PWD\r\n")
+        joined = b"".join(responses)
+        assert b"230" in joined and b"257" in joined
+
+    def test_snapshot_reaps_workers(self, ftp):
+        ftp.send(b"USER ftp\r\n")
+        assert len(ftp.kernel.processes) == 2
+        ftp.reset()
+        assert len(ftp.kernel.processes) == 1
+
+    def test_site_subcommands(self, ftp):
+        responses = ftp.send(b"USER u\r\n", b"PASS p\r\n",
+                             b"SITE CHMOD 644 f\r\n", b"SITE HELP\r\n",
+                             b"SITE BOGUS\r\n")
+        joined = b"".join(responses)
+        assert b"200 CHMOD" in joined
+        assert b"214" in joined
+        assert b"500 Unknown SITE" in joined
+
+    def test_quit_exits_worker(self, ftp):
+        ftp.send(b"USER u\r\n", b"QUIT\r\n")
+        workers = [p for p in ftp.kernel.processes.values()
+                   if p.program.name == "bftpd-worker"]
+        assert workers and not workers[0].alive
+
+
+class TestPureFtpd:
+    def test_session_spool_accumulates(self):
+        ftp = TargetHarness(PURE_FTPD)
+        ftp.send(b"USER a\r\n", b"PASS b\r\n", b"APPE f\r\n")
+        assert ftp.program.global_spool > 0
+
+    def test_snapshot_resets_spool(self):
+        ftp = TargetHarness(PURE_FTPD)
+        ftp.send(b"USER a\r\n", b"PASS b\r\n", b"APPE f\r\n")
+        ftp.reset()
+        server = next(p for p in ftp.kernel.processes.values())
+        assert server.program.global_spool == 0
+
+    def test_internal_oom_without_resets(self):
+        """The Table 1 (*) crash: only reachable by accumulating
+        sessions without any state reset (AFLNET-no-state)."""
+        ftp = TargetHarness(PURE_FTPD)
+        report = None
+        for _ in range(400):
+            ftp.send(b"USER a\r\n", b"PASS b\r\n",
+                     b"APPE spoolfile-%d\r\n" % id(ftp))
+            report = ftp.crash()
+            if report:
+                break
+        assert report is not None
+        assert report.kind is CrashKind.OOM
+        assert "pure-ftpd-internal-oom" in report.dedup_key
+
+    def test_oom_unreachable_with_per_test_reset(self):
+        ftp = TargetHarness(PURE_FTPD)
+        for _ in range(60):
+            report = ftp.run_session(
+                [b"USER a\r\n", b"PASS b\r\n", b"APPE f\r\n"])
+            assert report is None
+
+
+class TestProftpd:
+    @pytest.fixture()
+    def ftp(self):
+        return TargetHarness(PROFTPD)
+
+    def login(self, ftp):
+        return [b"USER ftp\r\n", b"PASS ftp\r\n"]
+
+    def test_feat_lists_mode_z(self, ftp):
+        responses = ftp.send(*self.login(ftp), b"FEAT\r\n")
+        assert b"MODE Z" in b"".join(responses)
+
+    def test_mlst_facts_roundtrip(self, ftp):
+        responses = ftp.send(*self.login(ftp),
+                             b"OPTS MLST type;size;\r\n", b"MLST f\r\n")
+        assert b"250" in b"".join(responses)
+
+    def test_deflate_uaf_needs_all_four_steps(self, ftp):
+        # Without OPTS Z there is no engine to free: no crash.
+        assert ftp.run_session(self.login(ftp) + [
+            b"MODE Z\r\n", b"EPSV\r\n", b"ABOR\r\n",
+            b"RETR index.html\r\n"]) is None
+        # Without ABOR the engine is never freed: no crash.
+        assert ftp.run_session(self.login(ftp) + [
+            b"MODE Z\r\n", b"OPTS Z level=9\r\n", b"EPSV\r\n",
+            b"RETR index.html\r\n"]) is None
+        # The full sequence crashes (the Nyx-only Table 1 entry).
+        report = ftp.run_session(self.login(ftp) + [
+            b"MODE Z\r\n", b"OPTS Z level=9\r\n", b"EPSV\r\n",
+            b"ABOR\r\n", b"RETR index.html\r\n"])
+        assert report is not None
+        assert report.kind is CrashKind.ASAN_USE_AFTER_FREE
+
+    def test_uaf_state_reset_by_snapshot(self, ftp):
+        # Arm the dangling engine, then reset: the next RETR is safe.
+        ftp.send(*self.login(ftp), b"MODE Z\r\n", b"OPTS Z level=9\r\n",
+                 b"EPSV\r\n", b"ABOR\r\n")
+        ftp.reset()
+        report = ftp.run_session(self.login(ftp) + [
+            b"EPSV\r\n", b"RETR index.html\r\n"])
+        assert report is None

@@ -1,0 +1,250 @@
+"""Protocol tests for the text-protocol targets (exim, kamailio,
+live555, lighttpd, forked-daapd)."""
+
+import pytest
+
+from repro.guestos.errors import CrashKind
+from repro.targets.exim import PROFILE as EXIM
+from repro.targets.forked_daapd import PROFILE as DAAPD
+from repro.targets.kamailio import PROFILE as KAMAILIO, _sip
+from repro.targets.lighttpd import PROFILE as LIGHTTPD
+from repro.targets.live555 import PROFILE as LIVE555, _req
+
+from tests.target_harness import TargetHarness
+
+
+class TestExim:
+    @pytest.fixture()
+    def smtp(self):
+        return TargetHarness(EXIM)
+
+    def test_ehlo_lists_extensions(self, smtp):
+        responses = smtp.send(b"EHLO fuzz\r\n")
+        joined = b"".join(responses)
+        assert b"250-SIZE" in joined and b"PIPELINING" in joined
+
+    def test_full_delivery(self, smtp):
+        responses = smtp.send(
+            b"EHLO a\r\n", b"MAIL FROM:<x@a>\r\n", b"RCPT TO:<y@b>\r\n",
+            b"DATA\r\n", b"hello\r\n", b".\r\n")
+        joined = b"".join(responses)
+        assert b"354" in joined and b"250 OK id=" in joined
+        assert smtp.kernel.fs.listdir("/var/spool/exim")
+
+    def test_rcpt_before_mail_rejected(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n", b"RCPT TO:<y@b>\r\n")
+        assert b"503" in b"".join(responses)
+
+    def test_malformed_mail_from(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n", b"MAIL FROM:<unterminated\r\n")
+        assert b"501" in b"".join(responses)
+
+    def test_size_parameter_parsed(self, smtp):
+        responses = smtp.send(b"EHLO a\r\n",
+                              b"MAIL FROM:<x@a> SIZE=99 BODY=8BITMIME\r\n")
+        assert b"250 OK" in b"".join(responses)
+
+    def test_starttls_underflow_requires_size_and_transaction(self, smtp):
+        # STARTTLS outside a transaction: safe.
+        assert smtp.run_session([b"EHLO a\r\n", b"STARTTLS\r\n"]) is None
+        # Transaction without SIZE: safe.
+        assert smtp.run_session([b"EHLO a\r\n", b"MAIL FROM:<x@a>\r\n",
+                                 b"STARTTLS\r\n"]) is None
+        # SIZE-carrying transaction + STARTTLS: the Nyx-only crash.
+        report = smtp.run_session([b"EHLO a\r\n",
+                                   b"MAIL FROM:<x@a> SIZE=512\r\n",
+                                   b"STARTTLS\r\n"])
+        assert report is not None
+        assert report.kind is CrashKind.INTEGER_UNDERFLOW
+
+    def test_dot_stuffing_unstuffed(self, smtp):
+        smtp.send(b"EHLO a\r\n", b"MAIL FROM:<x@a>\r\n",
+                  b"RCPT TO:<y@b>\r\n", b"DATA\r\n",
+                  b"..literal dot line\r\n", b".\r\n")
+        assert smtp.crash() is None
+
+
+class TestKamailio:
+    @pytest.fixture()
+    def sip(self):
+        return TargetHarness(KAMAILIO)
+
+    def test_register_creates_binding(self, sip):
+        responses = sip.send(_sip(b"REGISTER", b"sip:a@t.org", b"c1", 1,
+                                  b"Contact: <sip:a@10.0.0.9>"))
+        assert b"SIP/2.0 200 OK" in responses[0]
+        assert b"sip:a@t.org" in sip.program.registrations
+
+    def test_invite_unknown_user_404(self, sip):
+        responses = sip.send(_sip(b"INVITE", b"sip:ghost@t.org", b"c2", 1))
+        assert b"404" in responses[0]
+
+    def test_full_dialog(self, sip):
+        responses = sip.send(
+            _sip(b"REGISTER", b"sip:a@t.org", b"r", 1,
+                 b"Contact: <sip:a@10.0.0.9>"),
+            _sip(b"INVITE", b"sip:a@t.org", b"call1", 1),
+            _sip(b"ACK", b"sip:a@t.org", b"call1", 1),
+            _sip(b"BYE", b"sip:a@t.org", b"call1", 2))
+        joined = b"".join(responses)
+        assert b"180 Ringing" in joined
+        assert joined.count(b"200 OK") >= 3
+        assert sip.program.dialogs == {}
+
+    def test_bye_without_dialog_481(self, sip):
+        responses = sip.send(_sip(b"BYE", b"sip:a@t.org", b"nope", 1))
+        assert b"481" in responses[0]
+
+    def test_missing_via_rejected(self, sip):
+        raw = (b"OPTIONS sip:a@t.org SIP/2.0\r\n"
+               b"To: <sip:a@t.org>\r\nCall-ID: x\r\n\r\n")
+        responses = sip.send(raw)
+        assert b"400" in responses[0]
+
+    def test_compact_headers_accepted(self, sip):
+        raw = (b"OPTIONS sip:a@t.org SIP/2.0\r\n"
+               b"v: SIP/2.0/UDP 1.2.3.4\r\n"
+               b"i: compact-1\r\n"
+               b"t: <sip:a@t.org>\r\nf: <sip:b@t.org>\r\n\r\n")
+        responses = sip.send(raw)
+        assert b"200 OK" in responses[0]
+
+    def test_content_length_mismatch_rejected(self, sip):
+        raw = (b"MESSAGE sip:a@t.org SIP/2.0\r\n"
+               b"Via: SIP/2.0/UDP h\r\nCall-ID: m1\r\n"
+               b"Content-Length: 99\r\n\r\nshort")
+        responses = sip.send(raw)
+        assert b"400" in responses[0]
+
+    def test_subscribe_requires_event(self, sip):
+        responses = sip.send(_sip(b"SUBSCRIBE", b"sip:a@t.org", b"s1", 1))
+        assert b"489" in responses[0]
+
+    def test_no_planted_crash_under_garbage(self, sip):
+        sip.send(b"\xff" * 64, b"INVITE \x00\x01 SIP/2.0\r\n\r\n")
+        assert sip.crash() is None
+
+
+class TestLive555:
+    @pytest.fixture()
+    def rtsp(self):
+        return TargetHarness(LIVE555)
+
+    url = b"rtsp://127.0.0.1:8554/stream0"
+
+    def test_options(self, rtsp):
+        responses = rtsp.send(_req(b"OPTIONS", self.url, 1))
+        assert b"Public:" in responses[0]
+
+    def test_describe_returns_sdp(self, rtsp):
+        responses = rtsp.send(_req(b"DESCRIBE", self.url, 2,
+                                   b"Accept: application/sdp"))
+        assert b"application/sdp" in responses[0]
+        assert b"v=0" in responses[0]
+
+    def test_setup_play_teardown(self, rtsp):
+        responses = rtsp.send(
+            _req(b"SETUP", self.url, 1,
+                 b"Transport: RTP/AVP;unicast;client_port=50000-50001"))
+        session = responses[0].split(b"Session: ")[1][:8]
+        responses = rtsp.send(
+            _req(b"PLAY", self.url, 2, b"Session: " + session),
+            _req(b"TEARDOWN", self.url, 3, b"Session: " + session))
+        joined = b"".join(responses)
+        assert b"Range: npt=0.000-" in joined
+
+    def test_play_without_session_454(self, rtsp):
+        responses = rtsp.send(_req(b"PLAY", self.url, 2))
+        assert b"454" in responses[0]
+
+    def test_url_overflow_crash(self, rtsp):
+        long_url = b"rtsp://127.0.0.1:8554/" + b"A" * 64
+        rtsp.send(_req(b"DESCRIBE", long_url, 1))
+        report = rtsp.crash()
+        assert report is not None and report.kind is CrashKind.SEGV
+
+    def test_nonnumeric_cseq_400(self, rtsp):
+        responses = rtsp.send(b"OPTIONS %s RTSP/1.0\r\nCSeq: abc\r\n\r\n"
+                              % self.url)
+        assert b"400" in responses[0]
+
+
+class TestLighttpd:
+    @pytest.fixture()
+    def http(self):
+        return TargetHarness(LIGHTTPD)
+
+    def test_get_index(self, http):
+        responses = http.send(b"GET / HTTP/1.1\r\nHost: a\r\n\r\n")
+        assert b"200 OK" in responses[0]
+
+    def test_404(self, http):
+        responses = http.send(b"GET /missing HTTP/1.1\r\nHost: a\r\n\r\n")
+        assert b"404" in responses[0]
+
+    def test_range_request(self, http):
+        responses = http.send(
+            b"GET / HTTP/1.1\r\nHost: a\r\nRange: bytes=0-4\r\n\r\n")
+        assert b"206" in responses[0]
+        assert b"Content-Range: bytes 0-4/" in responses[0]
+
+    def test_suffix_range_ok(self, http):
+        responses = http.send(
+            b"GET / HTTP/1.1\r\nHost: a\r\nRange: bytes=-5\r\n\r\n")
+        assert b"206" in responses[0]
+
+    def test_post_upload_persists_and_resets(self, http):
+        http.send(b"POST /upload HTTP/1.1\r\nHost: a\r\n"
+                  b"Content-Length: 4\r\n\r\nDATA")
+        assert http.kernel.fs.listdir("/var/www")
+        http.reset()
+        assert not http.kernel.fs.listdir("/var/www")
+
+    def test_range_underflow_crash(self, http):
+        """§5.5: oversized suffix range + Content-Length header."""
+        http.send(b"GET / HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n"
+                  b"Range: bytes=-9999\r\n\r\n")
+        report = http.crash()
+        assert report is not None
+        assert report.kind is CrashKind.INTEGER_UNDERFLOW
+
+    def test_suffix_range_without_content_length_safe(self, http):
+        responses = http.send(
+            b"GET / HTTP/1.1\r\nHost: a\r\nRange: bytes=-9999\r\n\r\n")
+        assert http.crash() is None
+        assert b"206" in responses[0]
+
+
+class TestForkedDaapd:
+    @pytest.fixture()
+    def daap(self):
+        return TargetHarness(DAAPD)
+
+    def test_server_info(self, daap):
+        responses = daap.send(b"GET /server-info HTTP/1.1\r\n\r\n")
+        assert b"application/x-dmap-tagged" in responses[0]
+        assert b"msrv" in responses[0]
+
+    def test_login_then_query(self, daap):
+        responses = daap.send(b"GET /login HTTP/1.1\r\n\r\n")
+        assert b"mlid" in responses[0]
+        responses = daap.send(
+            b"GET /databases/1/items?session-id=101 HTTP/1.1\r\n\r\n")
+        assert b"adbs" in responses[-1]
+
+    def test_query_without_session_403(self, daap):
+        responses = daap.send(
+            b"GET /databases/1/items?session-id=9 HTTP/1.1\r\n\r\n")
+        assert b"403" in responses[0]
+
+    def test_artist_filter(self, daap):
+        daap.send(b"GET /login HTTP/1.1\r\n\r\n")
+        responses = daap.send(
+            b"GET /databases/1/items?session-id=101&query='artist:A'"
+            b" HTTP/1.1\r\n\r\n")
+        body = responses[-1]
+        assert body.count(b"mlit") == 2   # two tracks by artist A
+
+    def test_stream_unknown_track_404(self, daap):
+        responses = daap.send(b"GET /stream/99 HTTP/1.1\r\n\r\n")
+        assert b"404" in responses[0]

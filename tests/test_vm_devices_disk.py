@@ -1,0 +1,182 @@
+"""Unit tests for emulated devices, the disk and the simulated clock."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel, DEFAULT_COSTS
+from repro.sim.rng import DeterministicRandom
+from repro.vm.devices import DeviceBoard
+from repro.vm.disk import SECTOR_SIZE, DiskError, EmulatedDisk
+
+
+class TestSimClock:
+    def test_monotonic_charge(self):
+        clock = SimClock()
+        clock.charge(1.5)
+        clock.charge(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_reset(self):
+        clock = SimClock(5.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestCostModel:
+    def test_emulated_path_cheaper(self):
+        costs = CostModel()
+        assert costs.packet_cost(1000, emulated=True) < \
+            costs.packet_cost(1000, emulated=False)
+        assert costs.connect_cost(True) < costs.connect_cost(False)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.net_packet = 0.0
+
+    def test_paper_ratio_aflnet_vs_nyx(self):
+        """AFLNet's per-packet path must be orders slower than the
+        emulated one — the root of Table 3's gap."""
+        costs = CostModel()
+        aflnet_packet = costs.aflnet_packet_delay + costs.packet_cost(
+            100, emulated=False)
+        nyx_packet = costs.packet_cost(100, emulated=True)
+        assert aflnet_packet / nyx_packet > 1000
+
+
+class TestDeterministicRandom:
+    def test_reproducible(self):
+        a, b = DeterministicRandom(9), DeterministicRandom(9)
+        assert [a.randrange(100) for _ in range(20)] == \
+            [b.randrange(100) for _ in range(20)]
+
+    def test_chance_extremes(self):
+        rng = DeterministicRandom(0)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_pick_empty_raises(self):
+        with pytest.raises(IndexError):
+            DeterministicRandom(0).pick([])
+
+    def test_biased_index_favors_end(self):
+        rng = DeterministicRandom(1)
+        picks = [rng.biased_index(10) for _ in range(500)]
+        assert sum(picks) / len(picks) > 5.0
+
+    def test_some_bytes_length(self):
+        assert len(DeterministicRandom(2).some_bytes(17)) == 17
+
+    def test_shuffled_does_not_mutate(self):
+        rng = DeterministicRandom(3)
+        original = [1, 2, 3, 4]
+        rng.shuffled(original)
+        assert original == [1, 2, 3, 4]
+
+
+class TestDeviceBoard:
+    def test_fast_capture_restore(self):
+        board = DeviceBoard()
+        board.nic.on_rx(100)
+        board.timer.tick()
+        board.serial.write(b"boot ok")
+        state = board.capture_fast()
+        board.nic.on_rx(50)
+        board.timer.tick()
+        board.restore_fast(state)
+        assert board.nic.rx_packets == 1
+        assert board.timer.ticks == 1
+        assert board.serial.bytes_written == 7
+
+    def test_slow_path_equivalent(self):
+        board = DeviceBoard()
+        board.rtc.advance(1234)
+        blob = board.capture_slow()
+        board.rtc.advance(9999)
+        board.restore_slow(blob)
+        assert board.rtc.epoch_us == 1_600_000_000_000_000 + 1234
+
+    def test_timer_disarm(self):
+        board = DeviceBoard()
+        board.timer.armed = False
+        board.timer.tick()
+        assert board.timer.ticks == 0
+
+    def test_capture_is_deep_for_serial(self):
+        board = DeviceBoard()
+        board.serial.write(b"a")
+        state = board.capture_fast()
+        board.serial.write(b"b")
+        board.restore_fast(state)
+        assert board.serial.tx_buffer == [b"a"]
+
+
+class TestEmulatedDisk:
+    def test_sector_roundtrip(self):
+        disk = EmulatedDisk(16)
+        disk.write_sector(3, b"q" * SECTOR_SIZE)
+        assert disk.read_sector(3) == b"q" * SECTOR_SIZE
+        assert disk.read_sector(4) == bytes(SECTOR_SIZE)
+
+    def test_byte_granular_io(self):
+        disk = EmulatedDisk(16)
+        disk.write(100, b"hello across sectors" * 40)
+        assert disk.read(100, 20) == b"hello across sectors"
+
+    def test_out_of_bounds(self):
+        disk = EmulatedDisk(2)
+        with pytest.raises(DiskError):
+            disk.read(2 * SECTOR_SIZE, 1)
+        with pytest.raises((DiskError, Exception)):
+            disk.write_sector(5, b"x" * SECTOR_SIZE)
+
+    def test_wrong_sector_size_rejected(self):
+        disk = EmulatedDisk(4)
+        with pytest.raises(ValueError):
+            disk.write_sector(0, b"short")
+
+    def test_dirty_tracking(self):
+        disk = EmulatedDisk(16)
+        disk.write_sector(1, b"a" * SECTOR_SIZE)
+        disk.write_sector(1, b"b" * SECTOR_SIZE)
+        disk.write_sector(5, b"c" * SECTOR_SIZE)
+        assert disk.take_dirty() == [1, 5]
+        assert disk.dirty_count == 0
+
+    def test_overlay_restore_with_root_fallback(self):
+        base = {0: b"B" * SECTOR_SIZE}
+        disk = EmulatedDisk(8, base_image=base)
+        disk.write_sector(0, b"L" * SECTOR_SIZE)
+        disk.write_sector(1, b"M" * SECTOR_SIZE)
+        overlay = disk.capture_overlay()
+        disk.write_sector(0, b"X" * SECTOR_SIZE)
+        disk.write_sector(2, b"Y" * SECTOR_SIZE)
+        disk.restore_overlay(overlay, [0, 2])
+        assert disk.read_sector(0) == b"L" * SECTOR_SIZE  # overlay
+        assert disk.read_sector(2) == bytes(SECTOR_SIZE)  # root fallback
+        assert disk.read_sector(1) == b"M" * SECTOR_SIZE  # untouched
+
+    @given(st.dictionaries(st.integers(0, 15),
+                           st.binary(min_size=SECTOR_SIZE,
+                                     max_size=SECTOR_SIZE), max_size=8))
+    @settings(max_examples=40)
+    def test_overlay_roundtrip_property(self, writes):
+        disk = EmulatedDisk(16)
+        for sector, data in writes.items():
+            disk.write_sector(sector, data)
+        overlay = disk.capture_overlay()
+        dirty = disk.take_dirty()
+        for sector in writes:
+            disk.write_sector(sector, bytes(SECTOR_SIZE))
+        disk.restore_overlay(overlay, disk.take_dirty())
+        for sector, data in writes.items():
+            assert disk.read_sector(sector) == data
