@@ -1,0 +1,69 @@
+"""§6 parallel fuzzing: 8 instances, one shared root, real campaigns.
+
+Extends the page-level scalability microbenchmark to the full
+orchestrator: 8 workers fuzz lighttpd over one shared root snapshot
+with periodic corpus sync.  Two claims are checked:
+
+* **Memory** — the fleet's unique-page footprint stays within 2x of a
+  single instance ("80 instances of Nyx-Net only require about 2x the
+  memory of a single instance", §5.3/§6).  The golden VM carries 2048
+  pages of image ballast so the measurement is against a realistically
+  sized root image rather than the lean simulated boot.
+* **Throughput** — aggregate executions scale: the fleet retires at
+  least 4x the executions a single worker manages in the same
+  simulated time.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.campaign import build_campaign, build_parallel_campaign
+from repro.targets import PROFILES
+
+N_WORKERS = 8
+IMAGE_PAGES = 2048
+#: Both runs are bounded by *simulated time only* — each worker burns
+#: the same sim budget as the solo baseline, so retired executions
+#: measure throughput scaling rather than who hit an exec cap first.
+SIM_BUDGET = 0.25
+SYNC_INTERVAL = 0.05
+
+
+def test_parallel_campaign_memory_and_throughput(benchmark, save_artifact):
+    def experiment():
+        campaign = build_parallel_campaign(
+            PROFILES["lighttpd"], workers=N_WORKERS, seed=7,
+            time_budget=SIM_BUDGET, sync_interval=SYNC_INTERVAL,
+            image_pages=IMAGE_PAGES)
+        aggregate = campaign.run()
+        footprint = campaign.unique_page_footprint()
+
+        # The same budget, one instance, for the scaling baseline.
+        handles = build_campaign(PROFILES["lighttpd"], policy="balanced",
+                                 seed=7, time_budget=SIM_BUDGET,
+                                 max_execs=None)
+        solo = handles.fuzzer.run_campaign()
+        return aggregate, footprint, solo
+
+    aggregate, footprint, solo = benchmark.pedantic(experiment, rounds=1,
+                                                    iterations=1)
+    report = (
+        "Parallel campaign (shared root, %d workers on lighttpd):\n"
+        "  single-instance pages: %d\n"
+        "  fleet total pages:     %d  (%.2fx a single instance)\n"
+        "  solo execs:            %d  (%.1f/s)\n"
+        "  aggregate execs:       %d  (%.1f/s, %.1fx solo)\n"
+        "  merged edges:          %d (solo %d)\n"
+        % (N_WORKERS, footprint["single"], footprint["total"],
+           footprint["ratio"], solo.execs, solo.execs_per_second(),
+           aggregate.total_execs, aggregate.execs_per_second(),
+           aggregate.total_execs / max(solo.execs, 1),
+           aggregate.final_edges, solo.final_edges))
+    save_artifact("parallel_campaign.txt", report)
+
+    # §5.3/§6: the whole fleet within 2x of one instance's memory.
+    assert footprint["total"] <= 2.0 * footprint["single"]
+    # Throughput scales: 8 workers retire >= 4x one worker's execs in
+    # the same simulated time budget.
+    assert aggregate.total_execs >= 4 * solo.execs
+    # Sharing a corpus never loses coverage against the solo run.
+    assert aggregate.final_edges >= solo.final_edges

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Parallel fuzzing over one shared root snapshot (§5.3/§6).
+
+Boots the lighttpd target exactly once, then brings up four fuzzing
+instances that adopt the golden root image as copy-on-write page
+references — no re-boot, almost no extra memory.  The instances run
+deterministically interleaved on the simulated clock and exchange
+corpus entries AFL-style every half simulated second; a campaign-level
+merged bitmap decides which entries are globally new before they are
+broadcast.
+
+Run:  python examples/parallel_campaign.py
+"""
+
+from repro import PROFILES, build_parallel_campaign
+
+
+def main() -> None:
+    profile = PROFILES["lighttpd"]
+    print("Target: %s (%s protocol) — booting one golden VM..."
+          % (profile.name, profile.protocol))
+
+    campaign = build_parallel_campaign(
+        profile,
+        workers=4,            # instances sharing the root snapshot
+        policy="aggressive",  # none | balanced | aggressive (§3.4)
+        seed=1,
+        time_budget=0.2,      # simulated seconds *per worker*
+        sync_interval=0.05,   # sim seconds between corpus syncs
+        image_pages=1024,     # simulated OS-image ballast in the root
+    )
+    aggregate = campaign.run()
+
+    print()
+    print(aggregate.summary())
+    footprint = campaign.unique_page_footprint()
+    print("fleet memory:   %d unique pages vs %d for one instance "
+          "(%.2fx — the paper reports ~2x for 80 instances)"
+          % (footprint["total"], footprint["single"], footprint["ratio"]))
+    for stats in aggregate.workers:
+        print("  %s: %d execs, %d edges, queue %d"
+              % (stats.fuzzer_name, stats.execs, stats.final_edges,
+                 stats.queue_size))
+    crash_keys = sorted({key for w in campaign.workers
+                         for key in w.fuzzer.crashes.records})
+    if crash_keys:
+        print("unique bugs found: %s" % crash_keys)
+
+
+if __name__ == "__main__":
+    main()

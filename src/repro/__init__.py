@@ -31,7 +31,8 @@ Layer map (bottom-up):
 * :mod:`repro.bench` — the harness regenerating every table/figure.
 """
 
-from repro.fuzz.campaign import CampaignHandles, build_campaign
+from repro.fuzz.campaign import (CampaignHandles, build_campaign,
+                                 build_parallel_campaign)
 from repro.fuzz.fuzzer import FuzzerConfig, NyxNetFuzzer
 from repro.fuzz.input import FuzzInput, packets_input
 from repro.spec.builder import Builder
@@ -42,7 +43,8 @@ from repro.vm.machine import Machine
 __version__ = "1.0.0"
 
 __all__ = [
-    "build_campaign", "CampaignHandles", "NyxNetFuzzer", "FuzzerConfig",
+    "build_campaign", "build_parallel_campaign", "CampaignHandles",
+    "NyxNetFuzzer", "FuzzerConfig",
     "FuzzInput", "packets_input", "Builder", "Spec", "default_network_spec",
     "PROFILES", "PROFUZZBENCH", "TargetProfile", "Machine", "__version__",
 ]

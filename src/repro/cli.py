@@ -39,6 +39,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("unknown target %r (see `repro targets`)" % args.target,
               file=sys.stderr)
         return 2
+    if args.workers > 1:
+        return _fuzz_parallel(args, profile)
     handles = build_campaign(profile, policy=args.policy, seed=args.seed,
                              time_budget=args.time, max_execs=args.execs,
                              asan=not args.no_asan)
@@ -60,6 +62,34 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               % (len(inputs), len(chosen)))
     if args.out:
         written = save_campaign(handles.fuzzer, args.out)
+        print("saved %d files to %s" % (written, args.out))
+    return 0
+
+
+def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
+    """``fuzz --workers N``: one golden boot, N instances, shared root."""
+    from repro.fuzz.campaign import build_parallel_campaign
+    from repro.fuzz.persist import save_parallel_campaign
+    campaign = build_parallel_campaign(
+        profile, workers=args.workers, policy=args.policy, seed=args.seed,
+        time_budget=args.time, max_total_execs=args.execs,
+        sync_interval=args.sync_interval)
+    print("fuzzing %s with %d nyx-net-%s workers over one shared root "
+          "(sim budget %.0fs, cap %s execs)"
+          % (args.target, args.workers, args.policy, args.time, args.execs))
+    aggregate = campaign.run()
+    print(aggregate.summary())
+    footprint = campaign.unique_page_footprint()
+    print("shared-root footprint: %d unique pages (%.2fx one instance)"
+          % (footprint["total"], footprint["ratio"]))
+    crash_keys = sorted({key for w in campaign.workers
+                         for key in w.fuzzer.crashes.records})
+    for bug in crash_keys:
+        print("  CRASH %s" % bug)
+    if args.distill:
+        print("(--distill is ignored with --workers > 1)")
+    if args.out:
+        written = save_parallel_campaign(campaign, args.out)
         print("saved %d files to %s" % (written, args.out))
     return 0
 
@@ -152,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--distill", action="store_true",
                       help="afl-cmin the corpus before saving")
     fuzz.add_argument("--out", help="directory to persist corpus+crashes")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="parallel instances over one shared root "
+                           "snapshot (default: 1)")
+    fuzz.add_argument("--sync-interval", type=float, default=5.0,
+                      help="sim seconds between corpus sync rounds "
+                           "(with --workers > 1)")
 
     mario = sub.add_parser("mario", help="Table 4 on one level")
     mario.add_argument("level", nargs="?", default="1-1")

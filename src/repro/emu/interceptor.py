@@ -65,6 +65,22 @@ class Interceptor:
     # fuzzer-facing API
     # ------------------------------------------------------------------
 
+    def adopt_surface_state(self, source: "Interceptor") -> None:
+        """Copy boot-time surface bookkeeping from a golden instance.
+
+        Workers that :meth:`~repro.vm.machine.Machine.adopt_root` a
+        shared root snapshot never observe the target's boot-time
+        ``bind``/``listen``/``connect`` calls — those happened on the
+        golden VM.  Guest socket ids are part of the adopted memory
+        image and therefore identical across instances, so the golden
+        interceptor's listener/datagram tables carry over verbatim.
+        """
+        self.listener_sids = dict(source.listener_sids)
+        self.dgram_sids = dict(source.dgram_sids)
+        self._seen_any_bind = source._seen_any_bind
+        self._unbound_client_sids = list(source._unbound_client_sids)
+        self.saw_first_read = source.saw_first_read
+
     def reset_for_test(self) -> None:
         """Drop all per-test connection state (before each execution)."""
         self._conns = {}

@@ -10,6 +10,8 @@
 * :mod:`repro.fuzz.executor` — runs one input in the VM, driving the
   interceptor, snapshots and coverage tracing.
 * :mod:`repro.fuzz.fuzzer` — the campaign loop.
+* :mod:`repro.fuzz.parallel` — N instances over one shared root
+  snapshot with deterministic interleaving and corpus sync (§5.3/§6).
 """
 
 from repro.fuzz.input import FuzzInput
@@ -19,15 +21,20 @@ from repro.fuzz.policies import (SnapshotPolicy, NonePolicy, BalancedPolicy,
                                  AggressivePolicy, make_policy)
 from repro.fuzz.executor import ExecResult, NyxExecutor
 from repro.fuzz.fuzzer import NyxNetFuzzer, FuzzerConfig
-from repro.fuzz.stats import CampaignStats
+from repro.fuzz.stats import AggregateStats, CampaignStats
 from repro.fuzz.crash import CrashDatabase
 from repro.fuzz.trim import trim_input, distill_corpus
-from repro.fuzz.persist import save_campaign, load_corpus
+from repro.fuzz.persist import (save_campaign, save_parallel_campaign,
+                                load_corpus)
+from repro.fuzz.parallel import (ParallelCampaign, ParallelConfig,
+                                 WorkerHandle)
 
 __all__ = [
     "FuzzInput", "MutationEngine", "Corpus", "QueueEntry",
     "SnapshotPolicy", "NonePolicy", "BalancedPolicy", "AggressivePolicy",
     "make_policy", "ExecResult", "NyxExecutor", "NyxNetFuzzer",
-    "FuzzerConfig", "CampaignStats", "CrashDatabase",
-    "trim_input", "distill_corpus", "save_campaign", "load_corpus",
+    "FuzzerConfig", "CampaignStats", "AggregateStats", "CrashDatabase",
+    "ParallelCampaign", "ParallelConfig", "WorkerHandle",
+    "trim_input", "distill_corpus", "save_campaign",
+    "save_parallel_campaign", "load_corpus",
 ]

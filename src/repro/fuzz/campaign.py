@@ -33,21 +33,15 @@ class CampaignHandles:
     profile: TargetProfile
 
 
-def build_campaign(profile: TargetProfile,
-                   policy: str = "balanced",
-                   seed: int = 0,
-                   time_budget: float = 60.0,
-                   max_execs: Optional[int] = None,
-                   asan: bool = True,
-                   memory_bytes: int = 64 * 1024 * 1024,
-                   iterations_per_snapshot: int = 50,
-                   heap_slack: Optional[int] = None,
-                   seeds=None) -> CampaignHandles:
-    """Boot the target in a fresh VM and wire up a Nyx-Net fuzzer.
+def boot_target(profile: TargetProfile,
+                asan: bool = True,
+                memory_bytes: int = 64 * 1024 * 1024,
+                heap_slack: Optional[int] = None):
+    """Boot the target in a fresh VM up to the root snapshot.
 
-    ``asan=False`` models fuzzing the plain binary (Table 1's dcmtk
-    footnote); ``heap_slack`` then controls how much silent corruption
-    the initial heap layout absorbs.
+    Returns ``(machine, kernel, interceptor)`` with the root snapshot
+    already captured — the golden image a parallel campaign's workers
+    adopt, or the starting point of a single-instance campaign.
     """
     machine = Machine(memory_bytes=memory_bytes)
     kernel = Kernel(machine)
@@ -65,6 +59,28 @@ def build_campaign(profile: TargetProfile,
     kernel.run(max_rounds=256)
     kernel.flush_to_memory(full=True)
     machine.capture_root()
+    return machine, kernel, interceptor
+
+
+def build_campaign(profile: TargetProfile,
+                   policy: str = "balanced",
+                   seed: int = 0,
+                   time_budget: float = 60.0,
+                   max_execs: Optional[int] = None,
+                   asan: bool = True,
+                   memory_bytes: int = 64 * 1024 * 1024,
+                   iterations_per_snapshot: int = 50,
+                   heap_slack: Optional[int] = None,
+                   seeds=None) -> CampaignHandles:
+    """Boot the target in a fresh VM and wire up a Nyx-Net fuzzer.
+
+    ``asan=False`` models fuzzing the plain binary (Table 1's dcmtk
+    footnote); ``heap_slack`` then controls how much silent corruption
+    the initial heap layout absorbs.
+    """
+    machine, kernel, interceptor = boot_target(
+        profile, asan=asan, memory_bytes=memory_bytes,
+        heap_slack=heap_slack)
 
     tracer = EdgeTracer()
     executor = NyxExecutor(machine, kernel, interceptor, tracer)
@@ -78,3 +94,32 @@ def build_campaign(profile: TargetProfile,
     fuzzer.stats.target_name = profile.name
     return CampaignHandles(machine, kernel, interceptor, executor,
                            fuzzer, profile)
+
+
+def build_parallel_campaign(profile: TargetProfile,
+                            workers: int = 2,
+                            policy: str = "balanced",
+                            seed: int = 0,
+                            time_budget: float = 60.0,
+                            max_total_execs: Optional[int] = None,
+                            asan: bool = True,
+                            memory_bytes: int = 64 * 1024 * 1024,
+                            iterations_per_snapshot: int = 50,
+                            sync_interval: float = 5.0,
+                            image_pages: int = 0,
+                            seeds=None):
+    """Boot one golden VM and assemble an N-worker parallel campaign.
+
+    Workers adopt the golden root snapshot instead of re-booting (§5.3
+    shared root snapshots) and sync corpora AFL-style every
+    ``sync_interval`` simulated seconds.
+    """
+    from repro.fuzz.parallel import ParallelCampaign, ParallelConfig
+    config = ParallelConfig(workers=workers, policy=policy, seed=seed,
+                            time_budget=time_budget,
+                            max_total_execs=max_total_execs,
+                            iterations_per_snapshot=iterations_per_snapshot,
+                            sync_interval=sync_interval,
+                            memory_bytes=memory_bytes, asan=asan,
+                            image_pages=image_pages)
+    return ParallelCampaign(profile, config, seeds=seeds)

@@ -72,6 +72,7 @@ class NyxNetFuzzer:
         self.stats = CampaignStats(
             fuzzer_name="nyx-net-%s" % self.policy.name)
         self._seeds = [s.copy() for s in seeds]
+        self._seeded = False
 
     @property
     def clock(self):
@@ -83,21 +84,66 @@ class NyxNetFuzzer:
 
     def run_campaign(self) -> CampaignStats:
         """Run until the time budget or exec cap is exhausted."""
+        self.begin_campaign()
+        while self.step():
+            pass
+        return self.finish_campaign()
+
+    def begin_campaign(self) -> None:
+        """Import the seed corpus (idempotent; called before stepping)."""
+        if self._seeded:
+            return
+        self._seeded = True
         self._import_seeds()
-        config = self.config
-        while self.clock.now < config.time_budget and not self._exec_capped():
-            if not self.corpus.entries:
-                # No seeds were provided: fall back to Nyx's purely
-                # generative mode — random well-typed op sequences from
-                # the spec (§2.2).
-                self._import_input(self._generate_input())
-                continue
-            entry = self.corpus.next_entry()
-            self._fuzz_entry(entry)
-            self.stats.record_execs(self.clock.now)
+
+    def step(self) -> bool:
+        """Run one scheduling iteration; False once the budget is spent.
+
+        Parallel campaigns drive workers through this entry point so
+        the orchestrator can interleave instances deterministically on
+        the sim clock and sync corpora between slices.
+        """
+        if self.clock.now >= self.config.time_budget or self._exec_capped():
+            return False
+        if not self.corpus.entries:
+            # No seeds were provided: fall back to Nyx's purely
+            # generative mode — random well-typed op sequences from
+            # the spec (§2.2).
+            self._import_input(self._generate_input())
+            return True
+        entry = self.corpus.next_entry()
+        self._fuzz_entry(entry)
+        self.stats.record_execs(self.clock.now)
+        return True
+
+    def finish_campaign(self) -> CampaignStats:
+        """Stamp the final counters and return the stats."""
         self.stats.end_time = self.clock.now
         self.stats.queue_size = len(self.corpus)
         return self.stats
+
+    # ------------------------------------------------------------------
+    # corpus sync (parallel campaigns)
+    # ------------------------------------------------------------------
+
+    def export_new_entries(self, since_id: int = 0):
+        """Corpus entries found since the given watermark id."""
+        return self.corpus.export_entries(since_id)
+
+    def absorb_foreign(self, entries) -> list:
+        """Adopt peer corpus entries: enqueue them and fold their
+        traces into this worker's coverage map, so already-discovered
+        behaviour is not rediscovered from scratch."""
+        adopted = self.corpus.import_foreign(entries,
+                                             found_at=self.clock.now)
+        for entry in adopted:
+            if entry.trace:
+                self.coverage.has_new_bits(entry.trace)
+        if adopted:
+            self.stats.record_coverage(self.clock.now,
+                                       self.coverage.edge_count())
+            self.stats.queue_size = len(self.corpus)
+        return adopted
 
     def _exec_capped(self) -> bool:
         cap = self.config.max_execs
@@ -187,7 +233,8 @@ class NyxNetFuzzer:
                                 new_edges=self.coverage.edge_count(),
                                 found_at=now,
                                 checksum=self.coverage.checksum(result.trace),
-                                packets_consumed=result.packets_consumed)
+                                packets_consumed=result.packets_consumed,
+                                trace=dict(result.trace))
                 found_new = True
         return found_new
 
@@ -240,4 +287,5 @@ class NyxNetFuzzer:
         self.corpus.add(seed, exec_time=result.exec_time,
                         new_edges=self.coverage.edge_count(), found_at=now,
                         checksum=self.coverage.checksum(result.trace),
-                        packets_consumed=result.packets_consumed)
+                        packets_consumed=result.packets_consumed,
+                        trace=dict(result.trace))

@@ -71,6 +71,65 @@ def save_campaign(fuzzer: NyxNetFuzzer, directory: str,
     return written + 1
 
 
+def save_parallel_campaign(campaign, directory: str,
+                           spec: Optional[Spec] = None) -> int:
+    """Persist a :class:`~repro.fuzz.parallel.ParallelCampaign`.
+
+    The fleet's corpora are merged into one queue directory (dedup by
+    serialized bytecode — peers share imported entries, which would
+    otherwise be written N times), crashes keep the earliest discovery
+    of each bug, and ``stats.json`` holds the aggregate view plus the
+    per-worker breakdown.  The layout stays loadable by
+    :func:`load_corpus`, so parallel campaigns resume like single ones.
+    """
+    spec = spec or default_network_spec()
+    root = pathlib.Path(directory)
+    queue_dir = root / "queue"
+    crash_dir = root / "crashes"
+    queue_dir.mkdir(parents=True, exist_ok=True)
+    crash_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    seen_blobs = set()
+    for worker in campaign.workers:
+        for entry in worker.fuzzer.corpus.entries:
+            try:
+                blob = serialize(spec, entry.input.ops)
+            except SpecError:
+                continue
+            if blob in seen_blobs:
+                continue
+            seen_blobs.add(blob)
+            (queue_dir / ("id_%06d.nyx" % len(seen_blobs))).write_bytes(blob)
+            written += 1
+    first_records = {}
+    for worker in campaign.workers:
+        for key, record in worker.fuzzer.crashes.records.items():
+            kept = first_records.get(key)
+            if kept is None or record.found_at < kept.found_at:
+                first_records[key] = record
+    for key, record in sorted(first_records.items()):
+        safe = key.replace(":", "_").replace("/", "_")
+        if record.input is not None:
+            try:
+                (crash_dir / (safe + ".nyx")).write_bytes(
+                    serialize(spec, record.input.ops))
+                written += 1
+            except SpecError:
+                pass
+        (crash_dir / (safe + ".txt")).write_text(
+            "bug:      %s\nkind:     %s\ndetail:   %s\nfound_at: %.3f "
+            "(simulated seconds)\ncount:    %d\n"
+            % (record.report.bug_id, record.report.kind.value,
+               record.report.detail, record.found_at, record.count))
+        written += 1
+    aggregate = campaign.aggregate()
+    payload = aggregate.as_dict()
+    payload["footprint"] = campaign.unique_page_footprint()
+    (root / "stats.json").write_text(json.dumps(payload, indent=2,
+                                                sort_keys=True))
+    return written + 1
+
+
 def load_corpus(directory: str, spec: Optional[Spec] = None,
                 limit: Optional[int] = None) -> List[FuzzInput]:
     """Load persisted queue entries as seed inputs."""

@@ -4,12 +4,18 @@ AFL-style: every input that produced new coverage joins the queue;
 scheduling walks the queue in cycles, favoring fast/small entries.
 Entries also carry the per-input state the *aggressive* snapshot
 placement policy needs (its cursor and fruitless counter, §3.4).
+
+Parallel campaigns sync corpora between instances the AFL -M/-S way:
+:meth:`Corpus.export_entries` hands out entries found since the last
+sync (with their discovery metadata and trace), and
+:meth:`Corpus.import_foreign` adopts a peer's exports, deduplicating
+by coverage checksum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.fuzz.input import FuzzInput
 from repro.sim.rng import DeterministicRandom
@@ -34,11 +40,18 @@ class QueueEntry:
     #: from the end on first schedule) and fruitless-iteration count.
     aggr_cursor: Optional[int] = None
     aggr_fruitless: int = 0
+    #: Coverage checksum of the discovering execution (dedup key for
+    #: cross-instance corpus sync).
+    checksum: Optional[int] = None
+    #: Sparse edge trace of the discovering execution.  Lets a peer
+    #: (or the campaign-level merged bitmap) absorb this entry's
+    #: coverage without re-executing it.
+    trace: Optional[Dict[int, int]] = None
 
     def fuzzable_packets(self) -> int:
         """Packets worth snapshotting over (consumed, else all)."""
         n = self.input.num_packets
-        if self.effective_packets:
+        if self.effective_packets > 0:
             return min(n, self.effective_packets)
         return n
 
@@ -59,10 +72,16 @@ class Corpus:
         self.cycles_done = 0
         self._seen_checksums: set = set()
 
+    @property
+    def next_id(self) -> int:
+        """The id the next added entry will receive (sync watermark)."""
+        return self._next_id
+
     def add(self, input_: FuzzInput, exec_time: float = 0.0,
             new_edges: int = 0, found_at: float = 0.0,
             checksum: Optional[int] = None,
-            packets_consumed: int = 0) -> QueueEntry:
+            packets_consumed: int = 0,
+            trace: Optional[Dict[int, int]] = None) -> QueueEntry:
         """Insert an input (dedup by coverage checksum if given)."""
         if checksum is not None:
             if checksum in self._seen_checksums:
@@ -71,11 +90,46 @@ class Corpus:
             self._seen_checksums.add(checksum)
         entry = QueueEntry(self._next_id, input_, exec_time=exec_time,
                            new_edges=new_edges, found_at=found_at,
-                           effective_packets=packets_consumed)
+                           effective_packets=packets_consumed,
+                           checksum=checksum, trace=trace)
         self._next_id += 1
         self.entries.append(entry)
         self._refresh_favored()
         return entry
+
+    # -- cross-instance corpus sync (parallel campaigns) -----------------
+
+    def export_entries(self, since_id: int = 0) -> List[QueueEntry]:
+        """Entries with id >= ``since_id``, in discovery order.
+
+        The caller keeps :attr:`next_id` as its watermark so each sync
+        round only ships entries found since the previous one.
+        """
+        return [e for e in self.entries if e.entry_id >= since_id]
+
+    def import_foreign(self, entries: Sequence[QueueEntry],
+                       found_at: float = 0.0) -> List[QueueEntry]:
+        """Adopt entries exported by a peer instance.
+
+        Entries whose coverage checksum this corpus has already seen
+        are dropped (the peer found the same behaviour independently).
+        Returns the entries actually adopted, with fresh local ids.
+        """
+        adopted: List[QueueEntry] = []
+        for foreign in entries:
+            if (foreign.checksum is not None
+                    and foreign.checksum in self._seen_checksums):
+                continue
+            clone = foreign.input.copy()
+            clone.origin = "import"
+            trace = dict(foreign.trace) if foreign.trace else None
+            adopted.append(self.add(
+                clone, exec_time=foreign.exec_time,
+                new_edges=foreign.new_edges, found_at=found_at,
+                checksum=foreign.checksum,
+                packets_consumed=foreign.effective_packets,
+                trace=trace))
+        return adopted
 
     def _refresh_favored(self) -> None:
         """Mark the best-scoring quartile as favored."""

@@ -2,12 +2,19 @@
 
 Times are *simulated* seconds (the cost model clock), which is what
 every reproduced table and figure reports.
+
+Parallel campaigns roll per-worker :class:`CampaignStats` up into one
+:class:`AggregateStats` view: counters sum, crash times take the
+earliest discovery, and the time series merge on the union of their
+timestamps (the campaign supplies the merged-bitmap coverage series,
+since per-worker edge counts overlap and cannot simply be added).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -46,10 +53,26 @@ class CampaignStats:
     def final_edges(self) -> int:
         return self.coverage_series[-1][1] if self.coverage_series else 0
 
+    def duration(self) -> float:
+        """Elapsed sim time: ``end_time``, or — while the campaign is
+        still running and ``end_time`` has not been stamped yet — the
+        latest recorded sample time."""
+        elapsed = self.end_time
+        for series in (self.exec_series, self.coverage_series):
+            if series:
+                elapsed = max(elapsed, series[-1][0])
+        if self.crash_times:
+            elapsed = max(elapsed, max(self.crash_times.values()))
+        return elapsed
+
     def execs_per_second(self) -> float:
-        if self.end_time <= 0:
-            return 0.0
-        return self.execs / self.end_time
+        elapsed = self.duration()
+        if elapsed <= 0:
+            # Executions ran but no sim time elapsed anywhere (free
+            # cost model): floor the window at one second instead of
+            # dividing by zero or reporting a misleading 0.0.
+            return float(self.execs)
+        return self.execs / elapsed
 
     def edges_at(self, time: float) -> int:
         """Coverage at a given sim time (step function)."""
@@ -59,6 +82,15 @@ class CampaignStats:
                 break
             edges = e
         return edges
+
+    def execs_at(self, time: float) -> int:
+        """Total executions at a given sim time (step function)."""
+        execs = 0
+        for t, e in self.exec_series:
+            if t > time:
+                break
+            execs = e
+        return execs
 
     def time_to_edges(self, edges: int) -> Optional[float]:
         """First sim time at which coverage reached ``edges``."""
@@ -72,3 +104,127 @@ class CampaignStats:
                 "t=%.1fs" % (self.fuzzer_name, self.target_name, self.execs,
                              self.execs_per_second(), self.final_edges,
                              self.crashes_found, self.end_time))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable view (canonical under sort_keys)."""
+        return {
+            "fuzzer": self.fuzzer_name,
+            "target": self.target_name,
+            "execs": self.execs,
+            "suffix_execs": self.suffix_execs,
+            "crashes_found": self.crashes_found,
+            "queue_size": self.queue_size,
+            "end_time": self.end_time,
+            "final_edges": self.final_edges,
+            "coverage_series": [[t, e] for t, e in self.coverage_series],
+            "exec_series": [[t, e] for t, e in self.exec_series],
+            "crash_times": dict(sorted(self.crash_times.items())),
+        }
+
+    # -- multi-worker rollup ------------------------------------------------
+
+    @classmethod
+    def merge(cls, parts: Sequence["CampaignStats"],
+              fuzzer_name: Optional[str] = None,
+              target_name: Optional[str] = None,
+              coverage_series: Optional[List[Tuple[float, int]]] = None,
+              ) -> "CampaignStats":
+        """Roll several workers' stats into one campaign-level view.
+
+        Counters sum; crash times keep the earliest discovery of each
+        dedup key; the exec series sums the workers' step functions on
+        the union of their timestamps.  ``coverage_series`` should be
+        the campaign's merged-bitmap series; without one, the max
+        envelope of the per-worker series is used (a lower bound on
+        union coverage, since workers overlap).
+        """
+        merged = cls(
+            fuzzer_name=fuzzer_name or (parts[0].fuzzer_name if parts else
+                                        "nyx-net"),
+            target_name=target_name or (parts[0].target_name if parts else ""))
+        for part in parts:
+            merged.execs += part.execs
+            merged.suffix_execs += part.suffix_execs
+            merged.queue_size += part.queue_size
+            merged.end_time = max(merged.end_time, part.end_time)
+            for key, when in part.crash_times.items():
+                if key not in merged.crash_times or when < merged.crash_times[key]:
+                    merged.crash_times[key] = when
+        merged.crashes_found = len(merged.crash_times)
+
+        exec_times = sorted({t for part in parts for t, _ in part.exec_series})
+        for t in exec_times:
+            merged.exec_series.append(
+                (t, sum(part.execs_at(t) for part in parts)))
+
+        if coverage_series is not None:
+            merged.coverage_series = list(coverage_series)
+        else:
+            cov_times = sorted({t for part in parts
+                                for t, _ in part.coverage_series})
+            for t in cov_times:
+                edges = max((part.edges_at(t) for part in parts), default=0)
+                if (not merged.coverage_series
+                        or merged.coverage_series[-1][1] != edges):
+                    merged.coverage_series.append((t, edges))
+        return merged
+
+
+@dataclass
+class AggregateStats:
+    """Campaign-level rollup of a parallel fuzzing run.
+
+    Holds the merged view plus the per-worker breakdown, so both the
+    §6 scalability claims (aggregate execs/s vs. one worker) and the
+    per-worker series remain inspectable.
+    """
+
+    merged: CampaignStats
+    workers: List[CampaignStats] = field(default_factory=list)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_execs(self) -> int:
+        return self.merged.execs
+
+    @property
+    def final_edges(self) -> int:
+        return self.merged.final_edges
+
+    @property
+    def crashes_found(self) -> int:
+        return self.merged.crashes_found
+
+    def execs_per_second(self) -> float:
+        """Aggregate throughput: total execs over the *wall* (max
+        worker) sim time — workers run concurrently, so their clocks
+        overlap rather than add."""
+        elapsed = max((w.duration() for w in self.workers), default=0.0)
+        elapsed = max(elapsed, self.merged.duration())
+        if elapsed <= 0:
+            return float(self.merged.execs)
+        return self.merged.execs / elapsed
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "num_workers": self.num_workers,
+            "merged": self.merged.as_dict(),
+            "workers": [w.as_dict() for w in self.workers],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization — byte-identical for identical
+        campaigns, which the determinism tests rely on."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def summary(self) -> str:
+        return ("%s on %s: %d workers, %d execs (%.1f/s aggregate), "
+                "%d edges, %d crashes, t=%.1fs"
+                % (self.merged.fuzzer_name, self.merged.target_name,
+                   self.num_workers, self.merged.execs,
+                   self.execs_per_second(), self.final_edges,
+                   self.crashes_found, self.merged.end_time))

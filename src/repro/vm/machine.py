@@ -10,7 +10,7 @@ after every restore.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import DEFAULT_COSTS, CostModel
@@ -118,3 +118,18 @@ class Machine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Machine(%d MiB, t=%.3fs)" % (
             self.memory.size_bytes // (1024 * 1024), self.clock.now)
+
+
+def unique_page_footprint(machines: Iterable[Machine],
+                          roots: Iterable[RootSnapshot] = ()) -> int:
+    """Distinct page objects across a fleet of machines plus their
+    shared root images — the real memory cost of §5.3's shared root
+    snapshots.  Machines holding CoW references into the same root (or
+    the zero-page sentinel) contribute each shared page exactly once.
+    """
+    ids: set = set()
+    for root in roots:
+        ids.update(id(p) for p in root.pages)
+    for machine in machines:
+        ids.update(machine.snapshots.owned_page_identities())
+    return len(ids)

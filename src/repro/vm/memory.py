@@ -74,6 +74,16 @@ class GuestMemory:
         """Shallow copy of the page array (CoW view of all memory)."""
         return list(self._pages)
 
+    def page_identities(self) -> List[int]:
+        """``id()`` of every page object currently mapped.
+
+        Pages shared with a root snapshot (or the zero-page sentinel)
+        alias the same objects, so unique-id counting across a fleet of
+        machines measures the true memory footprint of §5.3's shared
+        root snapshots.
+        """
+        return [id(p) for p in self._pages]
+
     # -- byte-granular access ---------------------------------------------
 
     def read(self, addr: int, length: int) -> bytes:

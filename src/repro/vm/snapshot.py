@@ -292,6 +292,20 @@ class SnapshotManager:
         self._absorb_dirty()
         return len(self._diverged)
 
+    def owned_page_identities(self) -> set:
+        """``id()`` of every page object this VM references.
+
+        Covers live memory plus the incremental-snapshot mirror (whose
+        real copies are page objects this VM keeps alive on top of the
+        shared root).  Unioning these sets across a fleet — together
+        with the root image's own pages — yields the fleet's true
+        unique-page footprint.
+        """
+        ids = set(self._memory.page_identities())
+        if self._mirror is not None:
+            ids.update(id(p) for p in self._mirror)
+        return ids
+
     def private_page_count(self) -> int:
         """Pages of this VM not shared (by identity) with the root.
 

@@ -1,0 +1,26 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` (derandomized, so every run
+shrinks and reports identically across the version matrix); local runs
+default to the ``dev`` profile, which keeps random exploration but
+drops the wall-clock deadline — campaign-backed properties routinely
+outlive hypothesis's default 200ms.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

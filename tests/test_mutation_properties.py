@@ -6,10 +6,11 @@ from hypothesis import strategies as st
 from repro.fuzz.input import packets_input
 from repro.fuzz.mutators import MutationEngine, _digit_runs
 from repro.sim.rng import DeterministicRandom
-from repro.spec.bytecode import validate
+from repro.spec.bytecode import deserialize, serialize, validate
 from repro.spec.nodes import default_network_spec
 
 SPEC = default_network_spec()
+NODE_VOCAB = {node.name for node in SPEC.node_types}
 
 payloads_strategy = st.lists(st.binary(max_size=120), min_size=1, max_size=12)
 dict_strategy = st.lists(st.binary(min_size=1, max_size=16), max_size=4)
@@ -72,6 +73,51 @@ def test_digit_runs_are_exact(data):
     for i, byte in enumerate(data):
         if 0x30 <= byte <= 0x39:
             assert i in covered
+
+
+@given(payloads_strategy, st.integers(0, 2**31), dict_strategy)
+@settings(max_examples=100, deadline=None)
+def test_children_round_trip_through_bytecode(payloads, seed, dictionary):
+    """serialize ∘ deserialize is the identity on mutated children:
+    what a worker exports during corpus sync (or persists to disk) is
+    exactly what the peer reconstructs."""
+    parent = packets_input(payloads)
+    engine = MutationEngine(DeterministicRandom(seed), dictionary)
+    donor = packets_input([b"USER x", b"PASS y"])
+    for _ in range(5):
+        child = engine.mutate(parent, splice_donor=donor)
+        restored = deserialize(SPEC, serialize(SPEC, child.ops))
+        assert [(op.node, tuple(op.refs), tuple(op.args))
+                for op in restored] == \
+            [(op.node, tuple(op.refs), tuple(op.args)) for op in child.ops]
+
+
+@given(payloads_strategy, st.integers(0, 2**31), dict_strategy)
+@settings(max_examples=100, deadline=None)
+def test_children_preserve_packet_boundary_structure(payloads, seed,
+                                                     dictionary):
+    """Mutations rearrange *packets* only: every op stays in the spec
+    vocabulary, every packet op carries exactly one payload, and the
+    non-packet skeleton (connection/shutdown ops) survives unchanged —
+    snapshot placement indexes packets, so boundaries must stay crisp."""
+    parent = packets_input(payloads)
+    skeleton = [(op.node, op.refs, op.args) for i, op in enumerate(parent.ops)
+                if i not in set(parent.packet_indices())]
+    engine = MutationEngine(DeterministicRandom(seed), dictionary)
+    for _ in range(8):
+        child = engine.mutate(parent)
+        packet_at = set(child.packet_indices())
+        for i, op in enumerate(child.ops):
+            assert op.node in NODE_VOCAB
+            payload_args = [a for a in op.args
+                            if isinstance(a, (bytes, bytearray))]
+            if i in packet_at:
+                assert len(payload_args) == 1
+            else:
+                assert payload_args == []
+        assert [(op.node, op.refs, op.args)
+                for i, op in enumerate(child.ops)
+                if i not in packet_at] == skeleton
 
 
 @given(payloads_strategy, st.integers(0, 2**31))

@@ -1,0 +1,121 @@
+"""Property-based tests on corpus scheduling invariants.
+
+The queue is the multiplier under every campaign — single-instance or
+parallel — so its scheduling contract is pinned down here: scores rank
+deterministically, favored entries are never starved, snapshot
+placement never indexes past the packet list, and cross-instance sync
+neither duplicates coverage nor invents entries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.input import packets_input
+from repro.fuzz.queue import Corpus, QueueEntry
+from repro.sim.rng import DeterministicRandom
+
+#: (exec_time, new_edges) pairs describing one corpus entry each.
+entry_meta = st.tuples(st.floats(min_value=0.0, max_value=10.0,
+                                 allow_nan=False),
+                       st.integers(0, 1000))
+corpus_meta = st.lists(entry_meta, min_size=1, max_size=24)
+
+
+def build_corpus(metas, seed=0):
+    corpus = Corpus(DeterministicRandom(seed))
+    for i, (exec_time, new_edges) in enumerate(metas):
+        corpus.add(packets_input([b"pkt-%d" % i]), exec_time=exec_time,
+                   new_edges=new_edges, checksum=i)
+    return corpus
+
+
+@given(corpus_meta)
+@settings(max_examples=100)
+def test_score_formula_and_stable_ordering(metas):
+    """score == exec_time / (1 + new_edges), and ranking by it is
+    deterministic: two sorts of the same corpus agree entry-for-entry."""
+    corpus = build_corpus(metas)
+    for entry in corpus.entries:
+        assert entry.score == entry.exec_time / (1.0 + entry.new_edges)
+    first = [e.entry_id for e in sorted(corpus.entries, key=lambda e: e.score)]
+    second = [e.entry_id for e in sorted(corpus.entries, key=lambda e: e.score)]
+    assert first == second
+    # sorted() is stable: equal scores keep insertion (discovery) order.
+    scores = [e.score for e in sorted(corpus.entries, key=lambda e: e.score)]
+    assert scores == sorted(scores)
+
+
+@given(corpus_meta, st.integers(0, 2**31))
+@settings(max_examples=100)
+def test_favored_set_is_best_quartile_and_idempotent(metas, seed):
+    corpus = build_corpus(metas, seed)
+    ranked = sorted(corpus.entries, key=lambda e: e.score)
+    cutoff = max(1, len(ranked) // 4)
+    favored_ids = {e.entry_id for e in corpus.entries if e.favored}
+    assert favored_ids == {e.entry_id for e in ranked[:cutoff]}
+    # Refreshing without membership changes must not reshuffle.
+    corpus._refresh_favored()
+    assert favored_ids == {e.entry_id for e in corpus.entries if e.favored}
+
+
+@given(corpus_meta, st.integers(0, 2**31))
+@settings(max_examples=60)
+def test_favored_entries_never_starved(metas, seed):
+    """Every favored entry is scheduled at least once within any window
+    of draws that sweeps the cursor over the whole queue — AFL's skip
+    heuristic only ever skips the non-favored."""
+    corpus = build_corpus(metas, seed)
+    draws = 3 * len(corpus.entries)
+    for _ in range(draws):
+        corpus.next_entry()
+    for entry in corpus.entries:
+        if entry.favored:
+            assert entry.times_scheduled >= 1
+    # The cursor really cycled (no livelock on skip rolls).
+    assert corpus.cycles_done >= 1
+
+
+@given(st.integers(1, 12), st.integers(-5, 40))
+@settings(max_examples=100)
+def test_fuzzable_packets_never_exceeds_num_packets(n_packets, consumed):
+    entry = QueueEntry(0, packets_input([b"x"] * n_packets),
+                       effective_packets=consumed)
+    fuzzable = entry.fuzzable_packets()
+    assert 0 <= fuzzable <= entry.input.num_packets
+    if 0 < consumed < n_packets:
+        assert fuzzable == consumed
+
+
+@given(corpus_meta, st.integers(0, 24))
+@settings(max_examples=60)
+def test_export_watermark_partitions_the_queue(metas, since):
+    corpus = build_corpus(metas)
+    exported = corpus.export_entries(since)
+    assert [e.entry_id for e in exported] == \
+        [e.entry_id for e in corpus.entries if e.entry_id >= since]
+    assert corpus.export_entries(corpus.next_id) == []
+
+
+@given(corpus_meta, corpus_meta)
+@settings(max_examples=60)
+def test_import_foreign_dedups_by_checksum(ours, theirs):
+    """Importing a peer's corpus adopts exactly the checksums we have
+    not seen, exactly once, and never mutates the peer's entries."""
+    mine = build_corpus(ours)
+    peer = build_corpus(theirs, seed=1)
+    # Give the peer's entries checksums offset to overlap partially.
+    for entry in peer.entries:
+        entry.checksum = entry.entry_id + len(ours) // 2
+    before = {(id(e.input), e.entry_id) for e in peer.entries}
+    known = set(range(len(ours)))
+    adopted = mine.import_foreign(peer.entries, found_at=3.0)
+    expected = [e for e in peer.entries if e.checksum not in known]
+    assert len(adopted) == len(expected)
+    for got, src in zip(adopted, expected):
+        assert got.input is not src.input          # deep-copied, not aliased
+        assert got.input.origin == "import"
+        assert got.found_at == 3.0
+        assert got.checksum == src.checksum
+    # Importing the same batch again is a no-op.
+    assert mine.import_foreign(peer.entries) == []
+    assert {(id(e.input), e.entry_id) for e in peer.entries} == before
