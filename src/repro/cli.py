@@ -41,13 +41,25 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 2
     if args.workers > 1:
         return _fuzz_parallel(args, profile)
-    handles = build_campaign(profile, policy=args.policy, seed=args.seed,
-                             time_budget=args.time, max_execs=args.execs,
-                             asan=not args.no_asan)
+    from repro.faults import PlanError
+    try:
+        handles = build_campaign(profile, policy=args.policy, seed=args.seed,
+                                 time_budget=args.time, max_execs=args.execs,
+                                 asan=not args.no_asan,
+                                 fault_rate=args.fault_rate,
+                                 fault_plan=args.fault_plan,
+                                 exec_timeout=args.exec_timeout)
+    except PlanError as err:
+        print("invalid fault plan: %s" % err, file=sys.stderr)
+        return 2
     print("fuzzing %s with nyx-net-%s (sim budget %.0fs, cap %s execs)"
           % (args.target, args.policy, args.time, args.execs))
+    injector = handles.interceptor.injector
+    if injector is not None:
+        print("fault injection armed: plan %s" % injector.plan.plan_id)
     stats = handles.fuzzer.run_campaign()
     print(stats.summary())
+    _print_robustness(stats)
     for bug in handles.fuzzer.crashes.unique_bugs:
         record = handles.fuzzer.crashes.records[bug]
         print("  CRASH %-40s t=%.2fs x%d" % (bug, record.found_at,
@@ -68,17 +80,27 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
     """``fuzz --workers N``: one golden boot, N instances, shared root."""
+    from repro.faults import PlanError
     from repro.fuzz.campaign import build_parallel_campaign
     from repro.fuzz.persist import save_parallel_campaign
-    campaign = build_parallel_campaign(
-        profile, workers=args.workers, policy=args.policy, seed=args.seed,
-        time_budget=args.time, max_total_execs=args.execs,
-        sync_interval=args.sync_interval)
+    try:
+        campaign = build_parallel_campaign(
+            profile, workers=args.workers, policy=args.policy, seed=args.seed,
+            time_budget=args.time, max_total_execs=args.execs,
+            sync_interval=args.sync_interval,
+            fault_rate=args.fault_rate, exec_timeout=args.exec_timeout)
+    except PlanError as err:
+        print("invalid fault plan: %s" % err, file=sys.stderr)
+        return 2
     print("fuzzing %s with %d nyx-net-%s workers over one shared root "
           "(sim budget %.0fs, cap %s execs)"
           % (args.target, args.workers, args.policy, args.time, args.execs))
     aggregate = campaign.run()
     print(aggregate.summary())
+    _print_robustness(aggregate.merged)
+    retired = campaign.retired_workers()
+    if retired:
+        print("retired workers: %s" % ", ".join(map(str, retired)))
     footprint = campaign.unique_page_footprint()
     print("shared-root footprint: %d unique pages (%.2fx one instance)"
           % (footprint["total"], footprint["ratio"]))
@@ -88,10 +110,29 @@ def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
         print("  CRASH %s" % bug)
     if args.distill:
         print("(--distill is ignored with --workers > 1)")
+    if args.fault_plan:
+        print("(--fault-plan is ignored with --workers > 1; each worker "
+              "derives its plan from --seed and --fault-rate)")
     if args.out:
         written = save_parallel_campaign(campaign, args.out)
         print("saved %d files to %s" % (written, args.out))
     return 0
+
+
+def _print_robustness(stats) -> None:
+    """One line of fault/watchdog counters when anything fired."""
+    if not (stats.timeouts or stats.faults_injected or stats.snapshot_rebuilds
+            or stats.worker_failures or stats.quarantined_inputs
+            or stats.degraded_root_only):
+        return
+    line = ("robustness: %d timeouts, %d faults injected, "
+            "%d snapshot rebuilds, %d worker failures, %d quarantined"
+            % (stats.timeouts, stats.faults_injected,
+               stats.snapshot_rebuilds, stats.worker_failures,
+               stats.quarantined_inputs))
+    if stats.degraded_root_only:
+        line += " [degraded to root-only]"
+    print(line)
 
 
 def _cmd_mario(args: argparse.Namespace) -> int:
@@ -188,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--sync-interval", type=float, default=5.0,
                       help="sim seconds between corpus sync rounds "
                            "(with --workers > 1)")
+    fuzz.add_argument("--fault-rate", type=float, default=0.0,
+                      help="inject network/snapshot faults at this rate "
+                           "(0 disables; see docs/robustness.md)")
+    fuzz.add_argument("--fault-plan",
+                      help="replay a specific fault plan id "
+                           "(fp1:<seed>:<rate-ppm>); overrides --fault-rate")
+    fuzz.add_argument("--exec-timeout", type=float, default=None,
+                      help="per-exec watchdog budget in simulated seconds")
 
     mario = sub.add_parser("mario", help="Table 4 on one level")
     mario.add_argument("level", nargs="?", default="1-1")

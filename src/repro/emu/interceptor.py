@@ -17,7 +17,7 @@ target's own outgoing connection (client mode).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.emu.surface import AttackSurface, SurfaceMode
 from repro.guestos.errors import Errno, GuestError
@@ -60,6 +60,10 @@ class Interceptor:
         self.saw_first_read = False
         self.stats_packets = 0
         self.stats_bytes = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`: when
+        #: set, the emulated network paths inject guest-visible faults
+        #: (short reads, EAGAIN bursts, resets, partial sends, stalls).
+        self.injector: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # fuzzer-facing API
@@ -242,6 +246,11 @@ class Interceptor:
             if state.closed_by_fuzzer:
                 return (b"", None)
             raise GuestError(Errno.EAGAIN, "no fuzz packet pending")
+        # Faults disrupt *deliveries*: a speculative recv on an idle
+        # connection already sees EAGAIN naturally and must not burn a
+        # fault decision (targets poll far more often than data lands).
+        if self.injector is not None:
+            max_bytes = self._inject_recv_fault(state, machine, max_bytes)
         packet = state.queue[0]
         if len(packet) <= max_bytes or sock.type is SockType.DGRAM:
             state.queue.pop(0)
@@ -258,6 +267,32 @@ class Interceptor:
         source = "fuzzer" if sock.sid in self.dgram_sids else None
         return (data, source)
 
+    def _inject_recv_fault(self, state: _ConnState, machine,
+                           max_bytes: int) -> int:
+        """Apply one recv-path fault decision; returns the (possibly
+        reduced) buffer size.  Raised errors model transient (`EAGAIN`)
+        and hard (`ECONNRESET`) failures the target must absorb."""
+        from repro.faults.plan import FaultKind
+        fault = self.injector.recv_fault()
+        if fault is None:
+            return max_bytes
+        if fault is FaultKind.STALL:
+            # The "peer" goes silent mid-read: the target blocks and
+            # the stall burns simulated time the watchdog accounts for.
+            machine.clock.charge(self.injector.stall_seconds())
+            return max_bytes
+        if fault is FaultKind.EAGAIN_BURST:
+            raise GuestError(Errno.EAGAIN, "injected fault: EAGAIN burst")
+        if fault is FaultKind.CONN_RESET:
+            # The connection dies mid-stream: pending input is lost and
+            # further reads see EOF, like a real RST.
+            state.queue.clear()
+            state.closed_by_fuzzer = True
+            raise GuestError(Errno.ECONNRESET, "injected fault: peer reset")
+        if fault is FaultKind.SHORT_READ:
+            return self.injector.short_read_bytes(max_bytes)
+        return max_bytes
+
     def on_send(self, pid: int, fd: int, sock: Socket, data: bytes) -> bool:
         """Swallow responses on surface connections (returns True if
         handled, so the kernel skips the real path)."""
@@ -265,9 +300,27 @@ class Interceptor:
         if state is None:
             return False
         machine = self.kernel.machine
+        if self.injector is not None and len(data) > 1:
+            from repro.faults.plan import FaultKind
+            if self.injector.send_fault() is FaultKind.PARTIAL_SEND:
+                # Only a prefix makes it onto the wire before the
+                # (emulated) buffer fills; the tail is lost.
+                data = data[:self.injector.partial_send_bytes(len(data))]
         machine.clock.charge(machine.costs.packet_cost(len(data), emulated=True))
         state.responses.append(data)
         return True
+
+    def accept_delay_override(self, sid: int) -> bool:
+        """Whether a pending connection's readiness should lag.
+
+        Consulted by the kernel's accept() while a fabricated
+        connection is parked in the queue: a DELAYED_READINESS fault
+        makes that accept spuriously fail with EAGAIN (the connection
+        is delivered on the target's next poll round instead).
+        """
+        if self.injector is None or sid not in self.listener_sids:
+            return False
+        return self.injector.delay_readiness()
 
     def readable_override(self, sid: int) -> Optional[bool]:
         """Readiness for surface fds follows the input bytecode."""
@@ -279,7 +332,13 @@ class Interceptor:
                 # packet waits on a hooked datagram socket.
                 return None  # the default queue/buffer check is right
             return None
-        return bool(state.queue) or state.closed_by_fuzzer
+        ready = bool(state.queue) or state.closed_by_fuzzer
+        if ready and self.injector is not None \
+                and self.injector.delay_readiness():
+            # Readiness lags the data: select/poll/epoll miss a round,
+            # exercising the target's re-poll path.
+            return False
+        return ready
 
     def on_close(self, pid: int, fd: int) -> None:
         pass  # refcounting happens in the kernel; see on_socket_closed

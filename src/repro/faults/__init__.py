@@ -1,0 +1,19 @@
+"""Fault injection: deterministic network and host fault plans.
+
+Nyx-Net's reliability story is that a clean snapshot restore makes any
+single execution disposable — a hung, killed or misbehaving target can
+never poison the campaign.  This package supplies the other half of
+that story for the reproduction: *provoking* the failure modes on
+purpose (short reads, ``EAGAIN`` bursts, mid-stream resets, partial
+sends, stalls, snapshot corruption, slow resets) so every recovery
+path runs constantly instead of only in production.
+
+All faults derive from a :class:`FaultPlan` — a pure value object
+identified by a plan ID string — so any observed failure replays
+bit-identically from the ID alone.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, PlanError
+
+__all__ = ["FaultInjector", "FaultKind", "FaultPlan", "PlanError"]

@@ -1,0 +1,165 @@
+"""The fault injector: turns a plan into a deterministic decision stream.
+
+One injector instance is shared by every component of a campaign that
+can misbehave on purpose:
+
+* the :class:`~repro.emu.interceptor.Interceptor` consults
+  :meth:`recv_fault` / :meth:`send_fault` / :meth:`delay_readiness` on
+  the emulated network paths;
+* the :class:`~repro.vm.snapshot.SnapshotManager` calls
+  :meth:`on_incremental_restore` / :meth:`on_root_restore`, which may
+  flip a bit in a CoW mirror page (detected by the manager's checksum
+  validation) or charge extra reset latency.
+
+Every decision draws from one :class:`DeterministicRandom` stream in
+execution order, so a campaign with the same seed, plan and inputs
+replays its faults bit-identically.  Tests (and reproduction of a
+specific failure) can bypass the dice entirely with
+:meth:`force_next`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.faults.plan import RECV_FAULT_WEIGHTS, FaultKind, FaultPlan
+from repro.sim.rng import DeterministicRandom
+
+
+class FaultInjector:
+    """Draws fault decisions for one campaign instance."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = DeterministicRandom(plan.seed)
+        #: Total faults injected (all kinds).
+        self.faults_injected = 0
+        #: Per-kind breakdown for diagnostics.
+        self.by_kind: Dict[str, int] = {}
+        #: Remaining spurious EAGAINs of the current burst.
+        self._eagain_remaining = 0
+        #: Explicitly queued faults (tests / replay) served before any
+        #: random draw.
+        self._forced: Deque[FaultKind] = deque()
+        self._weights_total = sum(w for _, w in RECV_FAULT_WEIGHTS)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _fire(self, kind: FaultKind) -> FaultKind:
+        self.faults_injected += 1
+        self.by_kind[kind.value] = self.by_kind.get(kind.value, 0) + 1
+        return kind
+
+    def force_next(self, *kinds: FaultKind) -> None:
+        """Queue specific faults ahead of the random stream."""
+        self._forced.extend(kinds)
+
+    def _take_forced(self, *allowed: FaultKind) -> Optional[FaultKind]:
+        if self._forced and self._forced[0] in allowed:
+            return self._forced.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # network faults (interceptor boundary)
+    # ------------------------------------------------------------------
+
+    def recv_fault(self) -> Optional[FaultKind]:
+        """Decide the fate of one intercepted recv."""
+        if self._eagain_remaining > 0:
+            self._eagain_remaining -= 1
+            return self._fire(FaultKind.EAGAIN_BURST)
+        forced = self._take_forced(FaultKind.SHORT_READ,
+                                   FaultKind.EAGAIN_BURST,
+                                   FaultKind.CONN_RESET, FaultKind.STALL)
+        if forced is None:
+            if not self.rng.chance(self.plan.recv_rate):
+                return None
+            forced = self._pick_recv_kind()
+        if forced is FaultKind.EAGAIN_BURST:
+            # The first EAGAIN of a burst of 1..max_burst.
+            self._eagain_remaining = self.rng.randrange(self.plan.max_burst)
+        return self._fire(forced)
+
+    def _pick_recv_kind(self) -> FaultKind:
+        roll = self.rng.randrange(self._weights_total)
+        for kind, weight in RECV_FAULT_WEIGHTS:
+            if roll < weight:
+                return kind
+            roll -= weight
+        return RECV_FAULT_WEIGHTS[-1][0]  # pragma: no cover - defensive
+
+    def short_read_bytes(self, max_bytes: int) -> int:
+        """A reduced buffer size for a SHORT_READ (at least one byte)."""
+        if max_bytes <= 1:
+            return max_bytes
+        return 1 + self.rng.randrange(min(max_bytes - 1, 8))
+
+    def stall_seconds(self) -> float:
+        """Simulated time one STALL burns."""
+        return self.plan.stall_seconds
+
+    def send_fault(self) -> Optional[FaultKind]:
+        """Decide the fate of one intercepted send."""
+        forced = self._take_forced(FaultKind.PARTIAL_SEND)
+        if forced is not None:
+            return self._fire(forced)
+        if self.rng.chance(self.plan.send_rate):
+            return self._fire(FaultKind.PARTIAL_SEND)
+        return None
+
+    def partial_send_bytes(self, length: int) -> int:
+        """How much of a PARTIAL_SEND actually goes through."""
+        if length <= 1:
+            return length
+        return 1 + self.rng.randrange(length - 1)
+
+    def delay_readiness(self) -> bool:
+        """Whether to report a ready surface fd as not ready."""
+        if self._take_forced(FaultKind.DELAYED_READINESS) is not None:
+            self._fire(FaultKind.DELAYED_READINESS)
+            return True
+        if self.rng.chance(self.plan.readiness_rate):
+            self._fire(FaultKind.DELAYED_READINESS)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # host faults (snapshot machinery)
+    # ------------------------------------------------------------------
+
+    def on_incremental_restore(self, snapshots) -> None:
+        """Called by the snapshot manager before an incremental restore.
+
+        May flip one bit in a *real-copy* mirror page (never a CoW
+        reference into the shared root image, which other instances may
+        hold) and/or charge slow-reset latency.  The manager's checksum
+        validation is responsible for catching the corruption.
+        """
+        if self._take_forced(FaultKind.SNAPSHOT_BITFLIP) is not None:
+            self._corrupt_mirror(snapshots)
+        elif self.rng.chance(self.plan.snapshot_rate):
+            self._corrupt_mirror(snapshots)
+        self._maybe_slow_reset(snapshots)
+
+    def on_root_restore(self, snapshots) -> None:
+        """Called before a root restore (latency faults only)."""
+        self._maybe_slow_reset(snapshots)
+
+    def _maybe_slow_reset(self, snapshots) -> None:
+        forced = self._take_forced(FaultKind.SLOW_RESET)
+        if forced is None and not self.rng.chance(self.plan.slow_reset_rate):
+            return
+        self._fire(FaultKind.SLOW_RESET)
+        snapshots.charge_fault_latency(self.plan.slow_reset_seconds)
+
+    def _corrupt_mirror(self, snapshots) -> None:
+        touched = sorted(snapshots.mirror_private_pages())
+        if not touched:
+            return
+        idx = touched[self.rng.randrange(len(touched))]
+        bit = self.rng.randrange(8)
+        self._fire(FaultKind.SNAPSHOT_BITFLIP)
+        snapshots.flip_mirror_bit(idx, byte=0, bit=bit)

@@ -1,0 +1,142 @@
+"""Fault plans: seed-derived, replayable fault schedules.
+
+A :class:`FaultPlan` is a frozen value object describing *which* faults
+a campaign may see and *how often*.  It deliberately contains no
+mutable state: the actual decision stream lives in
+:class:`~repro.faults.injector.FaultInjector`, which draws from a
+:class:`~repro.sim.rng.DeterministicRandom` seeded by the plan.  Two
+injectors built from the same plan therefore make identical decisions
+at identical decision points, which is what makes any fault-induced
+failure replayable from the plan ID alone.
+
+Plan IDs are compact strings (``fp1:<seed>:<rate-ppm>``) suitable for
+log lines and CLI round trips: ``--fault-plan fp1:123:100000``
+reconstructs the exact plan of a previous ``--seed 123 --fault-rate
+0.1`` run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Plan ID format version prefix.
+_PLAN_PREFIX = "fp1"
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (see docs/robustness.md)."""
+
+    # Guest-visible network faults, injected at the interceptor
+    # boundary (the emulated recv/send/readiness paths).
+    SHORT_READ = "short-read"            # recv returns fewer bytes
+    EAGAIN_BURST = "eagain-burst"        # a run of spurious EAGAINs
+    CONN_RESET = "conn-reset"            # mid-stream ECONNRESET
+    PARTIAL_SEND = "partial-send"        # send() transmits a prefix
+    DELAYED_READINESS = "delayed-ready"  # readiness lags queued data
+    STALL = "stall"                      # target blocks (sim time burn)
+
+    # Host-side faults, injected into the snapshot machinery.
+    SNAPSHOT_BITFLIP = "snapshot-bitflip"  # corrupt one CoW mirror page
+    SLOW_RESET = "slow-reset"              # restore takes extra time
+
+
+#: Relative weights of the recv-path fault kinds once a recv fault
+#: fires.  Chosen so stalls and transient errors dominate (the classes
+#: a watchdog and retry loops must absorb) while hard resets stay rare.
+RECV_FAULT_WEIGHTS = (
+    (FaultKind.SHORT_READ, 3),
+    (FaultKind.EAGAIN_BURST, 3),
+    (FaultKind.STALL, 3),
+    (FaultKind.CONN_RESET, 1),
+)
+
+
+class PlanError(ValueError):
+    """Malformed plan ID."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable description of a campaign's fault behaviour."""
+
+    seed: int = 0
+    #: Base fault probability per decision point (0.0 disables).
+    rate: float = 0.0
+    #: Simulated seconds one STALL fault burns (the watchdog's prey).
+    stall_seconds: float = 0.05
+    #: Maximum length of an EAGAIN burst.
+    max_burst: int = 3
+    #: Simulated seconds of extra reset latency per SLOW_RESET.
+    slow_reset_seconds: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise PlanError("fault rate must be in [0, 1]: %r" % self.rate)
+        if self.seed < 0:
+            raise PlanError("plan seed must be non-negative: %r" % self.seed)
+
+    # -- derived per-site rates -------------------------------------------
+
+    @property
+    def recv_rate(self) -> float:
+        """Fault probability per intercepted recv."""
+        return self.rate
+
+    @property
+    def send_rate(self) -> float:
+        """PARTIAL_SEND probability per intercepted send."""
+        return self.rate / 2.0
+
+    @property
+    def readiness_rate(self) -> float:
+        """DELAYED_READINESS probability per readiness override."""
+        return self.rate / 2.0
+
+    @property
+    def snapshot_rate(self) -> float:
+        """SNAPSHOT_BITFLIP probability per incremental restore."""
+        return self.rate / 2.0
+
+    @property
+    def slow_reset_rate(self) -> float:
+        """SLOW_RESET probability per snapshot restore."""
+        return self.rate / 5.0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def plan_id(self) -> str:
+        """Compact replayable identity (seed + rate in ppm)."""
+        return "%s:%d:%d" % (_PLAN_PREFIX, self.seed,
+                             round(self.rate * 1_000_000))
+
+    @classmethod
+    def from_id(cls, plan_id: str) -> "FaultPlan":
+        """Reconstruct the plan a previous run printed."""
+        parts = plan_id.strip().split(":")
+        if len(parts) != 3 or parts[0] != _PLAN_PREFIX:
+            raise PlanError("bad fault plan id: %r" % plan_id)
+        try:
+            seed = int(parts[1])
+            rate_ppm = int(parts[2])
+        except ValueError:
+            raise PlanError("bad fault plan id: %r" % plan_id)
+        return cls(seed=seed, rate=rate_ppm / 1_000_000)
+
+    @classmethod
+    def for_campaign(cls, seed: int, rate: float) -> "FaultPlan":
+        """The plan a campaign derives from its own seed and rate."""
+        return cls(seed=seed, rate=rate)
+
+    def for_worker(self, worker_id: int) -> "FaultPlan":
+        """A decoupled per-worker plan inside a parallel campaign.
+
+        Uses the same golden-ratio stride as the worker RNG seeds so
+        worker fault streams never alias each other or the campaign's.
+        """
+        derived = (self.seed + (worker_id + 1) * 0x9E3779B1) % (1 << 31)
+        return FaultPlan(seed=derived, rate=self.rate,
+                         stall_seconds=self.stall_seconds,
+                         max_burst=self.max_burst,
+                         slow_reset_seconds=self.slow_reset_seconds)

@@ -71,19 +71,36 @@ def build_campaign(profile: TargetProfile,
                    memory_bytes: int = 64 * 1024 * 1024,
                    iterations_per_snapshot: int = 50,
                    heap_slack: Optional[int] = None,
+                   fault_rate: float = 0.0,
+                   fault_plan: Optional[str] = None,
+                   exec_timeout: Optional[float] = None,
                    seeds=None) -> CampaignHandles:
     """Boot the target in a fresh VM and wire up a Nyx-Net fuzzer.
 
     ``asan=False`` models fuzzing the plain binary (Table 1's dcmtk
     footnote); ``heap_slack`` then controls how much silent corruption
-    the initial heap layout absorbs.
+    the initial heap layout absorbs.  ``fault_rate`` (or an explicit
+    ``fault_plan`` id) arms the fault injector on the network and
+    snapshot paths; ``exec_timeout`` arms the per-exec watchdog.
     """
     machine, kernel, interceptor = boot_target(
         profile, asan=asan, memory_bytes=memory_bytes,
         heap_slack=heap_slack)
 
     tracer = EdgeTracer()
-    executor = NyxExecutor(machine, kernel, interceptor, tracer)
+    executor = NyxExecutor(machine, kernel, interceptor, tracer,
+                           exec_timeout=exec_timeout)
+    if fault_plan is not None or fault_rate != 0.0:
+        # A non-zero (even negative) rate reaches FaultPlan validation,
+        # which rejects anything outside [0, 1] with a PlanError.
+        from repro.faults import FaultInjector, FaultPlan
+        if fault_plan is not None:
+            plan = FaultPlan.from_id(fault_plan)
+        else:
+            plan = FaultPlan.for_campaign(seed, fault_rate)
+        injector = FaultInjector(plan)
+        interceptor.injector = injector
+        machine.snapshots.injector = injector
     config = FuzzerConfig(policy=policy, seed=seed,
                           time_budget=time_budget, max_execs=max_execs,
                           iterations_per_snapshot=iterations_per_snapshot,
@@ -107,6 +124,8 @@ def build_parallel_campaign(profile: TargetProfile,
                             iterations_per_snapshot: int = 50,
                             sync_interval: float = 5.0,
                             image_pages: int = 0,
+                            fault_rate: float = 0.0,
+                            exec_timeout: Optional[float] = None,
                             seeds=None):
     """Boot one golden VM and assemble an N-worker parallel campaign.
 
@@ -121,5 +140,7 @@ def build_parallel_campaign(profile: TargetProfile,
                             iterations_per_snapshot=iterations_per_snapshot,
                             sync_interval=sync_interval,
                             memory_bytes=memory_bytes, asan=asan,
-                            image_pages=image_pages)
+                            image_pages=image_pages,
+                            fault_rate=fault_rate,
+                            exec_timeout=exec_timeout)
     return ParallelCampaign(profile, config, seeds=seeds)

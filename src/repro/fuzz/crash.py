@@ -22,6 +22,10 @@ class CrashRecord:
     input: Optional[FuzzInput]
     found_at: float
     count: int = 1
+    #: The *fastest* reproducing input seen so far (by exec time) —
+    #: usually the better reproducer to ship than the first one found.
+    fastest_input: Optional[FuzzInput] = None
+    fastest_exec_time: Optional[float] = None
 
 
 class CrashDatabase:
@@ -31,15 +35,32 @@ class CrashDatabase:
         self.records: Dict[str, CrashRecord] = {}
 
     def add(self, report: CrashReport, input_: Optional[FuzzInput],
-            now: float) -> bool:
-        """Record a crash; returns True if it is a new unique bug."""
+            now: float, exec_time: Optional[float] = None) -> bool:
+        """Record a crash; returns True if it is a new unique bug.
+
+        ``exec_time`` (when the caller knows it) tracks the fastest
+        reproducing input per unique bug across repeat occurrences.
+        """
         key = report.dedup_key
         existing = self.records.get(key)
         if existing is not None:
             existing.count += 1
+            self._maybe_faster(existing, input_, exec_time)
             return False
-        self.records[key] = CrashRecord(report, input_, now)
+        record = CrashRecord(report, input_, now)
+        self._maybe_faster(record, input_, exec_time)
+        self.records[key] = record
         return True
+
+    @staticmethod
+    def _maybe_faster(record: CrashRecord, input_: Optional[FuzzInput],
+                      exec_time: Optional[float]) -> None:
+        if input_ is None or exec_time is None:
+            return
+        if (record.fastest_exec_time is None
+                or exec_time < record.fastest_exec_time):
+            record.fastest_exec_time = exec_time
+            record.fastest_input = input_.copy()
 
     @property
     def unique_bugs(self) -> List[str]:

@@ -48,6 +48,9 @@ class ExecResult:
     #: True when the run only replayed a suffix from the incremental
     #: snapshot.
     suffix_run: bool = False
+    #: True when the watchdog stopped the run: the target exceeded its
+    #: per-exec simulated-time budget (the paper's timeout class).
+    timed_out: bool = False
 
 
 @dataclass
@@ -58,6 +61,11 @@ class _SuffixState:
     conns: Dict
     sid_to_conn: Dict
     values_produced: int
+    #: The input whose prefix produced the snapshot, and the op index
+    #: the snapshot was taken at — enough to rebuild the incremental
+    #: snapshot from the root if a restore finds it corrupted.
+    base_input: Optional[FuzzInput] = None
+    snapshot_op_index: Optional[int] = None
 
 
 class NyxExecutor:
@@ -65,13 +73,29 @@ class NyxExecutor:
 
     def __init__(self, machine: Machine, kernel: Kernel,
                  interceptor: Interceptor, tracer: Optional[EdgeTracer] = None,
-                 max_ops: int = 512) -> None:
+                 max_ops: int = 512,
+                 exec_timeout: Optional[float] = None,
+                 max_snapshot_rebuilds: int = 3) -> None:
         self.machine = machine
         self.kernel = kernel
         self.interceptor = interceptor
         self.tracer = tracer
         self.max_ops = max_ops
+        #: Watchdog budget: simulated seconds one execution may burn
+        #: before it is stopped and classified as a timeout.  ``None``
+        #: disables the watchdog (trusted targets).
+        self.exec_timeout = exec_timeout
+        #: Consecutive corrupted-restore rebuilds tolerated before the
+        #: executor degrades to root-only execution.
+        self.max_snapshot_rebuilds = max_snapshot_rebuilds
         self.execs = 0
+        #: Incremental snapshots rebuilt from the root after a restore
+        #: found them corrupted (self-healing).
+        self.snapshot_rebuilds = 0
+        #: Bottom of the degradation ladder: incremental snapshots kept
+        #: failing validation, so every run now starts from the root.
+        self.degraded_root_only = False
+        self._rebuild_failures = 0
         self._suffix: Optional[_SuffixState] = None
         self.op_handlers: Dict[str, OpHandler] = {
             "connection": _handle_connection,
@@ -104,10 +128,22 @@ class NyxExecutor:
         return self._run(input_, start=0, snapshot_op_index=snapshot_op_index)
 
     def run_suffix(self, input_: FuzzInput) -> ExecResult:
-        """Execute only the ops after the incremental snapshot point."""
+        """Execute only the ops after the incremental snapshot point.
+
+        Self-healing: if the last reset found the incremental snapshot
+        corrupted (it validates its CoW pages by checksum), the prefix
+        is replayed from the root to rebuild it.  After
+        ``max_snapshot_rebuilds`` consecutive failures the executor
+        degrades to root-only execution instead of thrashing.
+        """
         state = self._suffix
-        if state is None or not self.machine.snapshots.incremental_active:
+        if state is None:
             raise RuntimeError("no incremental snapshot to fuzz from")
+        if not self.degraded_root_only:
+            state = self._heal_incremental(state)
+        if self.degraded_root_only:
+            # Bottom of the ladder: run the whole input from the root.
+            return self._run(input_, start=0, snapshot_op_index=None)
         # Rebind the interceptor's host-side view of the guest sockets
         # exactly as it was at the snapshot point.
         self.interceptor._conns = copy.deepcopy(state.conns)
@@ -117,6 +153,27 @@ class NyxExecutor:
                            values_preassigned=state.values_produced)
         result.suffix_run = True
         return result
+
+    def _heal_incremental(self, state: _SuffixState) -> _SuffixState:
+        """Ensure a valid incremental snapshot exists, rebuilding from
+        the root as often as the rebuild budget allows."""
+        snapshots = self.machine.snapshots
+        while not snapshots.incremental_active:
+            self._rebuild_failures += 1
+            if (self._rebuild_failures > self.max_snapshot_rebuilds
+                    or state.base_input is None):
+                self.degraded_root_only = True
+                return state
+            self.snapshot_rebuilds += 1
+            # Replay exactly the prefix that produced the snapshot; the
+            # trailing reset restores the fresh incremental snapshot
+            # (or corrupts it again, in which case we loop).
+            self._run(state.base_input, start=0,
+                      snapshot_op_index=state.snapshot_op_index,
+                      stop_index=state.resume_index)
+            state = self._suffix or state
+        self._rebuild_failures = 0
+        return state
 
     @property
     def suffix_resume_index(self) -> Optional[int]:
@@ -128,11 +185,19 @@ class NyxExecutor:
 
     def _run(self, input_: FuzzInput, start: int,
              snapshot_op_index: Optional[int],
-             values_preassigned: int = 0) -> ExecResult:
+             values_preassigned: int = 0,
+             stop_index: Optional[int] = None) -> ExecResult:
         machine = self.machine
         kernel = self.kernel
         result = ExecResult()
         t0 = machine.clock.now
+        deadline = None
+        if self.exec_timeout is not None:
+            # Watchdog: the budget binds the guest scheduler too, so a
+            # stalled target stops mid-kernel.run instead of spinning
+            # its rounds out.
+            deadline = t0 + self.exec_timeout
+            kernel.watchdog = lambda: machine.clock.now >= deadline
         packets_before = self.interceptor.stats_packets
         if self.tracer is not None:
             self.tracer.begin()
@@ -141,10 +206,13 @@ class NyxExecutor:
         values = values_preassigned
         spec_nodes = self.op_handlers
         ops = input_.ops
-        for index in range(start, min(len(ops), start + self.max_ops)):
+        end = min(len(ops), start + self.max_ops)
+        if stop_index is not None:
+            end = min(end, stop_index)
+        for index in range(start, end):
             op = ops[index]
             if op.is_snapshot_marker():
-                self._take_incremental(index + 1, values)
+                self._take_incremental(input_, index + 1, values)
                 continue
             handler = spec_nodes.get(op.node)
             if handler is not None:
@@ -162,11 +230,16 @@ class NyxExecutor:
             kernel.run()
             if kernel.crash_reports:
                 break
+            if deadline is not None and machine.clock.now >= deadline:
+                result.timed_out = True
+                break
             if snapshot_op_index is not None and index == snapshot_op_index:
-                self._take_incremental(index + 1, values)
+                self._take_incremental(input_, index + 1, values)
                 snapshot_op_index = None
-        # Let the target finish pending work (responses, cleanup).
-        kernel.run()
+        if not result.timed_out:
+            # Let the target finish pending work (responses, cleanup).
+            kernel.run()
+        kernel.watchdog = None
         if kernel.crash_reports:
             result.crash = kernel.crash_reports[0]
             kernel.crash_reports.clear()
@@ -177,12 +250,15 @@ class NyxExecutor:
                                    - packets_before)
         self.execs += 1
         # Reset for the next test: the state churn of this execution is
-        # what the reset pays for.
+        # what the reset pays for.  (A timed-out or fault-ridden run is
+        # wiped away exactly like any other — that is the whole point
+        # of snapshot fuzzing.)
         kernel.flush_to_memory()
         machine.reset_for_next_test()
         return result
 
-    def _take_incremental(self, resume_index: int, values: int) -> None:
+    def _take_incremental(self, input_: FuzzInput, resume_index: int,
+                          values: int) -> None:
         """Create the secondary snapshot at the current position."""
         self.kernel.flush_to_memory()
         self.machine.create_incremental()
@@ -191,6 +267,8 @@ class NyxExecutor:
             conns=copy.deepcopy(self.interceptor._conns),
             sid_to_conn=dict(self.interceptor._sid_to_conn),
             values_produced=values,
+            base_input=input_.copy(),
+            snapshot_op_index=resume_index - 1,
         )
 
     def finish_snapshot_cycle(self) -> None:

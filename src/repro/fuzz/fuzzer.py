@@ -73,6 +73,9 @@ class NyxNetFuzzer:
             fuzzer_name="nyx-net-%s" % self.policy.name)
         self._seeds = [s.copy() for s in seeds]
         self._seeded = False
+        #: The entry most recently scheduled by :meth:`step` — the
+        #: parallel supervisor's suspect when a step raises.
+        self.last_entry: Optional[QueueEntry] = None
 
     @property
     def clock(self):
@@ -112,6 +115,7 @@ class NyxNetFuzzer:
             self._import_input(self._generate_input())
             return True
         entry = self.corpus.next_entry()
+        self.last_entry = entry
         self._fuzz_entry(entry)
         self.stats.record_execs(self.clock.now)
         return True
@@ -120,6 +124,11 @@ class NyxNetFuzzer:
         """Stamp the final counters and return the stats."""
         self.stats.end_time = self.clock.now
         self.stats.queue_size = len(self.corpus)
+        self.stats.snapshot_rebuilds = self.executor.snapshot_rebuilds
+        self.stats.degraded_root_only = self.executor.degraded_root_only
+        injector = getattr(self.executor.interceptor, "injector", None)
+        if injector is not None:
+            self.stats.faults_injected = injector.faults_injected
         return self.stats
 
     # ------------------------------------------------------------------
@@ -219,10 +228,17 @@ class NyxNetFuzzer:
         self.stats.execs += 1
         if self.config.per_exec_surcharge:
             self.clock.charge(self.config.per_exec_surcharge)
+        if result.timed_out:
+            # The watchdog cut the run short: its trace is partial, so
+            # it feeds neither coverage nor the corpus (the paper's
+            # timeout class is reported, not fuzzed from).
+            self.stats.timeouts += 1
+            return False
         now = self.clock.now
         found_new = False
         if result.crash is not None:
-            if self.crashes.add(result.crash, input_, now):
+            if self.crashes.add(result.crash, input_, now,
+                                exec_time=result.exec_time):
                 self.stats.record_crash(result.crash.dedup_key, now)
                 found_new = True
         verdict = self.coverage.has_new_bits(result.trace)
@@ -279,8 +295,13 @@ class NyxNetFuzzer:
     def _import_input(self, seed: FuzzInput) -> None:
         result = self.executor.run_full(seed)
         self.stats.execs += 1
+        if result.timed_out:
+            # Seeds are still imported on timeout — an empty corpus is
+            # worse than one with partial-trace seeds.
+            self.stats.timeouts += 1
         now = self.clock.now
-        if result.crash is not None and self.crashes.add(result.crash, seed, now):
+        if result.crash is not None and self.crashes.add(
+                result.crash, seed, now, exec_time=result.exec_time):
             self.stats.record_crash(result.crash.dedup_key, now)
         self.coverage.has_new_bits(result.trace)
         self.stats.record_coverage(now, self.coverage.edge_count())

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.coverage.bitmap import CoverageMap
 from repro.coverage.tracer import EdgeTracer
 from repro.emu.interceptor import Interceptor
+from repro.faults import FaultInjector, FaultPlan
 from repro.fuzz.executor import NyxExecutor
 from repro.fuzz.fuzzer import FuzzerConfig, NyxNetFuzzer
 from repro.fuzz.stats import AggregateStats, CampaignStats
@@ -69,6 +70,21 @@ class ParallelConfig:
     slice_max_steps: int = 3
     memory_bytes: int = 64 * 1024 * 1024
     asan: bool = True
+    #: Fault-injection rate (0 disables).  Each worker derives its own
+    #: :class:`FaultPlan` from the campaign seed, so the whole fleet's
+    #: faults replay bit-identically for the same seed.
+    fault_rate: float = 0.0
+    #: Per-exec watchdog budget in simulated seconds (None disables).
+    exec_timeout: Optional[float] = None
+    #: Consecutive step() failures a worker survives before it is
+    #: retired and the campaign continues at reduced worker count.
+    max_worker_retries: int = 3
+    #: Sim seconds charged to a failed worker before its next slice
+    #: (doubles per consecutive failure — exponential backoff).
+    failure_backoff: float = 0.5
+    #: Step failures attributable to the same corpus entry before that
+    #: entry is quarantined fleet-wide.
+    quarantine_threshold: int = 2
     #: Pages of simulated OS/page-cache image written into the golden
     #: VM before the root capture.  The lean simulated guest boots into
     #: only a handful of pages; a real VM image is megabytes, and the
@@ -91,6 +107,10 @@ class WorkerHandle:
     #: considered by a previous sync round.
     synced_id: int = 0
     done: bool = False
+    #: Supervision state: consecutive step() failures, and whether the
+    #: worker was permanently retired after exhausting its retries.
+    consecutive_failures: int = 0
+    retired: bool = False
 
 
 class ParallelCampaign:
@@ -122,6 +142,9 @@ class ParallelCampaign:
         self.workers: List[WorkerHandle] = [
             self._spawn_worker(i) for i in range(config.workers)]
         self._finished = False
+        #: Step failures attributed to a corpus entry, keyed by its
+        #: coverage checksum (the cross-worker identity).
+        self._entry_failures: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # fleet construction
@@ -157,7 +180,14 @@ class ParallelCampaign:
         interceptor.adopt_surface_state(self.golden[2])
 
         tracer = EdgeTracer()
-        executor = NyxExecutor(machine, kernel, interceptor, tracer)
+        executor = NyxExecutor(machine, kernel, interceptor, tracer,
+                               exec_timeout=config.exec_timeout)
+        if config.fault_rate != 0.0:  # negatives rejected by FaultPlan
+            plan = FaultPlan.for_campaign(
+                config.seed, config.fault_rate).for_worker(worker_id)
+            injector = FaultInjector(plan)
+            interceptor.injector = injector
+            machine.snapshots.injector = injector
         worker_seed = (config.seed
                        + (worker_id + 1) * _WORKER_SEED_STRIDE) % (1 << 31)
         fuzzer_config = FuzzerConfig(
@@ -181,7 +211,10 @@ class ParallelCampaign:
         if self._finished:
             raise RuntimeError("campaign already ran")
         for worker in self.workers:
-            worker.fuzzer.begin_campaign()
+            try:
+                worker.fuzzer.begin_campaign()
+            except Exception:
+                self._handle_worker_failure(worker)
         # Seed imports already produced coverage: one sync up front so
         # no worker wastes its budget rediscovering the seed corpus.
         self._sync_corpora()
@@ -203,7 +236,16 @@ class ParallelCampaign:
             for _ in range(slice_steps):
                 if self._total_execs_capped():
                     break
-                if not worker.fuzzer.step():
+                try:
+                    alive = worker.fuzzer.step()
+                except Exception:
+                    # Supervision: one bad step never kills the
+                    # campaign.  The worker is reset, backed off, and
+                    # retried; the entry it was fuzzing is a suspect.
+                    self._handle_worker_failure(worker)
+                    break
+                worker.consecutive_failures = 0
+                if not alive:
                     worker.done = True
                     break
         self._sync_corpora()
@@ -211,6 +253,62 @@ class ParallelCampaign:
             worker.fuzzer.finish_campaign()
         self._finished = True
         return self.aggregate()
+
+    # ------------------------------------------------------------------
+    # worker supervision
+    # ------------------------------------------------------------------
+
+    def _handle_worker_failure(self, worker: WorkerHandle) -> None:
+        """Contain one worker exception: count it, suspect the entry
+        being fuzzed, reset the VM to the root, charge backoff, and
+        retire the worker once its retry budget is spent."""
+        config = self.config
+        worker.fuzzer.stats.worker_failures += 1
+        worker.consecutive_failures += 1
+        self._suspect_entry(worker)
+        # Backoff doubles per consecutive failure, charged to the
+        # worker's own sim clock so the round-robin naturally deprives
+        # a flapping worker of slices.
+        worker.fuzzer.clock.charge(
+            config.failure_backoff * (2 ** (worker.consecutive_failures - 1)))
+        if worker.consecutive_failures > config.max_worker_retries:
+            worker.done = True
+            worker.retired = True
+            return
+        # Self-heal the VM: drop any incremental snapshot and rewind to
+        # the (immutable) root, rebuilding guest state from memory.
+        try:
+            worker.machine.snapshots.discard_incremental()
+            worker.executor._suffix = None
+            worker.machine.restore_root()
+        except Exception:
+            # Even the root restore failed: this instance is beyond
+            # saving.  Retire it; the campaign continues without it.
+            worker.done = True
+            worker.retired = True
+
+    def _suspect_entry(self, worker: WorkerHandle) -> None:
+        """Blame the entry the failing worker was fuzzing; quarantine
+        it fleet-wide once it crosses the threshold."""
+        entry = worker.fuzzer.last_entry
+        if entry is None or entry.checksum is None:
+            return
+        key = entry.checksum
+        self._entry_failures[key] = self._entry_failures.get(key, 0) + 1
+        if self._entry_failures[key] < self.config.quarantine_threshold:
+            return
+        removed = 0
+        for peer in self.workers:
+            removed += peer.fuzzer.corpus.remove_by_checksum(key)
+            if peer.fuzzer.last_entry is not None and \
+                    peer.fuzzer.last_entry.checksum == key:
+                peer.fuzzer.last_entry = None
+        if removed:
+            worker.fuzzer.stats.quarantined_inputs += 1
+
+    def retired_workers(self) -> List[int]:
+        """Worker ids retired by the supervisor (diagnostics)."""
+        return [w.worker_id for w in self.workers if w.retired]
 
     def _total_execs_capped(self) -> bool:
         cap = self.config.max_total_execs

@@ -7,22 +7,78 @@ shipping reproducers.
 
 Layout::
 
-    <dir>/queue/id_000000.nyx      flat bytecode (spec-checked on load)
-    <dir>/crashes/<dedup-key>.nyx  the first input triggering each bug
-    <dir>/crashes/<dedup-key>.txt  human-readable crash report
-    <dir>/stats.json               campaign summary
+    <dir>/queue/id_000000.nyx       flat bytecode (spec-checked on load)
+    <dir>/crashes/<dedup-key>.nyx   the first input triggering each bug
+    <dir>/crashes/<dedup-key>.fastest.nyx  fastest reproducer (if distinct)
+    <dir>/crashes/<dedup-key>.txt   human-readable crash report
+    <dir>/stats.json                campaign summary
+
+All files are written atomically (temp file + ``os.replace``) so a
+campaign killed mid-save never leaves a half-written corpus behind;
+:func:`load_corpus` skips anything unreadable with a warning instead
+of refusing to resume.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import warnings
 from typing import List, Optional
 
 from repro.fuzz.fuzzer import NyxNetFuzzer
 from repro.fuzz.input import FuzzInput
 from repro.spec.bytecode import SpecError, deserialize, serialize
 from repro.spec.nodes import Spec, default_network_spec
+
+
+def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    """Write-temp-then-rename: readers never observe a partial file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    _atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _crash_report_text(record) -> str:
+    text = ("bug:      %s\nkind:     %s\ndetail:   %s\nfound_at: %.3f "
+            "(simulated seconds)\ncount:    %d\n"
+            % (record.report.bug_id, record.report.kind.value,
+               record.report.detail, record.found_at, record.count))
+    if record.fastest_exec_time is not None:
+        text += "fastest:  %.6f (simulated seconds)\n" % record.fastest_exec_time
+    return text
+
+
+def _write_crash_record(crash_dir: pathlib.Path, key: str, record,
+                        spec: Spec) -> int:
+    """Write one unique bug's reproducers and report; returns files."""
+    safe = key.replace(":", "_").replace("/", "_")
+    written = 0
+    first_blob = None
+    if record.input is not None:
+        try:
+            first_blob = serialize(spec, record.input.ops)
+            _atomic_write_bytes(crash_dir / (safe + ".nyx"), first_blob)
+            written += 1
+        except SpecError:
+            pass
+    if record.fastest_input is not None:
+        try:
+            fastest_blob = serialize(spec, record.fastest_input.ops)
+            if fastest_blob != first_blob:
+                _atomic_write_bytes(crash_dir / (safe + ".fastest.nyx"),
+                                    fastest_blob)
+                written += 1
+        except SpecError:
+            pass
+    _atomic_write_text(crash_dir / (safe + ".txt"),
+                       _crash_report_text(record))
+    return written + 1
 
 
 def save_campaign(fuzzer: NyxNetFuzzer, directory: str,
@@ -38,27 +94,14 @@ def save_campaign(fuzzer: NyxNetFuzzer, directory: str,
     for entry in fuzzer.corpus.entries:
         path = queue_dir / ("id_%06d.nyx" % entry.entry_id)
         try:
-            path.write_bytes(serialize(spec, entry.input.ops))
+            _atomic_write_bytes(path, serialize(spec, entry.input.ops))
         except SpecError:
             continue  # inputs from foreign specs are skipped
         written += 1
     for key, record in fuzzer.crashes.records.items():
-        safe = key.replace(":", "_").replace("/", "_")
-        if record.input is not None:
-            try:
-                (crash_dir / (safe + ".nyx")).write_bytes(
-                    serialize(spec, record.input.ops))
-                written += 1
-            except SpecError:
-                pass
-        (crash_dir / (safe + ".txt")).write_text(
-            "bug:      %s\nkind:     %s\ndetail:   %s\nfound_at: %.3f "
-            "(simulated seconds)\ncount:    %d\n"
-            % (record.report.bug_id, record.report.kind.value,
-               record.report.detail, record.found_at, record.count))
-        written += 1
+        written += _write_crash_record(crash_dir, key, record, spec)
     stats = fuzzer.stats
-    (root / "stats.json").write_text(json.dumps({
+    _atomic_write_text(root / "stats.json", json.dumps({
         "fuzzer": stats.fuzzer_name,
         "target": stats.target_name,
         "execs": stats.execs,
@@ -67,6 +110,10 @@ def save_campaign(fuzzer: NyxNetFuzzer, directory: str,
         "crashes": sorted(fuzzer.crashes.records),
         "sim_seconds": stats.end_time,
         "queue": len(fuzzer.corpus),
+        "timeouts": stats.timeouts,
+        "faults_injected": stats.faults_injected,
+        "snapshot_rebuilds": stats.snapshot_rebuilds,
+        "degraded_root_only": stats.degraded_root_only,
     }, indent=2))
     return written + 1
 
@@ -99,7 +146,8 @@ def save_parallel_campaign(campaign, directory: str,
             if blob in seen_blobs:
                 continue
             seen_blobs.add(blob)
-            (queue_dir / ("id_%06d.nyx" % len(seen_blobs))).write_bytes(blob)
+            _atomic_write_bytes(
+                queue_dir / ("id_%06d.nyx" % len(seen_blobs)), blob)
             written += 1
     first_records = {}
     for worker in campaign.workers:
@@ -108,31 +156,24 @@ def save_parallel_campaign(campaign, directory: str,
             if kept is None or record.found_at < kept.found_at:
                 first_records[key] = record
     for key, record in sorted(first_records.items()):
-        safe = key.replace(":", "_").replace("/", "_")
-        if record.input is not None:
-            try:
-                (crash_dir / (safe + ".nyx")).write_bytes(
-                    serialize(spec, record.input.ops))
-                written += 1
-            except SpecError:
-                pass
-        (crash_dir / (safe + ".txt")).write_text(
-            "bug:      %s\nkind:     %s\ndetail:   %s\nfound_at: %.3f "
-            "(simulated seconds)\ncount:    %d\n"
-            % (record.report.bug_id, record.report.kind.value,
-               record.report.detail, record.found_at, record.count))
-        written += 1
+        written += _write_crash_record(crash_dir, key, record, spec)
     aggregate = campaign.aggregate()
     payload = aggregate.as_dict()
     payload["footprint"] = campaign.unique_page_footprint()
-    (root / "stats.json").write_text(json.dumps(payload, indent=2,
-                                                sort_keys=True))
+    _atomic_write_text(root / "stats.json",
+                       json.dumps(payload, indent=2, sort_keys=True))
     return written + 1
 
 
 def load_corpus(directory: str, spec: Optional[Spec] = None,
                 limit: Optional[int] = None) -> List[FuzzInput]:
-    """Load persisted queue entries as seed inputs."""
+    """Load persisted queue entries as seed inputs.
+
+    Unreadable or malformed entries (a crash mid-save before the
+    atomic-write era, disk corruption, foreign spec files) are skipped
+    with a warning — a damaged corpus directory degrades to a smaller
+    seed set, never a refused resume.
+    """
     spec = spec or default_network_spec()
     queue_dir = pathlib.Path(directory) / "queue"
     seeds: List[FuzzInput] = []
@@ -141,7 +182,9 @@ def load_corpus(directory: str, spec: Optional[Spec] = None,
     for path in sorted(queue_dir.glob("*.nyx")):
         try:
             ops = deserialize(spec, path.read_bytes())
-        except (SpecError, ValueError):
+        except (SpecError, ValueError, OSError) as err:
+            warnings.warn("skipping unreadable corpus entry %s: %s"
+                          % (path.name, err))
             continue  # corrupt or foreign file: skip, never crash
         seeds.append(FuzzInput(ops, origin="persisted"))
         if limit is not None and len(seeds) >= limit:

@@ -159,6 +159,31 @@ class Corpus:
         entry.times_scheduled += 1
         return entry
 
+    # -- quarantine (parallel-campaign supervision) ----------------------
+
+    def remove(self, entry_id: int) -> bool:
+        """Drop one entry (quarantine); keeps the schedule cursor
+        pointing at the same next entry.  The entry's checksum stays in
+        the seen set so a peer cannot re-import the same behaviour."""
+        for index, entry in enumerate(self.entries):
+            if entry.entry_id == entry_id:
+                del self.entries[index]
+                if index < self._cursor:
+                    self._cursor -= 1
+                self._refresh_favored()
+                return True
+        return False
+
+    def remove_by_checksum(self, checksum: int) -> int:
+        """Drop every entry with the given coverage checksum (the
+        cross-instance identity used by corpus sync)."""
+        removed = 0
+        for entry in list(self.entries):
+            if entry.checksum is not None and entry.checksum == checksum:
+                if self.remove(entry.entry_id):
+                    removed += 1
+        return removed
+
     def random_entry(self) -> QueueEntry:
         return self.rng.pick(self.entries)
 

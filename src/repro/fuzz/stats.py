@@ -34,6 +34,20 @@ class CampaignStats:
     #: dedup key -> sim time first seen.
     crash_times: Dict[str, float] = field(default_factory=dict)
     end_time: float = 0.0
+    #: Executions stopped by the watchdog (per-exec budget exceeded).
+    timeouts: int = 0
+    #: Faults the injector fired (0 when no fault plan is active).
+    faults_injected: int = 0
+    #: Incremental snapshots rebuilt from the root after failing
+    #: checksum validation on restore.
+    snapshot_rebuilds: int = 0
+    #: Whether the executor ended the campaign degraded to root-only
+    #: execution (repeated snapshot corruption).
+    degraded_root_only: bool = False
+    #: Worker step() exceptions survived by the parallel supervisor.
+    worker_failures: int = 0
+    #: Corpus entries quarantined for repeatedly killing workers.
+    quarantined_inputs: int = 0
 
     def record_coverage(self, now: float, edges: int) -> None:
         if not self.coverage_series or self.coverage_series[-1][1] != edges:
@@ -119,6 +133,12 @@ class CampaignStats:
             "coverage_series": [[t, e] for t, e in self.coverage_series],
             "exec_series": [[t, e] for t, e in self.exec_series],
             "crash_times": dict(sorted(self.crash_times.items())),
+            "timeouts": self.timeouts,
+            "faults_injected": self.faults_injected,
+            "snapshot_rebuilds": self.snapshot_rebuilds,
+            "degraded_root_only": self.degraded_root_only,
+            "worker_failures": self.worker_failures,
+            "quarantined_inputs": self.quarantined_inputs,
         }
 
     # -- multi-worker rollup ------------------------------------------------
@@ -147,6 +167,12 @@ class CampaignStats:
             merged.suffix_execs += part.suffix_execs
             merged.queue_size += part.queue_size
             merged.end_time = max(merged.end_time, part.end_time)
+            merged.timeouts += part.timeouts
+            merged.faults_injected += part.faults_injected
+            merged.snapshot_rebuilds += part.snapshot_rebuilds
+            merged.degraded_root_only |= part.degraded_root_only
+            merged.worker_failures += part.worker_failures
+            merged.quarantined_inputs += part.quarantined_inputs
             for key, when in part.crash_times.items():
                 if key not in merged.crash_times or when < merged.crash_times[key]:
                     merged.crash_times[key] = when

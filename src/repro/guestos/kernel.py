@@ -106,6 +106,9 @@ class Kernel:
         self.log: List[str] = []
         #: Installed network interceptor (Nyx-Net emulation layer).
         self.interceptor: Optional[Any] = None
+        #: Executor watchdog: when set, :meth:`run` stops scheduling new
+        #: rounds once it returns True (per-exec budget exceeded).
+        self.watchdog: Optional[Callable[[], bool]] = None
         #: Optional coverage collector wrapping program execution.
         self.coverage: Optional[Any] = None
         #: Host-side outboxes for data sent to external peers.
@@ -275,6 +278,8 @@ class Kernel:
         """
         total = 0
         for _ in range(max_rounds):
+            if self.watchdog is not None and self.watchdog():
+                break
             before = self._activity
             self._fire_timers()
             for pid in sorted(self.processes):
@@ -606,6 +611,11 @@ class KernelApi:
             raise GuestError(Errno.EINVAL, "accept on non-listening socket")
         if not listener.accept_queue:
             raise GuestError(Errno.EAGAIN, "no pending connections")
+        if (self.k.interceptor is not None
+                and self.k.interceptor.accept_delay_override(listener.sid)):
+            # Injected fault: the connection is parked but its
+            # readiness lags one poll round (see repro.faults).
+            raise GuestError(Errno.EAGAIN, "injected fault: delayed readiness")
         conn_sid = listener.accept_queue.pop(0)
         conn = self.k.sock(conn_sid)
         new_fd = self.proc.fdtable.install(FdEntry(FdKind.SOCKET, conn_sid))

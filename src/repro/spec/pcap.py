@@ -75,8 +75,15 @@ class PcapReader:
         if self.linktype != LINKTYPE_ETHERNET:
             raise PcapError("unsupported linktype %d" % self.linktype)
         self._blob = blob
+        #: Records dropped by the tolerant iterator: a truncated tail
+        #: (capture cut off mid-record) or an absurd length field.
+        self.skipped_records = 0
 
     def __iter__(self) -> Iterator[Packet]:
+        """Iterate records *tolerantly*: a malformed or truncated
+        record ends iteration (everything after it is unframeable)
+        instead of raising, so a damaged capture still yields the
+        packets before the damage — partial seeds beat no seeds."""
         blob = self._blob
         offset = 24
         rec = struct.Struct(self._endian + "IIII")
@@ -85,11 +92,17 @@ class PcapReader:
             offset += 16
             frame = blob[offset:offset + incl_len]
             if len(frame) < incl_len:
-                raise PcapError("truncated packet record")
+                # Truncated final record, or garbage in the length
+                # field desynchronizing the framing: stop here.
+                self.skipped_records += 1
+                return
             offset += incl_len
             packet = _parse_frame(ts_sec + ts_usec / 1e6, frame)
             if packet is not None:
                 yield packet
+        if offset < len(blob):
+            # Trailing bytes too short to be a record header.
+            self.skipped_records += 1
 
 
 def _parse_frame(ts: float, frame: bytes) -> Optional[Packet]:

@@ -18,7 +18,8 @@ from repro.vm.devices import DeviceBoard
 from repro.vm.disk import EmulatedDisk
 from repro.vm.hypercall import Hypercall, HypercallEvent
 from repro.vm.memory import GuestMemory, RegionAllocator
-from repro.vm.snapshot import RootSnapshot, SnapshotManager
+from repro.vm.snapshot import (RootSnapshot, SnapshotCorruption,
+                               SnapshotManager)
 
 #: Default VM geometry: enough pages for a busy guest without making
 #: root snapshot captures slow in host time.
@@ -44,6 +45,9 @@ class Machine:
         self._on_restore: List[Callable[[], None]] = []
         self._hypercall_log: List[HypercallEvent] = []
         self._hypercall_handler: Optional[Callable[[HypercallEvent], None]] = None
+        #: Incremental restores that failed validation and fell back to
+        #: the root snapshot (see :meth:`reset_for_next_test`).
+        self.snapshot_corruptions = 0
 
     # -- guest <-> host plumbing ------------------------------------------------
 
@@ -97,9 +101,20 @@ class Machine:
         return n
 
     def reset_for_next_test(self) -> int:
-        """Reset to whichever snapshot is active (incremental if any)."""
+        """Reset to whichever snapshot is active (incremental if any).
+
+        Self-healing: an incremental snapshot that fails checksum
+        validation is discarded and the VM falls back to the (immutable,
+        trustworthy) root snapshot instead of propagating corrupt state
+        into the next execution.  Callers holding suffix state notice
+        via :attr:`SnapshotManager.incremental_active` going False and
+        rebuild from the root.
+        """
         if self.snapshots.incremental_active:
-            return self.restore_incremental()
+            try:
+                return self.restore_incremental()
+            except SnapshotCorruption:
+                self.snapshot_corruptions += 1
         return self.restore_root()
 
     def _notify_restore(self) -> None:

@@ -26,7 +26,8 @@ the paper (per-dirty-page work + a fixed hypercall/device cost).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
@@ -42,6 +43,16 @@ REMIRROR_PERIOD = 2000
 
 class SnapshotError(Exception):
     """Raised on snapshot protocol violations (e.g., no root yet)."""
+
+
+class SnapshotCorruption(SnapshotError):
+    """An incremental snapshot failed checksum validation on restore.
+
+    The manager has already discarded the corrupt snapshot and healed
+    the damaged mirror entries back to CoW root references; the caller
+    recovers by restoring the root snapshot and (optionally) rebuilding
+    the incremental snapshot from it.
+    """
 
 
 class RootSnapshot:
@@ -79,6 +90,7 @@ class SnapshotStats:
         self.remirrors = 0
         self.pages_reset = 0
         self.pages_captured = 0
+        self.corruption_detected = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -109,6 +121,12 @@ class SnapshotManager:
         self._inc_disk_overlay: Optional[Dict[int, bytes]] = None
         self._inc_active = False
         self._creates_since_remirror = 0
+        #: CRC32 of every real-copy mirror page at create time, checked
+        #: before each restore (self-healing snapshots).
+        self._inc_checksums: Dict[int, int] = {}
+        #: Optional :class:`~repro.faults.injector.FaultInjector` hooked
+        #: into the restore paths (fault-injection campaigns).
+        self.injector: Optional[Any] = None
 
     # -- root snapshot ------------------------------------------------------
 
@@ -152,6 +170,7 @@ class SnapshotManager:
         self._mirror_touched = set()
         self._inc_active = False
         self._creates_since_remirror = 0
+        self._inc_checksums = {}
         return root
 
     def adopt_root(self, root: RootSnapshot) -> None:
@@ -176,10 +195,13 @@ class SnapshotManager:
         self._mirror_touched = set()
         self._inc_active = False
         self._creates_since_remirror = 0
+        self._inc_checksums = {}
 
     def restore_root(self) -> int:
         """Reset the VM to the root snapshot; returns pages reset."""
         root = self.root
+        if self.injector is not None:
+            self.injector.on_root_restore(self)
         self._absorb_dirty()
         for idx in self._diverged:
             self._memory.set_page(idx, root.pages[idx], log=False)
@@ -241,6 +263,11 @@ class SnapshotManager:
         self._inc_disk_overlay = self._disk.capture_overlay()
         self._inc_active = True
         self._creates_since_remirror += 1
+        # Fingerprint every real-copy page so a corrupted mirror entry
+        # (cosmic ray, host bug, injected fault) is caught on restore
+        # instead of silently poisoning every subsequent execution.
+        self._inc_checksums = {idx: zlib.crc32(mirror[idx])
+                               for idx in self._mirror_touched}
 
         n = len(self._diverged)
         self._clock.charge(
@@ -260,6 +287,9 @@ class SnapshotManager:
         """
         if not self._inc_active:
             raise SnapshotError("no incremental snapshot is active")
+        if self.injector is not None:
+            self.injector.on_incremental_restore(self)
+        self._verify_incremental()
         mirror = self._mirror
         assert mirror is not None
         dirty = self._memory.take_dirty()
@@ -284,6 +314,61 @@ class SnapshotManager:
     def discard_incremental(self) -> None:
         """Drop the secondary snapshot (scheduling a new input, §3.4)."""
         self._inc_active = False
+
+    def _verify_incremental(self) -> None:
+        """Checksum-validate the mirror's real copies before a restore.
+
+        On mismatch the corrupt entries are healed back to CoW root
+        references (the root image is immutable and trustworthy), the
+        incremental snapshot is discarded, and
+        :class:`SnapshotCorruption` tells the caller to rebuild from
+        the root.  Cost: one pass over the real copies, charged like a
+        page copy each.
+        """
+        mirror = self._mirror
+        assert mirror is not None
+        root = self.root
+        bad = [idx for idx, crc in self._inc_checksums.items()
+               if zlib.crc32(mirror[idx]) != crc]
+        self._clock.charge(len(self._inc_checksums) * self._costs.page_copy)
+        if not bad:
+            return
+        for idx in bad:
+            mirror[idx] = root.pages[idx]
+            self._mirror_touched.discard(idx)
+            del self._inc_checksums[idx]
+        self._inc_active = False
+        self.stats.corruption_detected += 1
+        raise SnapshotCorruption(
+            "incremental snapshot failed validation on %d page(s): %s"
+            % (len(bad), sorted(bad)[:8]))
+
+    # -- fault-injection surface (see repro.faults) ---------------------------
+
+    def mirror_private_pages(self) -> set:
+        """Indices of mirror pages that are real copies (safe to
+        corrupt without touching the shared root image)."""
+        return set(self._mirror_touched)
+
+    def flip_mirror_bit(self, idx: int, byte: int = 0, bit: int = 0) -> None:
+        """Corrupt one bit of a real-copy mirror page (fault injection).
+
+        Refuses CoW references into the root: those page objects may be
+        shared with other machines, and the point of the fault model is
+        that only *this* instance's incremental state decays.
+        """
+        mirror = self._mirror
+        if mirror is None or idx not in self._mirror_touched:
+            return
+        page = bytearray(mirror[idx])
+        if not page:
+            return
+        page[byte % len(page)] ^= 1 << (bit % 8)
+        mirror[idx] = bytes(page)
+
+    def charge_fault_latency(self, seconds: float) -> None:
+        """Charge injected reset latency (the SLOW_RESET fault)."""
+        self._clock.charge(seconds)
 
     # -- accounting -----------------------------------------------------------
 
