@@ -40,9 +40,12 @@ def main() -> None:
     # 3. Trim the biggest corpus entry, then distill the whole corpus.
     entries = handles.fuzzer.corpus.entries
     biggest = max(entries, key=lambda e: e.input.total_payload_bytes())
-    trimmed, execs = trim_input(handles.executor, biggest.input)
-    print("trimmed largest entry: %d -> %d packets (%d execs)"
-          % (biggest.input.num_packets, trimmed.num_packets, execs))
+    trimmed, execs = trim_input(handles.executor, biggest.input,
+                                stats=stats)
+    print("trimmed largest entry: %d -> %d packets (%d execs; "
+          "%d ops removed statically, %d by execution)"
+          % (biggest.input.num_packets, trimmed.num_packets, execs,
+             stats.trim_ops_static, stats.trim_ops_exec))
     chosen = distill_corpus(handles.executor, [e.input for e in entries])
     print("distilled corpus: %d -> %d inputs" % (len(entries), len(chosen)))
 

@@ -1,0 +1,39 @@
+"""Static analysis for specs, corpora and the reproduction itself.
+
+The paper's spec layer is an affine type system (§4.2); this package
+is the *static* half of that discipline, which the seed repo only
+enforced dynamically at (de)serialization time:
+
+* :mod:`repro.analysis.diagnostics` — stable ``NYX0xx`` rule codes,
+  severities, machine-readable reports;
+* :mod:`repro.analysis.speclint` — node-graph lint for a
+  :class:`~repro.spec.nodes.Spec` (unproducible/dead edge types,
+  unreachable nodes, id collisions, unmutatable data);
+* :mod:`repro.analysis.oplint` — abstract interpretation over op
+  sequences (dead outputs, unobservable tails, marker placement,
+  mutation-introduced affine violations);
+* :mod:`repro.analysis.fixes` — mechanical repairs (dead-op
+  elimination with ref remapping, marker normalization, ill-typed-op
+  dropping) used by trim, persistence and corpus sync;
+* :mod:`repro.analysis.selflint` — AST determinism lint over
+  ``src/repro`` (wall clock, host randomness, OS entropy, unordered
+  set iteration — everything that would break deterministic
+  interleaving and replayable fault plans);
+* :mod:`repro.analysis.corpus` — audit/repair persisted corpora.
+
+All of it is exposed as the ``repro analyze`` CLI subcommand and runs
+as a CI gate.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Report, RULES, Severity
+from repro.analysis.fixes import (FixResult, apply_fixes,
+                                  eliminate_dead_ops, repair_blob,
+                                  repair_ops)
+from repro.analysis.oplint import analyze_ops
+from repro.analysis.speclint import analyze_spec
+
+__all__ = [
+    "Diagnostic", "Report", "RULES", "Severity",
+    "FixResult", "apply_fixes", "eliminate_dead_ops", "repair_blob",
+    "repair_ops", "analyze_ops", "analyze_spec",
+]

@@ -1,0 +1,70 @@
+"""Corpus audit (NYX03x + NYX01x): lint persisted ``.nyx`` entries.
+
+Walks a persisted corpus directory (the ``queue/`` layout written by
+:mod:`repro.fuzz.persist`, or any flat directory of ``.nyx`` files),
+decodes every entry tolerantly and runs the op-sequence dataflow lint
+over it.  With ``fix=True``, repairable entries are rewritten in place
+(atomically) through :func:`repro.analysis.fixes.apply_fixes` — the
+same repair the fuzzer applies at load/import time, so an audited-and-
+fixed corpus and a freshly-resumed one agree byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic, Report
+from repro.analysis.fixes import apply_fixes
+from repro.analysis.oplint import analyze_ops
+from repro.spec.bytecode import parse, serialize
+from repro.spec.nodes import Spec, SpecError, default_network_spec
+
+
+def _atomic_write(path: pathlib.Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def audit_corpus(directory: str, spec: Optional[Spec] = None,
+                 fix: bool = False) -> Report:
+    """Audit (and optionally repair) every entry of a corpus dir."""
+    spec = spec or default_network_spec()
+    root = pathlib.Path(directory)
+    queue_dir = root / "queue"
+    if not queue_dir.is_dir():
+        queue_dir = root
+    report = Report()
+    scanned = repaired = 0
+    for path in sorted(queue_dir.glob("*.nyx")):
+        scanned += 1
+        name = str(path)
+        try:
+            blob = path.read_bytes()
+        except OSError as err:
+            report.add(Diagnostic("NYX030", "unreadable file: %s" % err,
+                                  file=name))
+            continue
+        try:
+            ops = parse(spec, blob)
+        except SpecError as err:
+            code = ("NYX031" if "different spec" in str(err) else "NYX030")
+            report.add(Diagnostic(code, str(err), file=name))
+            continue
+        findings = analyze_ops(spec, ops, file=name)
+        if fix and any(d.fixable for d in findings):
+            result = apply_fixes(spec, ops)
+            if result.changed and result.ops:
+                _atomic_write(path, serialize(spec, result.ops))
+                repaired += 1
+                for d in findings:
+                    if d.fixable:
+                        d.fixed = True
+                report.meta.setdefault("repairs", []).append(
+                    {"file": name, "applied": result.describe()})
+        report.extend(findings)
+    report.meta["entries_scanned"] = scanned
+    report.meta["entries_repaired"] = repaired
+    return report

@@ -1,0 +1,200 @@
+"""The diagnostics engine: rule codes, severities, reports.
+
+Every analyzer in :mod:`repro.analysis` emits :class:`Diagnostic`
+records carrying a stable ``NYX0xx`` rule code, a severity, a source
+location (a file, a line for source lints, an op index for corpus
+lints) and — when the finding is mechanically repairable — a
+``fixable`` flag.  A :class:`Report` aggregates diagnostics across
+analyzers, renders them for humans, serializes them to JSON for CI,
+and decides the process exit code (non-zero iff an *unfixed* error
+remains).
+
+Rule families::
+
+    NYX00x  spec lint        (repro.analysis.speclint)
+    NYX01x  op-sequence lint (repro.analysis.oplint)
+    NYX02x  determinism self-lint (repro.analysis.selflint)
+    NYX03x  corpus audit     (repro.analysis.corpus)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class Severity(Enum):
+    """How bad a finding is; ERROR gates CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: code -> (one-line title, default severity).  Titles double as the
+#: rule catalog in docs/analysis.md; codes are stable across releases.
+RULES: Dict[str, tuple] = {
+    # -- spec lint ---------------------------------------------------------
+    "NYX001": ("edge type is borrowed/consumed but no node produces it",
+               Severity.ERROR),
+    "NYX002": ("edge type is produced but never borrowed or consumed "
+               "(values of it are dead by construction)", Severity.WARNING),
+    "NYX003": ("node type can never appear in a well-typed sequence "
+               "(operand edge types are transitively unproducible)",
+               Severity.ERROR),
+    "NYX004": ("node id or name collides (duplicate id, reserved snapshot "
+               "id 0xFFFF, or the reserved name 'snapshot')", Severity.ERROR),
+    "NYX005": ("data fields have no mutator coverage (no byte-vector "
+               "field for havoc to target)", Severity.INFO),
+    # -- op-sequence / corpus dataflow lint --------------------------------
+    "NYX010": ("dead output: value is produced but never borrowed or "
+               "consumed", Severity.WARNING),
+    "NYX011": ("unobservable tail op: effect-free producer after the "
+               "last attack-surface write", Severity.WARNING),
+    "NYX012": ("snapshot marker misplaced or redundant", Severity.WARNING),
+    "NYX013": ("affine/type violation (bad ref, wrong edge type, "
+               "double consume, bad arity)", Severity.ERROR),
+    "NYX014": ("input writes nothing to the attack surface (burns an "
+               "execution for no coverage)", Severity.WARNING),
+    # -- determinism self-lint ---------------------------------------------
+    "NYX020": ("wall-clock access outside sim/ (time.time & friends "
+               "break deterministic interleaving)", Severity.ERROR),
+    "NYX021": ("host randomness outside sim/ (use "
+               "repro.sim.rng.DeterministicRandom)", Severity.ERROR),
+    "NYX022": ("OS entropy outside sim/ (os.urandom/uuid/secrets break "
+               "bit-identical reruns)", Severity.ERROR),
+    "NYX023": ("iteration over an unordered set (order varies across "
+               "processes; sort first)", Severity.ERROR),
+    "NYX024": ("module failed to parse; determinism cannot be audited",
+               Severity.ERROR),
+    # -- corpus audit ------------------------------------------------------
+    "NYX030": ("corpus entry is structurally corrupt (bad magic, "
+               "truncated header or body)", Severity.ERROR),
+    "NYX031": ("corpus entry was built for a different spec (foreign "
+               "checksum; cannot audit or repair)", Severity.WARNING),
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding."""
+
+    code: str
+    message: str
+    severity: Optional[Severity] = None
+    #: Source location: a path for source/corpus findings, a synthetic
+    #: "spec:<name>" for spec findings.
+    file: Optional[str] = None
+    line: Optional[int] = None
+    #: Position in an op sequence, for corpus/oplint findings.
+    op_index: Optional[int] = None
+    #: True when apply_fixes() can repair this finding mechanically.
+    fixable: bool = False
+    #: Set by the fixer once the repair has been applied and verified.
+    fixed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError("unknown rule code %r" % self.code)
+        if self.severity is None:
+            self.severity = RULES[self.code][1]
+
+    def location(self) -> str:
+        parts = []
+        if self.file:
+            parts.append("%s:%d" % (self.file, self.line) if self.line
+                         else self.file)
+        if self.op_index is not None:
+            parts.append("op %d" % self.op_index)
+        return " ".join(parts)
+
+    def format(self) -> str:
+        loc = self.location()
+        tail = ""
+        if self.fixed:
+            tail = " [fixed]"
+        elif self.fixable:
+            tail = " [fixable]"
+        return "%s %-7s %s%s%s" % (self.code, self.severity.value,
+                                   (loc + ": ") if loc else "",
+                                   self.message, tail)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "title": RULES[self.code][0],
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "op_index": self.op_index,
+            "fixable": self.fixable,
+            "fixed": self.fixed,
+        }
+
+
+@dataclass
+class Report:
+    """All findings of one ``repro analyze`` run."""
+
+    tool: str = "repro-analyze"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Free-form audit metadata (files scanned, entries repaired, ...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def count(self, severity: Severity, include_fixed: bool = True) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity
+                   and (include_fixed or not d.fixed))
+
+    @property
+    def unfixed_errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR and not d.fixed]
+
+    def exit_code(self) -> int:
+        """Non-zero iff an error-severity finding was not repaired."""
+        return 1 if self.unfixed_errors else 0
+
+    # -- rendering ---------------------------------------------------------
+
+    def format_text(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            "%d error(s), %d warning(s), %d info (%d finding(s) fixed)"
+            % (self.count(Severity.ERROR), self.count(Severity.WARNING),
+               self.count(Severity.INFO),
+               sum(1 for d in self.diagnostics if d.fixed)))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "tool": self.tool,
+            "findings": [d.as_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+                "fixed": sum(1 for d in self.diagnostics if d.fixed),
+                "exit_code": self.exit_code(),
+            },
+            "meta": dict(sorted(self.meta.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        target = pathlib.Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(self.to_json() + "\n", encoding="utf-8")
+        tmp.replace(target)

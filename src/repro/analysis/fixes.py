@@ -1,0 +1,196 @@
+"""Fix-its: mechanical repairs for op sequences.
+
+Three repairs, composable through :func:`apply_fixes`:
+
+* :func:`repair_ops` — drop ill-typed ops (NYX013) with cascade: refs
+  are interpreted in the authored value numbering, ops referencing a
+  dropped op's outputs are dropped too, and surviving refs are
+  remapped to the compacted numbering.  Marker placement errors
+  (NYX012) are normalized away.  The result always passes
+  ``bytecode.validate``.
+* :func:`eliminate_dead_ops` — remove dead *pure producers* (NYX010/
+  NYX011) from an already-valid sequence.  Only ops with no operands,
+  no data fields and no used outputs are touched, so payload bytes
+  reaching the attack surface are identical before and after.
+* :func:`normalize_markers` (re-exported from ``spec.bytecode``) —
+  at most one snapshot marker, never first or last.
+
+``repair_blob`` is the persistence hook: it turns a damaged ``.nyx``
+flat-bytecode blob back into a valid op sequence, or returns ``None``
+when the damage is structural (truncation, foreign spec) and nothing
+can be salvaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.spec.bytecode import (Op, OpSequence, normalize_markers, parse,
+                                 validate)
+from repro.spec.nodes import Spec, SpecError
+
+
+@dataclass
+class FixResult:
+    """What :func:`apply_fixes` did to a sequence."""
+
+    ops: OpSequence
+    dropped_invalid: int = 0
+    eliminated_dead: int = 0
+    markers_removed: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.dropped_invalid or self.eliminated_dead
+                    or self.markers_removed)
+
+    def describe(self) -> str:
+        return ("dropped %d ill-typed op(s), eliminated %d dead op(s), "
+                "removed %d snapshot marker(s)"
+                % (self.dropped_invalid, self.eliminated_dead,
+                   self.markers_removed))
+
+
+def repair_ops(spec: Spec, ops: Sequence[Op]) -> Tuple[OpSequence, int]:
+    """Drop ill-typed ops (cascading) and remap surviving refs.
+
+    Returns ``(repaired ops, ops dropped)``.  Markers are kept as-is
+    (normalize separately); the op stream itself type-checks after.
+    """
+    #: authored value slot -> (edge name, compacted index or None)
+    values: List[Tuple[str, Optional[int]]] = []
+    consumed: set = set()
+    out: OpSequence = []
+    dropped = 0
+    kept_values = 0
+    for op in ops:
+        if op.is_snapshot_marker():
+            if op.refs or op.args:
+                dropped += 1
+                continue
+            out.append(Op("snapshot"))
+            continue
+        try:
+            node = spec.node_by_name(op.node)
+        except SpecError:
+            dropped += 1
+            continue  # unknown vocabulary: no outputs to account for
+        expected = list(node.borrows) + list(node.consumes)
+        ok = (len(op.refs) == len(expected)
+              and len(op.args) == len(node.data))
+        new_refs: List[int] = []
+        if ok:
+            for ref, edge in zip(op.refs, expected):
+                if not 0 <= ref < len(values):
+                    ok = False
+                    break
+                edge_name, new_index = values[ref]
+                if (new_index is None or edge_name != edge.name
+                        or ref in consumed):
+                    ok = False
+                    break
+                new_refs.append(new_index)
+        if ok:
+            for ref in op.refs[len(node.borrows):]:
+                consumed.add(ref)
+            out.append(Op(op.node, tuple(new_refs), op.args))
+            for edge in node.outputs:
+                values.append((edge.name, kept_values))
+                kept_values += 1
+        else:
+            dropped += 1
+            for edge in node.outputs:
+                values.append((edge.name, None))
+    return out, dropped
+
+
+def eliminate_dead_ops(spec: Spec,
+                       ops: Sequence[Op]) -> Tuple[OpSequence, int]:
+    """Remove dead pure-producer ops from a *valid* sequence.
+
+    An op is removable iff it takes no operands, carries no data and
+    none of its outputs is ever borrowed or consumed.  Refs of the
+    surviving ops are remapped.  Raises ``SpecError`` if the input
+    sequence does not validate.
+    """
+    validate(spec, ops)
+    producer_of: List[int] = []  # value slot -> producing op index
+    uses: dict = {}
+    out_slots = {}               # op index -> (start, end)
+    for index, op in enumerate(ops):
+        if op.is_snapshot_marker():
+            continue
+        node = spec.node_by_name(op.node)
+        for ref in op.refs:
+            uses[ref] = uses.get(ref, 0) + 1
+        start = len(producer_of)
+        producer_of.extend([index] * len(node.outputs))
+        out_slots[index] = (start, len(producer_of))
+    removed: set = set()
+    for index in range(len(ops) - 1, -1, -1):
+        op = ops[index]
+        if op.is_snapshot_marker() or op.refs or op.args:
+            continue
+        node = spec.node_by_name(op.node)
+        if node.data or node.borrows or node.consumes:
+            continue
+        start, end = out_slots[index]
+        if all(uses.get(slot, 0) == 0 for slot in range(start, end)):
+            removed.add(index)
+    if not removed:
+        return list(ops), 0
+    remap = {}
+    compacted = 0
+    for slot, producer in enumerate(producer_of):
+        if producer not in removed:
+            remap[slot] = compacted
+            compacted += 1
+    out: OpSequence = []
+    for index, op in enumerate(ops):
+        if index in removed:
+            continue
+        if op.is_snapshot_marker():
+            out.append(Op("snapshot"))
+            continue
+        out.append(Op(op.node, tuple(remap[r] for r in op.refs), op.args))
+    return out, len(removed)
+
+
+def apply_fixes(spec: Spec, ops: Sequence[Op]) -> FixResult:
+    """Full repair + cleanup pipeline; the result always validates.
+
+    Payload bytes of well-typed payload-carrying ops are preserved
+    verbatim — only ill-typed ops, dead pure producers and misplaced
+    snapshot markers are removed.
+    """
+    repaired, dropped = repair_ops(spec, ops)
+    markers_before = sum(1 for op in repaired if op.is_snapshot_marker())
+    repaired = normalize_markers(repaired)
+    reduced, eliminated = eliminate_dead_ops(spec, repaired)
+    # Elimination can strand a marker at the edge (e.g. a dead leading
+    # producer exposing a marker as the new first op).
+    reduced = normalize_markers(reduced)
+    markers_after = sum(1 for op in reduced if op.is_snapshot_marker())
+    result = FixResult(reduced, dropped_invalid=dropped,
+                       eliminated_dead=eliminated,
+                       markers_removed=markers_before - markers_after)
+    validate(spec, result.ops)
+    return result
+
+
+def repair_blob(spec: Spec, blob: bytes) -> Optional[OpSequence]:
+    """Repair a damaged flat-bytecode blob into a valid op sequence.
+
+    Returns ``None`` when nothing can be salvaged: structural
+    corruption, a foreign spec checksum, or a repair that leaves no
+    ops behind.
+    """
+    try:
+        ops = parse(spec, blob)
+    except SpecError:
+        return None
+    result = apply_fixes(spec, ops)
+    if not result.ops:
+        return None
+    return result.ops

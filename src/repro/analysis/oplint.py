@@ -1,0 +1,197 @@
+"""Op-sequence dataflow lint (NYX01x): abstract interpretation.
+
+Runs the affine type system *tolerantly* over an op sequence —
+recording violations as diagnostics instead of raising — and then a
+liveness pass over the surviving ops:
+
+* **dead outputs** (NYX010): values produced but never borrowed or
+  consumed.  When the producing op is a *pure producer* (no operands,
+  no data fields) the whole op is removable: executing it only burns
+  simulated time.
+* **unobservable tail ops** (NYX011): pure producers after the last
+  attack-surface write.  Nothing the target could observe happens
+  after them, so they can never contribute coverage the prefix did
+  not already reach.
+* **snapshot marker placement** (NYX012): leading, trailing or
+  duplicated markers (which ``validate`` rejects outright) and
+  multiple interior markers (legal, but only the last one matters —
+  the earlier snapshots are created and immediately overwritten).
+* **affine violations** (NYX013): bad refs, wrong edge types, double
+  consumes, arity mismatches — what mutation can introduce into an
+  otherwise well-formed entry.
+* **no attack-surface write at all** (NYX014): the entry delivers no
+  payload bytes; an execution of it is pure reset overhead.
+
+Refs are interpreted against the *authored* value numbering — every
+op's outputs occupy indices whether the op itself type-checks or not —
+which is exactly how :func:`repro.analysis.fixes.repair_ops` rebuilds
+sequences, so a finding here maps one-to-one onto a repair there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.spec.bytecode import Op
+from repro.spec.nodes import Spec, SpecError
+
+
+def _payload_bytes(op: Op) -> bool:
+    return any(isinstance(a, (bytes, bytearray)) for a in op.args)
+
+
+def analyze_ops(spec: Spec, ops: Sequence[Op],
+                file: Optional[str] = None) -> List[Diagnostic]:
+    """Lint one op sequence; returns diagnostics (empty = clean)."""
+    diags: List[Diagnostic] = []
+
+    def bad(code: str, index: int, message: str, fixable: bool = True,
+            severity=None) -> None:
+        diags.append(Diagnostic(code, message, severity=severity, file=file,
+                                op_index=index, fixable=fixable))
+
+    # -- tolerant affine interpretation (NYX013) ----------------------------
+    values: List[str] = []     # edge name, authored numbering
+    value_ok: List[bool] = []  # produced by a well-typed op?
+    consumed: set = set()
+    uses: dict = {}            # value index -> borrowing/consuming op count
+    op_ok = [False] * len(ops)
+    for index, op in enumerate(ops):
+        if op.is_snapshot_marker():
+            if op.refs or op.args:
+                bad("NYX013", index, "snapshot marker carries operands")
+            continue
+        try:
+            node = spec.node_by_name(op.node)
+        except SpecError:
+            bad("NYX013", index, "unknown node type %r" % op.node)
+            continue
+        expected = list(node.borrows) + list(node.consumes)
+        ok = True
+        if len(op.refs) != len(expected):
+            bad("NYX013", index, "%s: %d operand refs, expected %d"
+                % (op.node, len(op.refs), len(expected)))
+            ok = False
+        if len(op.args) != len(node.data):
+            bad("NYX013", index, "%s: %d data args, expected %d"
+                % (op.node, len(op.args), len(node.data)))
+            ok = False
+        if ok:
+            for ref, edge in zip(op.refs, expected):
+                if not 0 <= ref < len(values):
+                    bad("NYX013", index, "%s: ref %d out of range"
+                        % (op.node, ref))
+                    ok = False
+                elif not value_ok[ref]:
+                    bad("NYX013", index, "%s: ref %d points at the output "
+                        "of an ill-typed op" % (op.node, ref))
+                    ok = False
+                elif values[ref] != edge.name:
+                    bad("NYX013", index, "%s: ref %d has type %s, expected "
+                        "%s" % (op.node, ref, values[ref], edge.name))
+                    ok = False
+                elif ref in consumed:
+                    bad("NYX013", index, "%s: ref %d already consumed "
+                        "(affine violation)" % (op.node, ref))
+                    ok = False
+        if ok:
+            op_ok[index] = True
+            for ref in op.refs:
+                uses[ref] = uses.get(ref, 0) + 1
+            for ref in op.refs[len(node.borrows):]:
+                consumed.add(ref)
+        # Outputs occupy value slots either way: later refs were
+        # authored against a numbering that includes this op.
+        for edge in node.outputs:
+            values.append(edge.name)
+            value_ok.append(ok)
+
+    # -- liveness over the well-typed ops (NYX010/NYX011/NYX014) ------------
+    surface = [i for i, op in enumerate(ops) if op_ok[i]
+               and (_payload_bytes(op)
+                    or _consumes_count(spec, op))]
+    last_surface = surface[-1] if surface else -1
+    cursor = 0
+    for index, op in enumerate(ops):
+        if op.is_snapshot_marker():
+            continue
+        try:
+            node = spec.node_by_name(op.node)
+        except SpecError:
+            continue
+        out_slots = range(cursor, cursor + len(node.outputs))
+        cursor += len(node.outputs)
+        if not op_ok[index] or not node.outputs:
+            continue
+        if any(uses.get(slot, 0) for slot in out_slots):
+            continue
+        pure_producer = not op.refs and not op.args
+        if pure_producer and index > last_surface:
+            bad("NYX011", index, "%s after the last attack-surface write; "
+                "its output is never used" % op.node)
+        elif pure_producer:
+            bad("NYX010", index, "%s produces %s but nothing uses it"
+                % (op.node, "/".join(e.name for e in node.outputs)))
+        else:
+            bad("NYX010", index, "%s output(s) %s are never used"
+                % (op.node, "/".join(e.name for e in node.outputs)),
+                fixable=False)
+    if not any(_payload_bytes(op) for i, op in enumerate(ops) if op_ok[i]):
+        diags.append(Diagnostic(
+            "NYX014", "no op delivers payload bytes to the attack surface",
+            file=file, fixable=False))
+
+    # -- snapshot markers (NYX012) ------------------------------------------
+    diags.extend(_lint_markers(ops, file))
+
+    # A cursor bug here would silently misattribute liveness; keep the
+    # invariant explicit.
+    assert cursor == len(values)
+    return diags
+
+
+def _consumes_count(spec: Spec, op: Op) -> int:
+    try:
+        return len(spec.node_by_name(op.node).consumes)
+    except SpecError:
+        return 0
+
+
+def _lint_markers(ops: Sequence[Op],
+                  file: Optional[str]) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    real = [i for i, op in enumerate(ops) if not op.is_snapshot_marker()]
+    markers = [i for i, op in enumerate(ops) if op.is_snapshot_marker()]
+    if not markers:
+        return diags
+    first_real = real[0] if real else len(ops)
+    last_real = real[-1] if real else -1
+    interior = []
+    prev = None
+    for i in markers:
+        if prev is not None and i == prev + 1:
+            diags.append(Diagnostic(
+                "NYX012", "consecutive duplicate snapshot marker",
+                severity=Severity.ERROR, file=file, op_index=i,
+                fixable=True))
+        elif i < first_real:
+            diags.append(Diagnostic(
+                "NYX012", "snapshot marker before any op",
+                severity=Severity.ERROR, file=file, op_index=i,
+                fixable=True))
+        elif i > last_real:
+            diags.append(Diagnostic(
+                "NYX012", "trailing snapshot marker",
+                severity=Severity.ERROR, file=file, op_index=i,
+                fixable=True))
+        else:
+            interior.append(i)
+        prev = i
+    if len(interior) > 1:
+        for i in interior[:-1]:
+            diags.append(Diagnostic(
+                "NYX012", "superseded snapshot marker (a later marker "
+                "overwrites this snapshot before it is ever resumed)",
+                file=file, op_index=i, fixable=True))
+    return diags

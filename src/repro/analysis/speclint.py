@@ -1,0 +1,96 @@
+"""Spec lint (NYX00x): find unusable vocabulary before a campaign.
+
+A spec with an unproducible edge type, an unreachable node or a
+colliding id compiles fine and only surfaces as wasted executions (or
+a confusing ``SpecError``) deep inside a campaign.  This pass audits
+the node graph statically, the way the paper's affine type system
+would reject such a spec at declaration time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.spec.nodes import Spec
+from repro.spec.types import ByteVec
+
+
+def analyze_spec(spec: Spec) -> List[Diagnostic]:
+    """Lint one spec; returns diagnostics (empty = clean)."""
+    diags: List[Diagnostic] = []
+    loc = "spec:%s" % spec.name
+
+    # -- NYX004: id/name collisions -----------------------------------------
+    seen_node_ids = {}
+    for node in spec.node_types:
+        if node.name == "snapshot":
+            diags.append(Diagnostic(
+                "NYX004", "node %r collides with the reserved snapshot "
+                "marker name (validate() would silently skip its ops)"
+                % node.name, file=loc))
+        if node.node_id == Spec.SNAPSHOT_NODE_ID:
+            diags.append(Diagnostic(
+                "NYX004", "node %r uses the reserved snapshot node id "
+                "0x%04X" % (node.name, Spec.SNAPSHOT_NODE_ID), file=loc))
+        elif node.node_id in seen_node_ids:
+            diags.append(Diagnostic(
+                "NYX004", "node %r reuses id %d already held by %r"
+                % (node.name, node.node_id, seen_node_ids[node.node_id]),
+                file=loc))
+        seen_node_ids.setdefault(node.node_id, node.name)
+    seen_edge_ids = {}
+    for edge in spec.edge_types:
+        if edge.type_id in seen_edge_ids:
+            diags.append(Diagnostic(
+                "NYX004", "edge type %r reuses id %d already held by %r"
+                % (edge.name, edge.type_id, seen_edge_ids[edge.type_id]),
+                file=loc))
+        seen_edge_ids.setdefault(edge.type_id, edge.name)
+
+    # -- NYX001/NYX002: unproducible / unconsumable edge types --------------
+    produced = {e.name for n in spec.node_types for e in n.outputs}
+    used = {e.name for n in spec.node_types
+            for e in list(n.borrows) + list(n.consumes)}
+    for edge in spec.edge_types:
+        if edge.name in used and edge.name not in produced:
+            diags.append(Diagnostic(
+                "NYX001", "edge type %r is required as an operand but no "
+                "node outputs it" % edge.name, file=loc))
+        elif edge.name in produced and edge.name not in used:
+            diags.append(Diagnostic(
+                "NYX002", "edge type %r is produced but nothing ever "
+                "borrows or consumes it" % edge.name, file=loc))
+
+    # -- NYX003: unreachable nodes (operand types transitively dead) --------
+    producible: set = set()
+    instantiable: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in spec.node_types:
+            if node.node_id in instantiable:
+                continue
+            operands = list(node.borrows) + list(node.consumes)
+            if all(e.name in producible for e in operands):
+                instantiable.add(node.node_id)
+                for e in node.outputs:
+                    if e.name not in producible:
+                        producible.add(e.name)
+                        changed = True
+                changed = True
+    for node in spec.node_types:
+        if node.node_id not in instantiable:
+            diags.append(Diagnostic(
+                "NYX003", "node %r is unreachable: no well-typed sequence "
+                "can ever satisfy its operands" % node.name, file=loc))
+
+    # -- NYX005: data fields havoc cannot touch -----------------------------
+    for node in spec.node_types:
+        if node.data and not any(isinstance(d, ByteVec) for d in node.data):
+            diags.append(Diagnostic(
+                "NYX005", "node %r carries only scalar data fields (%s); "
+                "byte-level havoc has nothing to mutate"
+                % (node.name, ", ".join(d.name for d in node.data)),
+                file=loc))
+    return diags

@@ -9,6 +9,8 @@ Commands:
 * ``bench`` — run the ProFuzzBench matrix and print Tables 1-3.
 * ``replay <target> <file.nyx>`` — replay a persisted input (e.g. a
   crash reproducer) against a fresh target VM.
+* ``analyze`` — static diagnostics: spec lint, corpus dataflow audit
+  (with ``--fix`` fix-its) and the determinism self-lint.
 """
 
 from __future__ import annotations
@@ -201,6 +203,42 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import Report
+    from repro.spec.nodes import default_network_spec
+    run_spec = args.spec
+    self_root = args.self_root
+    run_corpus = args.corpus is not None
+    if not (run_spec or self_root or run_corpus):
+        # Bare `repro analyze`: the two checks that need no inputs.
+        run_spec = True
+        self_root = "src/repro"
+    if args.fix and not run_corpus:
+        print("note: --fix only applies to --corpus entries",
+              file=sys.stderr)
+    spec = default_network_spec()
+    report = Report()
+    if run_spec:
+        from repro.analysis.speclint import analyze_spec
+        report.extend(analyze_spec(spec))
+        report.meta["spec"] = spec.name
+    if self_root:
+        from repro.analysis.selflint import analyze_source_tree
+        report.extend(analyze_source_tree(self_root))
+        report.meta["self_root"] = self_root
+    if run_corpus:
+        from repro.analysis.corpus import audit_corpus
+        audit = audit_corpus(args.corpus, spec=spec, fix=args.fix)
+        report.extend(audit.diagnostics)
+        report.meta.update(audit.meta)
+        report.meta["corpus"] = args.corpus
+    print(report.format_text())
+    if args.json:
+        report.write_json(args.json)
+        print("wrote %s" % args.json)
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -254,6 +292,22 @@ def build_parser() -> argparse.ArgumentParser:
     pack = sub.add_parser("pack", help="bundle a share folder (§5.4)")
     pack.add_argument("target")
     pack.add_argument("out")
+
+    analyze = sub.add_parser(
+        "analyze", help="static diagnostics (docs/analysis.md)")
+    analyze.add_argument("--spec", action="store_true",
+                         help="lint the default network spec (NYX00x)")
+    analyze.add_argument("--corpus", metavar="DIR",
+                         help="audit a persisted corpus directory "
+                              "(NYX01x/NYX03x)")
+    analyze.add_argument("--self", dest="self_root", nargs="?",
+                         const="src/repro", default=None, metavar="PATH",
+                         help="determinism self-lint over a source tree "
+                              "(NYX02x; default PATH: src/repro)")
+    analyze.add_argument("--fix", action="store_true",
+                         help="rewrite repairable --corpus entries in place")
+    analyze.add_argument("--json", metavar="PATH",
+                         help="write the machine-readable report here")
     return parser
 
 
@@ -266,6 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "replay": _cmd_replay,
         "pack": _cmd_pack,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 

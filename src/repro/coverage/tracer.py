@@ -30,6 +30,21 @@ DEFAULT_TRACED_FRAGMENTS = ("/repro/targets/", "/repro/mario/target")
 IJON_BASE = 0xF000
 
 
+def _stable_site(text: str) -> int:
+    """FNV-1a site hash, stable across processes.
+
+    Built-in ``hash`` of strings is randomized per process and ``id()``
+    is a memory address: deriving edge indices from either makes two
+    same-seed campaign runs disagree on their coverage maps (the
+    determinism self-lint's NYX02x family exists to keep exactly this
+    class of leak out of the fuzzer).
+    """
+    value = 0x811C9DC5
+    for byte in text.encode():
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
 class EdgeTracer:
     """Collects sparse edge traces from traced module code."""
 
@@ -40,8 +55,10 @@ class EdgeTracer:
         #: Sparse trace of the current execution: edge index -> count.
         self.trace: Dict[int, int] = {}
         self._prev_site = 0
-        #: Per-code-object decision cache: id(code) -> bool.
-        self._code_cache: Dict[int, bool] = {}
+        #: Per-code-object cache: id(code) -> stable site base for
+        #: traced code, None for untraced.  (id() is only the cache
+        #: key — sites themselves come from :func:`_stable_site`.)
+        self._code_cache: Dict[int, Optional[int]] = {}
         self._depth = 0
 
     # -- per-test lifecycle --------------------------------------------------
@@ -85,26 +102,36 @@ class EdgeTracer:
 
     # -- trace hooks -----------------------------------------------------------
 
-    def _is_traced(self, code) -> bool:
+    def _code_site(self, code) -> Optional[int]:
+        """Stable site base for a code object (None = not traced)."""
         key = id(code)
-        cached = self._code_cache.get(key)
-        if cached is None:
+        try:
+            return self._code_cache[key]
+        except KeyError:
             filename = code.co_filename
-            cached = any(fragment in filename
-                         for fragment in self.traced_fragments)
-            self._code_cache[key] = cached
-        return cached
+            if any(fragment in filename
+                   for fragment in self.traced_fragments):
+                site = _stable_site("%s:%s:%d" % (filename, code.co_name,
+                                                  code.co_firstlineno))
+            else:
+                site = None
+            self._code_cache[key] = site
+            return site
 
     def _global_trace(self, frame, event, arg) -> Optional[Callable]:
-        if event == "call" and self._is_traced(frame.f_code):
-            # Record the call edge itself, then trace lines inside.
-            self._hit(hash((frame.f_code.co_filename, frame.f_code.co_firstlineno)))
-            return self._local_trace
+        if event == "call":
+            site = self._code_site(frame.f_code)
+            if site is not None:
+                # Record the call edge itself, then trace lines inside.
+                self._hit(site)
+                return self._local_trace
         return None
 
     def _local_trace(self, frame, event, arg) -> Optional[Callable]:
         if event == "line":
-            self._hit(hash((id(frame.f_code), frame.f_lineno)))
+            base = self._code_cache.get(id(frame.f_code))
+            if base is not None:
+                self._hit((base * 33 + frame.f_lineno) & 0xFFFFFFFF)
         return self._local_trace
 
     def _hit(self, site: int) -> None:

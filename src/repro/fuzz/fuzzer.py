@@ -139,12 +139,14 @@ class NyxNetFuzzer:
         """Corpus entries found since the given watermark id."""
         return self.corpus.export_entries(since_id)
 
-    def absorb_foreign(self, entries) -> list:
+    def absorb_foreign(self, entries, spec=None) -> list:
         """Adopt peer corpus entries: enqueue them and fold their
         traces into this worker's coverage map, so already-discovered
-        behaviour is not rediscovered from scratch."""
+        behaviour is not rediscovered from scratch.  With a ``spec``,
+        damaged entries are repaired (or skipped) on the way in."""
         adopted = self.corpus.import_foreign(entries,
-                                             found_at=self.clock.now)
+                                             found_at=self.clock.now,
+                                             spec=spec)
         for entry in adopted:
             if entry.trace:
                 self.coverage.has_new_bits(entry.trace)

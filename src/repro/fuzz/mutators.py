@@ -76,6 +76,7 @@ class MutationEngine:
             self._structural(child, mutable, splice_donor, from_index)
             mutable = [i for i in child.packet_indices() if i >= from_index]
             if not mutable:
+                self._cleanup_markers(child, from_index)
                 return child
         # Havoc one or more payloads.
         for _ in range(1 + rng.randrange(3)):
@@ -83,7 +84,30 @@ class MutationEngine:
             payload = bytearray(child.payload_of(idx))
             payload = self._havoc_payload(payload)
             child.with_payload(idx, bytes(payload))
+        self._cleanup_markers(child, from_index)
         return child
+
+    @staticmethod
+    def _cleanup_markers(child: FuzzInput, from_index: int) -> None:
+        """Repair snapshot-marker damage done by structural mutation.
+
+        Dropping/truncating packets can strand a marker as the last op
+        or leave two markers adjacent — both rejected by ``validate``
+        (the analyzer's NYX012).  Only the mutated suffix is touched:
+        ops before ``from_index`` anchor an incremental snapshot and
+        must stay put.
+        """
+        if not any(op.is_snapshot_marker() for op in child.ops[from_index:]):
+            return
+        while (len(child.ops) > from_index
+               and child.ops[-1].is_snapshot_marker()):
+            del child.ops[-1]
+        index = len(child.ops) - 1
+        while index >= max(from_index, 1):
+            if (child.ops[index].is_snapshot_marker()
+                    and child.ops[index - 1].is_snapshot_marker()):
+                del child.ops[index]
+            index -= 1
 
     # ------------------------------------------------------------------
     # structural (packet-level) mutations

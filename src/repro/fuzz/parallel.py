@@ -129,6 +129,10 @@ class ParallelCampaign:
         #: (sim time, merged edges) sampled at every sync round.
         self.coverage_series: List[Tuple[float, int]] = []
         self._seeds = seeds if seeds is not None else profile.seeds()
+        #: Spec used to validate/repair entries crossing workers during
+        #: corpus sync (network targets all speak the default spec).
+        from repro.spec.nodes import default_network_spec
+        self.spec = default_network_spec()
 
         # One golden boot; workers adopt its root snapshot.
         from repro.fuzz.campaign import boot_target
@@ -341,7 +345,7 @@ class ParallelCampaign:
         for origin, entry in broadcast:
             for worker in self.workers:
                 if worker.worker_id != origin:
-                    worker.fuzzer.absorb_foreign([entry])
+                    worker.fuzzer.absorb_foreign([entry], spec=self.spec)
         now = max(w.fuzzer.clock.now for w in self.workers)
         edges = self.global_coverage.edge_count()
         if not self.coverage_series or self.coverage_series[-1][1] != edges:

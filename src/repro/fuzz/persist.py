@@ -114,6 +114,8 @@ def save_campaign(fuzzer: NyxNetFuzzer, directory: str,
         "faults_injected": stats.faults_injected,
         "snapshot_rebuilds": stats.snapshot_rebuilds,
         "degraded_root_only": stats.degraded_root_only,
+        "trim_ops_static": stats.trim_ops_static,
+        "trim_ops_exec": stats.trim_ops_exec,
     }, indent=2))
     return written + 1
 
@@ -166,13 +168,19 @@ def save_parallel_campaign(campaign, directory: str,
 
 
 def load_corpus(directory: str, spec: Optional[Spec] = None,
-                limit: Optional[int] = None) -> List[FuzzInput]:
+                limit: Optional[int] = None,
+                repair: bool = True) -> List[FuzzInput]:
     """Load persisted queue entries as seed inputs.
 
-    Unreadable or malformed entries (a crash mid-save before the
-    atomic-write era, disk corruption, foreign spec files) are skipped
-    with a warning — a damaged corpus directory degrades to a smaller
-    seed set, never a refused resume.
+    Entries that decode but fail affine validation (a foreign tool's
+    corpus, damage introduced before the atomic-write era) are run
+    through the static analyzer's fix-its — ill-typed ops dropped,
+    dead ops eliminated, snapshot markers normalized — and loaded with
+    origin ``"repaired"`` instead of being refused (``repair=False``
+    restores the old skip behaviour).  Structurally corrupt or
+    unreadable files are still skipped with a warning: a damaged
+    corpus directory degrades to a smaller seed set, never a refused
+    resume.
     """
     spec = spec or default_network_spec()
     queue_dir = pathlib.Path(directory) / "queue"
@@ -181,12 +189,26 @@ def load_corpus(directory: str, spec: Optional[Spec] = None,
         return seeds
     for path in sorted(queue_dir.glob("*.nyx")):
         try:
-            ops = deserialize(spec, path.read_bytes())
-        except (SpecError, ValueError, OSError) as err:
+            blob = path.read_bytes()
+        except OSError as err:
             warnings.warn("skipping unreadable corpus entry %s: %s"
                           % (path.name, err))
-            continue  # corrupt or foreign file: skip, never crash
-        seeds.append(FuzzInput(ops, origin="persisted"))
+            continue
+        try:
+            ops = deserialize(spec, blob)
+            seeds.append(FuzzInput(ops, origin="persisted"))
+        except (SpecError, ValueError) as err:
+            repaired = None
+            if repair:
+                from repro.analysis.fixes import repair_blob
+                repaired = repair_blob(spec, blob)
+            if repaired is None:
+                warnings.warn("skipping unreadable corpus entry %s: %s"
+                              % (path.name, err))
+                continue  # corrupt or foreign file: skip, never crash
+            warnings.warn("repaired damaged corpus entry %s (%s)"
+                          % (path.name, err))
+            seeds.append(FuzzInput(repaired, origin="repaired"))
         if limit is not None and len(seeds) >= limit:
             break
     return seeds

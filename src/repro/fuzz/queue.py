@@ -108,12 +108,17 @@ class Corpus:
         return [e for e in self.entries if e.entry_id >= since_id]
 
     def import_foreign(self, entries: Sequence[QueueEntry],
-                       found_at: float = 0.0) -> List[QueueEntry]:
+                       found_at: float = 0.0,
+                       spec=None) -> List[QueueEntry]:
         """Adopt entries exported by a peer instance.
 
         Entries whose coverage checksum this corpus has already seen
         are dropped (the peer found the same behaviour independently).
-        Returns the entries actually adopted, with fresh local ids.
+        When a ``spec`` is given, entries that fail affine validation
+        (mutation-introduced damage on the peer) are repaired through
+        the static analyzer's fix-its — or skipped if unrepairable —
+        instead of poisoning the queue.  Returns the entries actually
+        adopted, with fresh local ids.
         """
         adopted: List[QueueEntry] = []
         for foreign in entries:
@@ -122,6 +127,8 @@ class Corpus:
                 continue
             clone = foreign.input.copy()
             clone.origin = "import"
+            if spec is not None and not self._repair_in_place(clone, spec):
+                continue
             trace = dict(foreign.trace) if foreign.trace else None
             adopted.append(self.add(
                 clone, exec_time=foreign.exec_time,
@@ -130,6 +137,27 @@ class Corpus:
                 packets_consumed=foreign.effective_packets,
                 trace=trace))
         return adopted
+
+    @staticmethod
+    def _repair_in_place(clone: FuzzInput, spec) -> bool:
+        """Validate a foreign input, repairing it if needed.
+
+        Returns False when nothing usable is left after repair.
+        """
+        from repro.analysis.fixes import apply_fixes
+        from repro.spec.bytecode import validate
+        from repro.spec.nodes import SpecError
+        try:
+            validate(spec, clone.ops)
+            return True
+        except SpecError:
+            pass
+        result = apply_fixes(spec, clone.ops)
+        if not result.ops:
+            return False
+        clone.ops = result.ops
+        clone.origin = "import+repaired"
+        return True
 
     def _refresh_favored(self) -> None:
         """Mark the best-scoring quartile as favored."""

@@ -48,6 +48,12 @@ class CampaignStats:
     worker_failures: int = 0
     #: Corpus entries quarantined for repeatedly killing workers.
     quarantined_inputs: int = 0
+    #: Ops removed from trimmed inputs by the static dead-op/marker
+    #: pre-pass (one verification exec per input, not one per op).
+    trim_ops_static: int = 0
+    #: Ops removed from trimmed inputs by execution-driven packet
+    #: dropping (one exec per candidate removal).
+    trim_ops_exec: int = 0
 
     def record_coverage(self, now: float, edges: int) -> None:
         if not self.coverage_series or self.coverage_series[-1][1] != edges:
@@ -139,6 +145,8 @@ class CampaignStats:
             "degraded_root_only": self.degraded_root_only,
             "worker_failures": self.worker_failures,
             "quarantined_inputs": self.quarantined_inputs,
+            "trim_ops_static": self.trim_ops_static,
+            "trim_ops_exec": self.trim_ops_exec,
         }
 
     # -- multi-worker rollup ------------------------------------------------
@@ -173,6 +181,8 @@ class CampaignStats:
             merged.degraded_root_only |= part.degraded_root_only
             merged.worker_failures += part.worker_failures
             merged.quarantined_inputs += part.quarantined_inputs
+            merged.trim_ops_static += part.trim_ops_static
+            merged.trim_ops_exec += part.trim_ops_exec
             for key, when in part.crash_times.items():
                 if key not in merged.crash_times or when < merged.crash_times[key]:
                     merged.crash_times[key] = when

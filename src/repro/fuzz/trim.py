@@ -11,16 +11,24 @@ Two classic corpus-hygiene tools adapted to packet-structured inputs:
   corpus reaches.  Useful before persisting a corpus as seeds.
 
 Both drive real executions through a :class:`NyxExecutor`, so they
-charge simulated time like any other fuzzing work.
+charge simulated time like any other fuzzing work.  Before spending
+any executions, :func:`trim_input` runs the static analyzer's dead-op
+elimination and marker normalization as a pre-pass (one verification
+execution for the whole reduction, instead of one per op) and reports
+statically- vs execution-eliminated ops separately in
+:class:`~repro.fuzz.stats.CampaignStats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.coverage.bitmap import BUCKET_LOOKUP
 from repro.fuzz.executor import NyxExecutor
 from repro.fuzz.input import FuzzInput
+from repro.fuzz.stats import CampaignStats
+from repro.spec.bytecode import Op, normalize_markers, validate
+from repro.spec.nodes import Spec, SpecError, default_network_spec
 
 
 def _signature(trace: Dict[int, int], counts: bool = False) -> int:
@@ -40,9 +48,34 @@ def _signature(trace: Dict[int, int], counts: bool = False) -> int:
     return total
 
 
+def static_reduce(spec: Spec, input_: FuzzInput) -> Tuple[FuzzInput, int]:
+    """Dead-op elimination + marker normalization, no executions.
+
+    Returns ``(reduced copy, ops removed)``.  Inputs that do not
+    validate against ``spec`` (foreign vocabulary, mid-mutation damage)
+    are returned unchanged — the static pass only ever operates on
+    sequences whose types it fully understands.
+    """
+    try:
+        validate(spec, input_.ops)
+    except SpecError:
+        return input_, 0
+    from repro.analysis.fixes import eliminate_dead_ops
+    reduced, removed = eliminate_dead_ops(spec, input_.ops)
+    normalized = normalize_markers(reduced)
+    removed += len(reduced) - len(normalized)
+    if not removed:
+        return input_, 0
+    candidate = FuzzInput([Op(o.node, o.refs, o.args) for o in normalized],
+                          origin=input_.origin, parent_id=input_.parent_id)
+    return candidate, removed
+
+
 def trim_input(executor: NyxExecutor, input_: FuzzInput,
                shrink_payloads: bool = True,
-               max_execs: int = 64) -> Tuple[FuzzInput, int]:
+               max_execs: int = 64,
+               spec: Optional[Spec] = None,
+               stats: Optional[CampaignStats] = None) -> Tuple[FuzzInput, int]:
     """Shrink an input while preserving its coverage signature.
 
     Returns (trimmed input, executions spent).  The result is always
@@ -52,6 +85,21 @@ def trim_input(executor: NyxExecutor, input_: FuzzInput,
     target_sig = _signature(baseline.trace)
     execs = 1
     current = input_.copy()
+
+    # Pass 0: static dead-op elimination and marker normalization.
+    # One execution verifies the whole reduction; if even a "dead"
+    # op turns out to matter to the signature (opening a connection
+    # can touch target accept paths), the reduction is discarded.
+    candidate, removed = static_reduce(spec or default_network_spec(),
+                                       current)
+    if removed and execs < max_execs:
+        result = executor.run_full(candidate)
+        execs += 1
+        if _signature(result.trace) == target_sig:
+            current = candidate
+            if stats is not None:
+                stats.trim_ops_static += removed
+    ops_before_exec_passes = len(current.ops)
 
     # Pass 1: drop packets back to front (later packets depend on
     # earlier state, not vice versa).
@@ -83,6 +131,8 @@ def trim_input(executor: NyxExecutor, input_: FuzzInput,
                 current = candidate
                 payload = current.payload_of(index)
 
+    if stats is not None:
+        stats.trim_ops_exec += ops_before_exec_passes - len(current.ops)
     current.origin = "trimmed"
     return current, execs
 

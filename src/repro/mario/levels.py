@@ -13,7 +13,7 @@ taller steps.  Two hand-placed signatures match the paper:
 
 from __future__ import annotations
 
-import random
+import random  # nyx: allow[NYX021] -- only random.Random(world*100+stage): seeded, deterministic
 from typing import Dict, List, Set, Tuple
 
 from repro.mario.engine import Level

@@ -11,7 +11,8 @@ seed-authoring library from Listing 2; :mod:`repro.spec.pcap` and
 
 from repro.spec.types import DataType, U8, U16, U32, ByteVec
 from repro.spec.nodes import EdgeType, NodeType, Spec, SpecError, default_network_spec
-from repro.spec.bytecode import Op, OpSequence, serialize, deserialize, validate
+from repro.spec.bytecode import (Op, OpSequence, serialize, deserialize,
+                                 normalize_markers, parse, validate)
 from repro.spec.builder import Builder, TrackedValue
 from repro.spec.pcap import PcapReader, PcapWriter, TcpFlow, extract_flows
 from repro.spec.dissect import (crlf_dissector, length_prefixed_dissector,
@@ -21,6 +22,7 @@ __all__ = [
     "DataType", "U8", "U16", "U32", "ByteVec",
     "EdgeType", "NodeType", "Spec", "SpecError", "default_network_spec",
     "Op", "OpSequence", "serialize", "deserialize", "validate",
+    "parse", "normalize_markers",
     "Builder", "TrackedValue",
     "PcapReader", "PcapWriter", "TcpFlow", "extract_flows",
     "crlf_dissector", "length_prefixed_dissector", "raw_dissector",

@@ -12,7 +12,9 @@ output order across all previous ops).  The special snapshot marker op
 (node id 0xFFFF) carries no operands or data.
 
 ``validate`` enforces the affine rules: refs must exist, must have the
-right edge type, and consumed values must not be used again.
+right edge type, and consumed values must not be used again.  Snapshot
+markers must be *interior*: never the first or last op, and never
+duplicated back to back (``normalize_markers`` repairs all three).
 """
 
 from __future__ import annotations
@@ -55,11 +57,24 @@ def validate(spec: Spec, ops: Sequence[Op]) -> List[Tuple[int, str]]:
     """
     values: List[Tuple[int, str]] = []  # (producing op index, edge name)
     consumed: set = set()
+    seen_real_op = False
+    prev_was_marker = False
     for op_index, op in enumerate(ops):
         if op.is_snapshot_marker():
             if op.refs or op.args:
                 raise SpecError("snapshot marker carries no operands")
+            if not seen_real_op:
+                raise SpecError(
+                    "op %d: snapshot marker before any op (nothing to "
+                    "snapshot)" % op_index)
+            if prev_was_marker:
+                raise SpecError(
+                    "op %d: consecutive duplicate snapshot markers"
+                    % op_index)
+            prev_was_marker = True
             continue
+        prev_was_marker = False
+        seen_real_op = True
         node = spec.node_by_name(op.node)
         expected = list(node.borrows) + list(node.consumes)
         if len(op.refs) != len(expected):
@@ -87,7 +102,29 @@ def validate(spec: Spec, ops: Sequence[Op]) -> List[Tuple[int, str]]:
                 % (op_index, op.node, len(op.args), len(node.data)))
         for _ in node.outputs:
             values.append((op_index, _.name))
+    if prev_was_marker:
+        raise SpecError(
+            "trailing snapshot marker (no op left to resume into)")
     return values
+
+
+def normalize_markers(ops: Sequence[Op]) -> OpSequence:
+    """Return ``ops`` with snapshot markers normalized.
+
+    At most one marker survives — the *last* interior one (later
+    snapshot points retain more of the prefix-skipping benefit, and
+    with several markers the executor's final snapshot is the last
+    one anyway).  Markers before the first real op, after the last
+    real op, or duplicated are dropped.  Real ops are untouched.
+    """
+    real = [i for i, op in enumerate(ops) if not op.is_snapshot_marker()]
+    if not real:
+        return []
+    interior = [i for i, op in enumerate(ops)
+                if op.is_snapshot_marker() and real[0] < i < real[-1]]
+    keep = interior[-1] if interior else None
+    return [op for i, op in enumerate(ops)
+            if not op.is_snapshot_marker() or i == keep]
 
 
 def serialize(spec: Spec, ops: Sequence[Op]) -> bytes:
@@ -109,8 +146,18 @@ def serialize(spec: Spec, ops: Sequence[Op]) -> bytes:
     return bytes(out)
 
 
-def deserialize(spec: Spec, blob: bytes) -> OpSequence:
-    """Parse flat bytecode back into an op sequence (and validate)."""
+def parse(spec: Spec, blob: bytes) -> OpSequence:
+    """Decode flat bytecode into an op sequence *without* validating.
+
+    Structural corruption — a short header, a node id past the spec,
+    refs or data fields running past the end of the buffer — raises
+    :class:`SpecError` (never a bare ``struct.error``/``IndexError``).
+    The result may still be ill-typed; callers that need the affine
+    guarantees use :func:`deserialize` or run :func:`validate`.
+    """
+    if len(blob) < 12:
+        raise SpecError("truncated bytecode: %d-byte blob is shorter than "
+                        "the 12-byte header" % len(blob))
     if blob[:4] != MAGIC:
         raise SpecError("bad magic")
     checksum, count = struct.unpack_from("<II", blob, 4)
@@ -118,22 +165,33 @@ def deserialize(spec: Spec, blob: bytes) -> OpSequence:
         raise SpecError("bytecode was built for a different spec")
     offset = 12
     ops: OpSequence = []
-    for _ in range(count):
-        (node_id,) = struct.unpack_from("<H", blob, offset)
-        offset += 2
-        if node_id == Spec.SNAPSHOT_NODE_ID:
-            ops.append(Op("snapshot"))
-            continue
-        node = spec.node_by_id(node_id)
-        refs = []
-        for _ref in range(node.arity):
-            (ref,) = struct.unpack_from("<H", blob, offset)
+    try:
+        for _ in range(count):
+            (node_id,) = struct.unpack_from("<H", blob, offset)
             offset += 2
-            refs.append(ref)
-        args = []
-        for dtype in node.data:
-            value, offset = dtype.unpack(blob, offset)
-            args.append(value)
-        ops.append(Op(node.name, tuple(refs), tuple(args)))
+            if node_id == Spec.SNAPSHOT_NODE_ID:
+                ops.append(Op("snapshot"))
+                continue
+            node = spec.node_by_id(node_id)
+            refs = []
+            for _ref in range(node.arity):
+                (ref,) = struct.unpack_from("<H", blob, offset)
+                offset += 2
+                refs.append(ref)
+            args = []
+            for dtype in node.data:
+                value, offset = dtype.unpack(blob, offset)
+                args.append(value)
+            ops.append(Op(node.name, tuple(refs), tuple(args)))
+    except (struct.error, IndexError, ValueError) as err:
+        raise SpecError("truncated or corrupt bytecode at offset %d "
+                        "(op %d of %d): %s"
+                        % (offset, len(ops), count, err)) from err
+    return ops
+
+
+def deserialize(spec: Spec, blob: bytes) -> OpSequence:
+    """Parse flat bytecode back into an op sequence (and validate)."""
+    ops = parse(spec, blob)
     validate(spec, ops)
     return ops

@@ -5,7 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.spec.builder import Builder, TrackedValue
-from repro.spec.bytecode import Op, SpecError, deserialize, serialize, validate
+from repro.spec.bytecode import (Op, SpecError, deserialize,
+                                 normalize_markers, parse, serialize,
+                                 validate)
 from repro.spec.nodes import Spec, default_network_spec
 from repro.spec.types import U8, U16, U32, ByteVec
 
@@ -89,10 +91,40 @@ class TestValidate:
         with pytest.raises(SpecError):
             validate(self.spec, [Op("connection"), Op("packet", (0,), ())])
 
-    def test_snapshot_marker_allowed_anywhere(self):
-        ops = [Op("snapshot"), Op("connection"), Op("snapshot"),
+    def test_snapshot_marker_interior_ok(self):
+        ops = [Op("connection"), Op("snapshot"),
                Op("packet", (0,), (b"x",))]
         validate(self.spec, ops)
+
+    def test_snapshot_marker_before_any_op_rejected(self):
+        ops = [Op("snapshot"), Op("connection"),
+               Op("packet", (0,), (b"x",))]
+        with pytest.raises(SpecError):
+            validate(self.spec, ops)
+
+    def test_trailing_snapshot_marker_rejected(self):
+        ops = [Op("connection"), Op("packet", (0,), (b"x",)),
+               Op("snapshot")]
+        with pytest.raises(SpecError):
+            validate(self.spec, ops)
+
+    def test_consecutive_snapshot_markers_rejected(self):
+        ops = [Op("connection"), Op("snapshot"), Op("snapshot"),
+               Op("packet", (0,), (b"x",))]
+        with pytest.raises(SpecError):
+            validate(self.spec, ops)
+
+    def test_normalize_markers_keeps_last_interior(self):
+        ops = [Op("snapshot"), Op("connection"), Op("snapshot"),
+               Op("packet", (0,), (b"a",)), Op("snapshot"),
+               Op("packet", (0,), (b"b",)), Op("snapshot")]
+        normalized = normalize_markers(ops)
+        validate(self.spec, normalized)
+        markers = [i for i, op in enumerate(normalized)
+                   if op.is_snapshot_marker()]
+        assert markers == [2]
+        payloads = [op.args for op in normalized if op.node == "packet"]
+        assert payloads == [(b"a",), (b"b",)]
 
 
 class TestBytecode:
@@ -118,6 +150,36 @@ class TestBytecode:
         blob = serialize(other, [Op("solo")])
         with pytest.raises(SpecError):
             deserialize(self.spec, blob)
+
+    def test_truncated_header_raises_spec_error(self):
+        with pytest.raises(SpecError):
+            deserialize(self.spec, b"NYXB\x01")
+
+    def test_truncated_body_raises_spec_error(self):
+        ops = [Op("connection"), Op("packet", (0,), (b"payload",))]
+        blob = serialize(self.spec, ops)
+        for cut in range(13, len(blob)):
+            with pytest.raises(SpecError):
+                deserialize(self.spec, blob[:cut])
+
+    def test_empty_blob_raises_spec_error(self):
+        with pytest.raises(SpecError):
+            deserialize(self.spec, b"")
+
+    def test_parse_skips_validation(self):
+        # parse() decodes structurally but accepts ill-typed sequences;
+        # deserialize() on the same blob must refuse.
+        ops = [Op("connection"), Op("packet", (0,), (b"x",)),
+               Op("snapshot")]  # trailing marker: ill-typed
+        blob = bytearray(serialize(self.spec, ops[:2]))
+        import struct
+        blob += struct.pack("<H", Spec.SNAPSHOT_NODE_ID)
+        blob[8:12] = struct.pack("<I", 3)  # patch op count
+        decoded = parse(self.spec, bytes(blob))
+        assert [o.node for o in decoded] == ["connection", "packet",
+                                             "snapshot"]
+        with pytest.raises(SpecError):
+            deserialize(self.spec, bytes(blob))
 
     @given(st.lists(st.binary(max_size=64), min_size=0, max_size=10))
     @settings(max_examples=50)
