@@ -19,7 +19,13 @@ enforced dynamically at (de)serialization time:
   ``src/repro`` (wall clock, host randomness, OS entropy, unordered
   set iteration — everything that would break deterministic
   interleaving and replayable fault plans);
-* :mod:`repro.analysis.corpus` — audit/repair persisted corpora.
+* :mod:`repro.analysis.corpus` — audit/repair persisted corpora;
+* :mod:`repro.analysis.resetlint` — reset-safety lint over the
+  snapshot machinery (``vm/``, ``guestos/``, ``emu/``, ``faults/``):
+  mutable state that no reset path restores;
+* :mod:`repro.analysis.sanitizer` — runtime reset sanitizer:
+  structural digest of the host object graph diffed across snapshot
+  restores, naming the exact attribute path that leaked.
 
 All of it is exposed as the ``repro analyze`` CLI subcommand and runs
 as a CI gate.
@@ -30,10 +36,19 @@ from repro.analysis.fixes import (FixResult, apply_fixes,
                                   eliminate_dead_ops, repair_blob,
                                   repair_ops)
 from repro.analysis.oplint import analyze_ops
+from repro.analysis.resetlint import (analyze_reset_source,
+                                      analyze_reset_tree,
+                                      allowed_reset_attrs, fixit_stubs,
+                                      tree_fixit_stubs)
+from repro.analysis.sanitizer import (ResetSanitizer, diff_digests,
+                                      structural_digest)
 from repro.analysis.speclint import analyze_spec
 
 __all__ = [
     "Diagnostic", "Report", "RULES", "Severity",
     "FixResult", "apply_fixes", "eliminate_dead_ops", "repair_blob",
     "repair_ops", "analyze_ops", "analyze_spec",
+    "analyze_reset_source", "analyze_reset_tree", "allowed_reset_attrs",
+    "fixit_stubs", "tree_fixit_stubs",
+    "ResetSanitizer", "diff_digests", "structural_digest",
 ]

@@ -15,6 +15,8 @@ Rule families::
     NYX01x  op-sequence lint (repro.analysis.oplint)
     NYX02x  determinism self-lint (repro.analysis.selflint)
     NYX03x  corpus audit     (repro.analysis.corpus)
+    NYX04x  reset-safety lint (repro.analysis.resetlint)
+    NYX05x  runtime reset sanitizer (repro.analysis.sanitizer)
 """
 
 from __future__ import annotations
@@ -75,6 +77,29 @@ RULES: Dict[str, tuple] = {
                "truncated header or body)", Severity.ERROR),
     "NYX031": ("corpus entry was built for a different spec (foreign "
                "checksum; cannot audit or repair)", Severity.WARNING),
+    # -- reset-safety lint --------------------------------------------------
+    "NYX040": ("mutable state with no reset path: attribute is mutated "
+               "after __init__ but its class has no reset/restore method "
+               "and no snapshot coverage", Severity.ERROR),
+    "NYX041": ("module-global mutable container in a guest-visible module "
+               "(caches survive every snapshot reset)", Severity.ERROR),
+    "NYX042": ("class-level mutable container (shared across instances; "
+               "survives every snapshot reset)", Severity.ERROR),
+    "NYX043": ("reset method skips an attribute: state mutated per-exec "
+               "is never restored by the class's reset path",
+               Severity.ERROR),
+    "NYX044": ("snapshot restore hook keeps mutable state: attribute "
+               "survives on_root_restore/on_incremental_restore",
+               Severity.WARNING),
+    "NYX045": ("module failed to parse; reset safety cannot be audited",
+               Severity.ERROR),
+    # -- runtime reset sanitizer -------------------------------------------
+    "NYX050": ("reset leak: attribute path diverged from the "
+               "post-root-snapshot digest after a restore", Severity.ERROR),
+    "NYX051": ("reset leak: attribute path appeared or disappeared "
+               "after a restore", Severity.ERROR),
+    "NYX052": ("sanitizer digest truncated at the depth cap; part of the "
+               "object graph is unaudited", Severity.INFO),
 }
 
 

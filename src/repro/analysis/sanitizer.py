@@ -1,0 +1,247 @@
+"""Runtime reset sanitizer (NYX05x): digest-diff the host object graph.
+
+The static lint (:mod:`.resetlint`) proves what it can see; this
+module checks the rest at runtime.  After the root snapshot is
+captured, the sanitizer walks the kernel / interceptor / device object
+graph and takes a **stable structural digest**: one entry per
+attribute path, ordered (attributes sorted by name, dict keys by their
+repr, sequences by index), with big leaves fingerprinted so the
+baseline stays small.  Re-running the walk after any later snapshot
+restore and diffing against that baseline names *exactly* which
+attribute path diverged:
+
+* NYX050 — a path changed value (classic reset leak),
+* NYX051 — a path appeared or disappeared (structural leak),
+* NYX052 — the walk hit the depth cap; part of the graph is unaudited.
+
+Cycles are expected (``fd table -> socket -> kernel`` style backrefs)
+and handled with an on-path visited set: revisiting an object on the
+current path digests as ``<cycle>`` deterministically instead of
+recursing forever.
+
+Deliberate cross-reset state is excluded via the same registry the
+static lint reads — ``# nyx: allow[reset]`` suppressions collected by
+:func:`repro.analysis.resetlint.allowed_reset_attrs` — plus a small
+set of structural backref names, so a suppression justified once in
+the source silences both prongs.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import pathlib
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Attribute names never walked: wiring backrefs (each root is walked
+#: on its own, or deliberately excluded like the snapshot machinery)
+#: and executor-managed callbacks.
+DEFAULT_SKIP_ATTRS = frozenset({
+    "machine", "kernel", "k", "interceptor", "injector", "coverage",
+    "watchdog",
+})
+#: Leaf reprs longer than this are fingerprinted, not stored.
+_LEAF_LIMIT = 96
+DEFAULT_MAX_DEPTH = 16
+
+_SCALARS = (type(None), bool, int, float, complex, str, bytes)
+
+
+def _fingerprint(value: Any) -> str:
+    text = repr(value)
+    if len(text) <= _LEAF_LIMIT:
+        return text
+    digest = hashlib.sha1(text.encode("utf-8", "backslashreplace"))
+    return "sha1:%s" % digest.hexdigest()
+
+
+def _attr_names(obj: Any) -> List[str]:
+    names: Set[str] = set()
+    if hasattr(obj, "__dict__"):
+        names.update(obj.__dict__)
+    for klass in type(obj).__mro__:
+        names.update(getattr(klass, "__slots__", ()))
+    return sorted(n for n in names if not n.startswith("__"))
+
+
+def structural_digest(roots: Dict[str, Any],
+                      allowed: Iterable[Tuple[str, str]] = (),
+                      skip_attrs: Iterable[str] = DEFAULT_SKIP_ATTRS,
+                      max_depth: int = DEFAULT_MAX_DEPTH,
+                      ) -> Tuple[Dict[str, str], bool]:
+    """Digest an object graph into ``{path: fingerprint}``.
+
+    Returns ``(digest, truncated)`` where ``truncated`` reports that
+    some path hit ``max_depth`` (those paths digest as ``<depth>`` —
+    stable, but blind to deeper divergence).
+    """
+    allowed = set(allowed)
+    skip = set(skip_attrs)
+    entries: Dict[str, str] = {}
+    truncated = [False]
+
+    def skip_attr(obj: Any, name: str) -> bool:
+        if name in skip:
+            return True
+        cls = type(obj).__name__
+        return (cls, name) in allowed or (cls, "*") in allowed
+
+    def walk(path: str, obj: Any, depth: int, on_path: Set[int]) -> None:
+        if isinstance(obj, _SCALARS) or isinstance(obj, enum.Enum):
+            entries[path] = _fingerprint(obj)
+            return
+        if callable(obj) or isinstance(obj, type):
+            return  # methods, callbacks, classes: not state
+        if id(obj) in on_path:
+            entries[path] = "<cycle>"
+            return
+        if depth >= max_depth:
+            entries[path] = "<depth>"
+            truncated[0] = True
+            return
+        on_path.add(id(obj))
+        try:
+            if isinstance(obj, dict):
+                entries[path] = "<dict:%d>" % len(obj)
+                for key in sorted(obj, key=repr):
+                    walk("%s[%r]" % (path, key), obj[key], depth + 1,
+                         on_path)
+            elif isinstance(obj, (list, tuple)):
+                entries[path] = "<seq:%d>" % len(obj)
+                for index, item in enumerate(obj):
+                    walk("%s[%d]" % (path, index), item, depth + 1,
+                         on_path)
+            elif isinstance(obj, (set, frozenset, bytearray)):
+                # Unordered / flat: digest as one sorted leaf.
+                if isinstance(obj, (set, frozenset)):
+                    entries[path] = _fingerprint(sorted(obj, key=repr))
+                else:
+                    entries[path] = _fingerprint(bytes(obj))
+            elif hasattr(obj, "__dict__") or hasattr(type(obj),
+                                                     "__slots__"):
+                entries[path] = "<%s>" % type(obj).__name__
+                for name in _attr_names(obj):
+                    if skip_attr(obj, name):
+                        continue
+                    try:
+                        value = getattr(obj, name)
+                    except AttributeError:
+                        continue  # unset slot
+                    if callable(value):
+                        continue
+                    walk("%s.%s" % (path, name), value, depth + 1,
+                         on_path)
+            else:
+                # deque and friends: iterate if possible, else repr.
+                try:
+                    items = list(obj)
+                except TypeError:
+                    entries[path] = _fingerprint(obj)
+                else:
+                    entries[path] = "<seq:%d>" % len(items)
+                    for index, item in enumerate(items):
+                        walk("%s[%d]" % (path, index), item, depth + 1,
+                             on_path)
+        finally:
+            on_path.discard(id(obj))
+
+    for name in sorted(roots):
+        walk(name, roots[name], 0, set())
+    return entries, truncated[0]
+
+
+def diff_digests(baseline: Dict[str, str],
+                 current: Dict[str, str]) -> List[Diagnostic]:
+    """NYX050/NYX051 findings for every path that diverged."""
+    diags: List[Diagnostic] = []
+    for path in sorted(set(baseline) | set(current)):
+        before = baseline.get(path)
+        after = current.get(path)
+        if before == after:
+            continue
+        if before is None:
+            diags.append(Diagnostic(
+                "NYX051", "reset leak at %s: path appeared after "
+                "restore (now %s)" % (path, after)))
+        elif after is None:
+            diags.append(Diagnostic(
+                "NYX051", "reset leak at %s: path disappeared after "
+                "restore (was %s)" % (path, before)))
+        else:
+            diags.append(Diagnostic(
+                "NYX050", "reset leak at %s: %s -> %s"
+                % (path, before, after)))
+    return diags
+
+
+def _default_allowed() -> Set[Tuple[str, str]]:
+    from repro.analysis.resetlint import allowed_reset_attrs
+    import repro
+    return allowed_reset_attrs(str(pathlib.Path(repro.__file__).parent))
+
+
+class ResetSanitizer:
+    """Digest-diff checker for the post-restore object graph.
+
+    Capture a baseline right after the root snapshot exists (clean,
+    just-restored state), then :meth:`check` after any later restore;
+    every digest divergence is a reset leak with its exact path.
+    """
+
+    def __init__(self, roots: Dict[str, Any],
+                 allowed: Optional[Iterable[Tuple[str, str]]] = None,
+                 skip_attrs: Iterable[str] = DEFAULT_SKIP_ATTRS,
+                 max_depth: int = DEFAULT_MAX_DEPTH) -> None:
+        self.roots = dict(roots)
+        self.allowed = set(_default_allowed() if allowed is None
+                           else allowed)
+        self.skip_attrs = set(skip_attrs)
+        self.max_depth = max_depth
+        self.baseline: Optional[Dict[str, str]] = None
+        self._truncation_flagged = False
+
+    @classmethod
+    def for_executor(cls, executor, **kwargs) -> "ResetSanitizer":
+        """Sanitizer over a :class:`NyxExecutor`'s host object graph.
+
+        Roots are the kernel, the interceptor and the device board —
+        everything per-exec code touches.  The snapshot manager, the
+        clock and guest memory are deliberately not roots: they *are*
+        the reset mechanism and keep cross-exec bookkeeping.
+        """
+        roots = {
+            "kernel": executor.kernel,
+            "interceptor": executor.interceptor,
+            "devices": executor.machine.devices,
+        }
+        return cls(roots, **kwargs)
+
+    def _digest(self) -> Tuple[Dict[str, str], bool]:
+        return structural_digest(self.roots, allowed=self.allowed,
+                                 skip_attrs=self.skip_attrs,
+                                 max_depth=self.max_depth)
+
+    def capture_baseline(self) -> Dict[str, str]:
+        self.baseline, self._baseline_truncated = self._digest()
+        return self.baseline
+
+    def check(self) -> List[Diagnostic]:
+        """Digest now and diff against the baseline.
+
+        Returns NYX050/NYX051 errors for leaks, plus at most one
+        NYX052 info the first time the depth cap truncates the walk.
+        """
+        if self.baseline is None:
+            raise RuntimeError("capture_baseline() before check()")
+        current, truncated = self._digest()
+        diags = diff_digests(self.baseline, current)
+        if ((truncated or self._baseline_truncated)
+                and not self._truncation_flagged):
+            self._truncation_flagged = True
+            diags.append(Diagnostic(
+                "NYX052", "digest truncated at depth %d; deepen the "
+                "cap or prune the graph to audit everything"
+                % self.max_depth))
+        return diags

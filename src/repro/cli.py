@@ -10,7 +10,9 @@ Commands:
 * ``replay <target> <file.nyx>`` — replay a persisted input (e.g. a
   crash reproducer) against a fresh target VM.
 * ``analyze`` — static diagnostics: spec lint, corpus dataflow audit
-  (with ``--fix`` fix-its) and the determinism self-lint.
+  (with ``--fix`` fix-its), the determinism self-lint, the
+  reset-safety lint (``--reset``) and the runtime reset sanitizer
+  (``--sanitize``).
 """
 
 from __future__ import annotations
@@ -50,7 +52,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                                  asan=not args.no_asan,
                                  fault_rate=args.fault_rate,
                                  fault_plan=args.fault_plan,
-                                 exec_timeout=args.exec_timeout)
+                                 exec_timeout=args.exec_timeout,
+                                 sanitize_every=args.sanitize_resets)
     except PlanError as err:
         print("invalid fault plan: %s" % err, file=sys.stderr)
         return 2
@@ -77,6 +80,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.out:
         written = save_campaign(handles.fuzzer, args.out)
         print("saved %d files to %s" % (written, args.out))
+    if stats.sanitizer_checks:
+        print("reset sanitizer: %d checks, %d leaks"
+              % (stats.sanitizer_checks, stats.sanitizer_leaks))
+        for diag in handles.fuzzer.sanitizer_findings:
+            print("  %s" % diag.format())
+        if stats.sanitizer_leaks:
+            return 1
     return 0
 
 
@@ -112,6 +122,8 @@ def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
         print("  CRASH %s" % bug)
     if args.distill:
         print("(--distill is ignored with --workers > 1)")
+    if args.sanitize_resets is not None:
+        print("(--sanitize-resets is ignored with --workers > 1)")
     if args.fault_plan:
         print("(--fault-plan is ignored with --workers > 1; each worker "
               "derives its plan from --seed and --fault-rate)")
@@ -208,13 +220,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.spec.nodes import default_network_spec
     run_spec = args.spec
     self_root = args.self_root
+    reset_root = args.reset_root
     run_corpus = args.corpus is not None
-    if not (run_spec or self_root or run_corpus):
-        # Bare `repro analyze`: the two checks that need no inputs.
+    run_sanitize = args.sanitize is not None
+    if not (run_spec or self_root or run_corpus or reset_root
+            or run_sanitize):
+        # Bare `repro analyze`: the checks that need no inputs.
         run_spec = True
         self_root = "src/repro"
-    if args.fix and not run_corpus:
-        print("note: --fix only applies to --corpus entries",
+        reset_root = "src/repro"
+    if args.fix and not (run_corpus or reset_root):
+        print("note: --fix only applies to --corpus and --reset",
               file=sys.stderr)
     spec = default_network_spec()
     report = Report()
@@ -226,17 +242,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         from repro.analysis.selflint import analyze_source_tree
         report.extend(analyze_source_tree(self_root))
         report.meta["self_root"] = self_root
+    if reset_root:
+        from repro.analysis.resetlint import (analyze_reset_tree,
+                                              tree_fixit_stubs)
+        report.extend(analyze_reset_tree(reset_root))
+        report.meta["reset_root"] = reset_root
+        if args.fix:
+            for where, stub in sorted(tree_fixit_stubs(reset_root).items()):
+                print("--- fix-it for %s ---" % where)
+                print(stub)
     if run_corpus:
         from repro.analysis.corpus import audit_corpus
         audit = audit_corpus(args.corpus, spec=spec, fix=args.fix)
         report.extend(audit.diagnostics)
         report.meta.update(audit.meta)
         report.meta["corpus"] = args.corpus
+    if run_sanitize:
+        code = _analyze_sanitize(args.sanitize, report)
+        if code:
+            return code
     print(report.format_text())
     if args.json:
         report.write_json(args.json)
         print("wrote %s" % args.json)
     return report.exit_code()
+
+
+def _analyze_sanitize(target: str, report) -> int:
+    """``analyze --sanitize``: short seeded campaign with the reset
+    sanitizer armed; its NYX05x findings land in the report."""
+    from repro.fuzz.campaign import build_campaign
+    from repro.targets import PROFILES
+    profile = PROFILES.get(target)
+    if profile is None:
+        print("unknown target %r (see `repro targets`)" % target,
+              file=sys.stderr)
+        return 2
+    handles = build_campaign(profile, policy="balanced", seed=1,
+                             time_budget=30.0, max_execs=300,
+                             sanitize_every=50)
+    stats = handles.fuzzer.run_campaign()
+    report.extend(handles.fuzzer.sanitizer_findings)
+    report.meta["sanitize_target"] = target
+    report.meta["sanitizer_checks"] = stats.sanitizer_checks
+    report.meta["sanitizer_leaks"] = stats.sanitizer_leaks
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "(fp1:<seed>:<rate-ppm>); overrides --fault-rate")
     fuzz.add_argument("--exec-timeout", type=float, default=None,
                       help="per-exec watchdog budget in simulated seconds")
+    fuzz.add_argument("--sanitize-resets", nargs="?", const=250, type=int,
+                      default=None, metavar="N",
+                      help="digest-diff the host object graph against the "
+                           "post-root-snapshot baseline every N execs "
+                           "(default N: 250); exits 1 on any reset leak")
 
     mario = sub.add_parser("mario", help="Table 4 on one level")
     mario.add_argument("level", nargs="?", default="1-1")
@@ -304,8 +359,18 @@ def build_parser() -> argparse.ArgumentParser:
                          const="src/repro", default=None, metavar="PATH",
                          help="determinism self-lint over a source tree "
                               "(NYX02x; default PATH: src/repro)")
+    analyze.add_argument("--reset", dest="reset_root", nargs="?",
+                         const="src/repro", default=None, metavar="PATH",
+                         help="reset-safety lint over a source tree "
+                              "(NYX04x; default PATH: src/repro)")
+    analyze.add_argument("--sanitize", nargs="?", const="lighttpd",
+                         default=None, metavar="TARGET",
+                         help="run a short seeded campaign with the "
+                              "runtime reset sanitizer armed (NYX05x; "
+                              "default TARGET: lighttpd)")
     analyze.add_argument("--fix", action="store_true",
-                         help="rewrite repairable --corpus entries in place")
+                         help="rewrite repairable --corpus entries in "
+                              "place; with --reset, print fix-it stubs")
     analyze.add_argument("--json", metavar="PATH",
                          help="write the machine-readable report here")
     return parser

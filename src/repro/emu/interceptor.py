@@ -47,7 +47,9 @@ class Interceptor:
         self.listener_sids: Dict[int, object] = {}
         #: Hooked datagram socket ids mapped to their address.
         self.dgram_sids: Dict[int, object] = {}
-        self._seen_any_bind = False
+        # One-way latch: auto-mode surface placement ("first bind
+        # wins") must survive resets by design.
+        self._seen_any_bind = False  # nyx: allow[reset]
         self._conns: Dict[int, _ConnState] = {}
         self._sid_to_conn: Dict[int, int] = {}
         #: Connections fabricated but not yet accepted by the target.
@@ -56,10 +58,13 @@ class Interceptor:
         #: before the fuzzer opened a connection id for them.
         self._unbound_client_sids: List[int] = []
         #: Set when the target first attempts to read fuzz input —
-        #: the automatic root-snapshot placement signal (§3.3).
-        self.saw_first_read = False
-        self.stats_packets = 0
-        self.stats_bytes = 0
+        #: the automatic root-snapshot placement signal (§3.3).  A
+        #: one-way latch: deliberately never reset.
+        self.saw_first_read = False  # nyx: allow[reset]
+        # Cumulative campaign counters, read via deltas; resetting
+        # them would zero the fuzzer's throughput accounting.
+        self.stats_packets = 0  # nyx: allow[reset]
+        self.stats_bytes = 0  # nyx: allow[reset]
         #: Optional :class:`~repro.faults.injector.FaultInjector`: when
         #: set, the emulated network paths inject guest-visible faults
         #: (short reads, EAGAIN bursts, resets, partial sends, stalls).
@@ -96,6 +101,26 @@ class Interceptor:
             sid for sid in self._unbound_client_sids
             if sid in self.kernel.sockets]
         self._client_cursor = 0
+        self.reset_stale_surface()
+
+    def reset_stale_surface(self) -> None:
+        """Drop surface sockets that did not survive the last restore.
+
+        A surface-matching ``bind`` *during* an execution lands in
+        :attr:`listener_sids`/:attr:`dgram_sids`, but the guest socket
+        behind it is rolled back by the snapshot reset.  Keeping the
+        stale sid skews the round-robin listener choice in
+        :meth:`open_connection` (and EBADFs on lookup), so the same
+        input diverges between executions — exactly the residual-state
+        corruption the reset invariant forbids.  Boot-time surface
+        sockets are part of the root image and always survive.
+        """
+        self.listener_sids = {
+            sid: addr for sid, addr in self.listener_sids.items()
+            if sid in self.kernel.sockets}
+        self.dgram_sids = {
+            sid: addr for sid, addr in self.dgram_sids.items()
+            if sid in self.kernel.sockets}
 
     def open_connection(self, conn_id: int) -> None:
         """Bind connection id to a new hooked connection.

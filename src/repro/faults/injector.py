@@ -27,8 +27,16 @@ from repro.faults.plan import RECV_FAULT_WEIGHTS, FaultKind, FaultPlan
 from repro.sim.rng import DeterministicRandom
 
 
-class FaultInjector:
-    """Draws fault decisions for one campaign instance."""
+class FaultInjector:  # nyx: allow[reset]
+    """Draws fault decisions for one campaign instance.
+
+    Reset-lint suppression: the fault stream is *campaign*-scoped by
+    design — the rng cursor, burst state and counters deliberately
+    survive snapshot restores so a ``fp1:<seed>:<rate-ppm>`` plan
+    replays bit-identically across the whole campaign, not per exec.
+    The restore hooks charge latency / flip snapshot bits; they never
+    touch guest state.
+    """
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan

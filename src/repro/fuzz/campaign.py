@@ -74,6 +74,7 @@ def build_campaign(profile: TargetProfile,
                    fault_rate: float = 0.0,
                    fault_plan: Optional[str] = None,
                    exec_timeout: Optional[float] = None,
+                   sanitize_every: Optional[int] = None,
                    seeds=None) -> CampaignHandles:
     """Boot the target in a fresh VM and wire up a Nyx-Net fuzzer.
 
@@ -81,7 +82,8 @@ def build_campaign(profile: TargetProfile,
     footnote); ``heap_slack`` then controls how much silent corruption
     the initial heap layout absorbs.  ``fault_rate`` (or an explicit
     ``fault_plan`` id) arms the fault injector on the network and
-    snapshot paths; ``exec_timeout`` arms the per-exec watchdog.
+    snapshot paths; ``exec_timeout`` arms the per-exec watchdog;
+    ``sanitize_every`` arms the NYX05x reset sanitizer every N execs.
     """
     machine, kernel, interceptor = boot_target(
         profile, asan=asan, memory_bytes=memory_bytes,
@@ -104,7 +106,8 @@ def build_campaign(profile: TargetProfile,
     config = FuzzerConfig(policy=policy, seed=seed,
                           time_budget=time_budget, max_execs=max_execs,
                           iterations_per_snapshot=iterations_per_snapshot,
-                          dictionary=tuple(profile.dictionary))
+                          dictionary=tuple(profile.dictionary),
+                          sanitize_every=sanitize_every)
     fuzzer = NyxNetFuzzer(executor,
                           seeds if seeds is not None else profile.seeds(),
                           config)

@@ -145,9 +145,12 @@ class NyxExecutor:
             # Bottom of the ladder: run the whole input from the root.
             return self._run(input_, start=0, snapshot_op_index=None)
         # Rebind the interceptor's host-side view of the guest sockets
-        # exactly as it was at the snapshot point.
+        # exactly as it was at the snapshot point.  Suffix runs skip
+        # reset_for_test (the snapshot point is mid-test), so stale
+        # surface sockets from the previous suffix run are pruned here.
         self.interceptor._conns = copy.deepcopy(state.conns)
         self.interceptor._sid_to_conn = dict(state.sid_to_conn)
+        self.interceptor.reset_stale_surface()
         result = self._run(input_, start=state.resume_index,
                            snapshot_op_index=None,
                            values_preassigned=state.values_produced)

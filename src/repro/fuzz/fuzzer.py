@@ -54,6 +54,10 @@ class FuzzerConfig:
     #: harnesses with more expensive resets on the same executor
     #: (e.g. IJON restarting the game process every run).
     per_exec_surcharge: float = 0.0
+    #: Run the reset sanitizer (digest-diff of the host object graph
+    #: against the post-root-snapshot baseline) every N executions.
+    #: ``None`` disables it.  See docs/robustness.md.
+    sanitize_every: Optional[int] = None
 
 
 class NyxNetFuzzer:
@@ -76,6 +80,12 @@ class NyxNetFuzzer:
         #: The entry most recently scheduled by :meth:`step` — the
         #: parallel supervisor's suspect when a step raises.
         self.last_entry: Optional[QueueEntry] = None
+        #: Armed by :meth:`begin_campaign` when
+        #: :attr:`FuzzerConfig.sanitize_every` is set.
+        self.sanitizer = None
+        #: NYX05x diagnostics the sanitizer reported (capped).
+        self.sanitizer_findings: list = []
+        self._next_sanitize: Optional[int] = None
 
     @property
     def clock(self):
@@ -97,6 +107,8 @@ class NyxNetFuzzer:
         if self._seeded:
             return
         self._seeded = True
+        if self.config.sanitize_every:
+            self._arm_sanitizer()
         self._import_seeds()
 
     def step(self) -> bool:
@@ -118,10 +130,16 @@ class NyxNetFuzzer:
         self.last_entry = entry
         self._fuzz_entry(entry)
         self.stats.record_execs(self.clock.now)
+        if (self._next_sanitize is not None
+                and self.stats.execs >= self._next_sanitize):
+            self._sanitize_check()
         return True
 
     def finish_campaign(self) -> CampaignStats:
         """Stamp the final counters and return the stats."""
+        if self.sanitizer is not None:
+            # One last check so even short campaigns audit their resets.
+            self._sanitize_check()
         self.stats.end_time = self.clock.now
         self.stats.queue_size = len(self.corpus)
         self.stats.snapshot_rebuilds = self.executor.snapshot_rebuilds
@@ -162,6 +180,39 @@ class NyxNetFuzzer:
             return True
         return (self.config.stop_on_first_crash
                 and len(self.crashes) > 0)
+
+    # ------------------------------------------------------------------
+    # reset sanitizer (NYX05x)
+    # ------------------------------------------------------------------
+
+    def _arm_sanitizer(self) -> None:
+        """Capture the post-root-snapshot digest baseline.
+
+        The baseline is taken from the canonical reset state — root
+        restored, interceptor per-test state dropped — which is exactly
+        the state every later check re-establishes before digesting.
+        """
+        from repro.analysis.sanitizer import ResetSanitizer
+        self.executor.finish_snapshot_cycle()
+        self.executor.interceptor.reset_for_test()
+        self.sanitizer = ResetSanitizer.for_executor(self.executor)
+        self.sanitizer.capture_baseline()
+        self._next_sanitize = self.stats.execs + self.config.sanitize_every
+
+    def _sanitize_check(self) -> None:
+        """Reset to the root and diff the object graph digest."""
+        self.executor.finish_snapshot_cycle()
+        self.executor.interceptor.reset_for_test()
+        findings = self.sanitizer.check()
+        self.stats.sanitizer_checks += 1
+        leaks = [d for d in findings if d.code in ("NYX050", "NYX051")]
+        self.stats.sanitizer_leaks += len(leaks)
+        room = 100 - len(self.sanitizer_findings)
+        if room > 0:
+            self.sanitizer_findings.extend(findings[:room])
+        if self.config.sanitize_every:
+            self._next_sanitize = (self.stats.execs
+                                   + self.config.sanitize_every)
 
     # ------------------------------------------------------------------
     # per-entry fuzzing

@@ -54,6 +54,10 @@ class CampaignStats:
     #: Ops removed from trimmed inputs by execution-driven packet
     #: dropping (one exec per candidate removal).
     trim_ops_exec: int = 0
+    #: Reset-sanitizer digest checks performed (``--sanitize-resets``).
+    sanitizer_checks: int = 0
+    #: Reset leaks (NYX050/NYX051 findings) those checks reported.
+    sanitizer_leaks: int = 0
 
     def record_coverage(self, now: float, edges: int) -> None:
         if not self.coverage_series or self.coverage_series[-1][1] != edges:
@@ -147,6 +151,8 @@ class CampaignStats:
             "quarantined_inputs": self.quarantined_inputs,
             "trim_ops_static": self.trim_ops_static,
             "trim_ops_exec": self.trim_ops_exec,
+            "sanitizer_checks": self.sanitizer_checks,
+            "sanitizer_leaks": self.sanitizer_leaks,
         }
 
     # -- multi-worker rollup ------------------------------------------------
@@ -183,6 +189,8 @@ class CampaignStats:
             merged.quarantined_inputs += part.quarantined_inputs
             merged.trim_ops_static += part.trim_ops_static
             merged.trim_ops_exec += part.trim_ops_exec
+            merged.sanitizer_checks += part.sanitizer_checks
+            merged.sanitizer_leaks += part.sanitizer_leaks
             for key, when in part.crash_times.items():
                 if key not in merged.crash_times or when < merged.crash_times[key]:
                     merged.crash_times[key] = when

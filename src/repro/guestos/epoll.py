@@ -20,7 +20,7 @@ EPOLLHUP = 0x010
 
 
 @dataclass
-class EpollInstance:
+class EpollInstance:  # nyx: state[memory]
     """An epoll interest list, keyed by registered fd."""
 
     eid: int

@@ -29,7 +29,7 @@ class FdKind(enum.Enum):
 
 
 @dataclass
-class FdEntry:
+class FdEntry:  # nyx: state[memory]
     """One open file description as seen by a process."""
 
     kind: FdKind
@@ -40,7 +40,7 @@ class FdEntry:
 
 
 @dataclass
-class FdTable:
+class FdTable:  # nyx: state[memory]
     """A process's descriptor table (fds 0..2 reserved for stdio)."""
 
     entries: Dict[int, FdEntry] = field(default_factory=dict)

@@ -19,7 +19,7 @@ from repro.vm.disk import SECTOR_SIZE, EmulatedDisk
 
 
 @dataclass
-class FsNode:
+class FsNode:  # nyx: state[memory]
     """Metadata for one file: its size and the sectors holding it."""
 
     path: str
@@ -28,7 +28,7 @@ class FsNode:
 
 
 @dataclass
-class FileSystem:
+class FileSystem:  # nyx: state[memory]
     """Pure-state filesystem metadata (content lives on the disk)."""
 
     nodes: Dict[str, FsNode] = field(default_factory=dict)

@@ -41,7 +41,7 @@ REGION_SLACK = 2.0
 
 
 @dataclass
-class KernelGlobals:
+class KernelGlobals:  # nyx: state[memory]
     """Global kernel tables (one serializable component)."""
 
     next_pid: int = 1
@@ -54,7 +54,7 @@ class KernelGlobals:
 
 
 @dataclass
-class Pipe:
+class Pipe:  # nyx: state[memory]
     """An anonymous pipe: byte chunks from write end to read end."""
 
     pipe_id: int
@@ -102,8 +102,12 @@ class Kernel:
         self.epolls: Dict[int, EpollInstance] = {}
         self.pipes: Dict[int, Pipe] = {}
         self.fs = FileSystem()
-        self.crash_reports: List[CrashReport] = []
-        self.log: List[str] = []
+        # Drained by the executor after every run; crash reports must
+        # outlive the snapshot reset that follows the crashing exec.
+        self.crash_reports: List[CrashReport] = []  # nyx: allow[reset]
+        # Host-side debug log (append-only diagnostics, never read by
+        # guest code or coverage).
+        self.log: List[str] = []  # nyx: allow[reset]
         #: Installed network interceptor (Nyx-Net emulation layer).
         self.interceptor: Optional[Any] = None
         #: Executor watchdog: when set, :meth:`run` stops scheduling new
@@ -114,10 +118,14 @@ class Kernel:
         #: Host-side outboxes for data sent to external peers.
         self._outbox: Dict[int, List[bytes]] = {}
         #: Ports where the *fuzzer* acts as a server (client fuzzing).
-        self.external_servers: Dict[Address, bool] = {}
+        #: Boot-time harness configuration, registered before the root
+        #: snapshot and constant for the campaign.
+        self.external_servers: Dict[Address, bool] = {}  # nyx: allow[reset]
         #: Whether externally delivered stream data coalesces (real TCP).
         self.coalesce_external: bool = True
-        self._activity = 0
+        # Monotonic progress counter consumed via deltas (idle
+        # detection); absolute value is meaningless by design.
+        self._activity = 0  # nyx: allow[reset]
         self._touched: set = set()
 
         # Memory-backed state directory.
@@ -215,9 +223,13 @@ class Kernel:
             elif key.startswith("pipe:"):
                 self.pipes[int(key[5:])] = obj
         self._touched.clear()
-        # Host-side caches referencing guest objects are now stale.
-        self._outbox = {sid: box for sid, box in self._outbox.items()
-                        if sid in self.sockets}
+        # Data queued for external peers belongs to the execution that
+        # produced it; a restore rolls that execution back, so keeping
+        # *any* of it (even for sockets that survive the restore, e.g.
+        # a boot-time client connection that sent before the fuzzer
+        # bound it) would leak phantom bytes across resets.  Harnesses
+        # that read the outbox (baselines) drain it before resetting.
+        self._outbox = {}
 
     # ------------------------------------------------------------------
     # process management

@@ -52,7 +52,7 @@ class Program:
 
 
 @dataclass
-class Process:
+class Process:  # nyx: state[memory]
     """A guest process: pid, fd table, program, liveness."""
 
     pid: int

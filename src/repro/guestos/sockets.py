@@ -45,7 +45,7 @@ Address = Union[int, str]  # TCP/UDP port number or unix socket path
 
 
 @dataclass
-class Chunk:
+class Chunk:  # nyx: state[memory]
     """One send()'s worth of data, optionally with a datagram source."""
 
     data: bytes
@@ -53,7 +53,7 @@ class Chunk:
 
 
 @dataclass
-class Socket:
+class Socket:  # nyx: state[memory]
     """Pure-state socket object; identity is the socket id ``sid``."""
 
     sid: int

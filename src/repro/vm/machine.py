@@ -42,9 +42,13 @@ class Machine:
         self.allocator = RegionAllocator(self.memory)
         self.snapshots = SnapshotManager(
             self.memory, self.devices, self.disk, self.clock, self.costs)
-        self._on_restore: List[Callable[[], None]] = []
-        self._hypercall_log: List[HypercallEvent] = []
-        self._hypercall_handler: Optional[Callable[[HypercallEvent], None]] = None
+        # Boot-time host wiring (restore callbacks, hypercall handler):
+        # registered once before the root snapshot, never per-exec.
+        self._on_restore: List[Callable[[], None]] = []  # nyx: allow[reset]
+        # Fuzzer-facing event log, consumed via drain_hypercalls();
+        # hypervisor-side diagnostics, not guest state.
+        self._hypercall_log: List[HypercallEvent] = []  # nyx: allow[reset]
+        self._hypercall_handler: Optional[Callable[[HypercallEvent], None]] = None  # nyx: allow[reset]
         #: Incremental restores that failed validation and fell back to
         #: the root snapshot (see :meth:`reset_for_next_test`).
         self.snapshot_corruptions = 0

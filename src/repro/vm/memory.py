@@ -28,8 +28,13 @@ class MemoryError_(Exception):
     """Raised on out-of-range guest physical accesses."""
 
 
-class GuestMemory:
+class GuestMemory:  # nyx: allow[reset]
     """Guest physical memory: a page array plus dirty logging.
+
+    Reset-lint suppression: the page array and dirty log *are* the
+    snapshot substrate — the SnapshotManager rewrites pages and drains
+    the dirty log on every restore; there is nothing above it to reset
+    through.
 
     Parameters
     ----------
@@ -201,14 +206,17 @@ class Region:
         return self.num_pages * PAGE_SIZE
 
 
-class RegionAllocator:
+class RegionAllocator:  # nyx: allow[reset]
     """Bump allocator handing out page-aligned regions of guest memory.
 
     The guest OS stores every piece of mutable state (process control
     blocks, socket buffers, target state machines) in regions, so that
     whole-VM snapshots of the page array genuinely capture and restore
     guest state.  The bump pointer itself is part of guest state and is
-    saved/restored through :meth:`state` / :meth:`set_state`.
+    saved/restored through :meth:`state` / :meth:`set_state` — the
+    reset-lint suppression above records that
+    ``Kernel.reload_from_memory`` restores it on every snapshot
+    restore, just not through a method name the lint recognises.
     """
 
     def __init__(self, memory: GuestMemory, first_page: int = 0) -> None:
