@@ -6,7 +6,9 @@ Commands:
 * ``fuzz <target>`` — run a Nyx-Net campaign against one target.
 * ``mario <level>`` — run the Table 4 time-to-solve comparison on one
   Super Mario level.
-* ``bench`` — run the ProFuzzBench matrix and print Tables 1-3.
+* ``bench`` — hot-path performance benchmarks on both clocks, with a
+  committed-baseline regression gate (``--check``); ``--matrix`` runs
+  the ProFuzzBench matrix and prints Tables 1-3 instead.
 * ``replay <target> <file.nyx>`` — replay a persisted input (e.g. a
   crash reproducer) against a fresh target VM.
 * ``analyze`` — static diagnostics: spec lint, corpus dataflow audit
@@ -164,6 +166,13 @@ def _cmd_mario(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.matrix:
+        return _bench_matrix(args)
+    return _bench_perf(args)
+
+
+def _bench_matrix(args: argparse.Namespace) -> int:
+    """``bench --matrix``: the ProFuzzBench campaign matrix (Tables 1-3)."""
     from repro.bench.profuzzbench import BenchConfig, run_matrix
     from repro.bench.reporting import (coverage_table, crash_table,
                                        throughput_table)
@@ -174,6 +183,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   throughput_table(matrix)):
         print()
         print(table)
+    return 0
+
+
+def _bench_perf(args: argparse.Namespace) -> int:
+    """``bench``: hot-path performance benchmarks (docs/performance.md).
+
+    Runs the micro suite and the macro campaign benchmark, writes
+    ``BENCH_micro.json`` / ``BENCH_fuzz.json``, and with ``--check``
+    gates the results against a committed baseline.
+    """
+    import os
+
+    from repro.perf import (compare_reports, load_report, run_macro,
+                            run_micro, write_report)
+    from repro.perf.report import make_baseline
+    os.makedirs(args.out, exist_ok=True)
+    run_micro_suite = not args.macro_only
+    run_macro_suite = not args.micro_only
+    baseline_report = None
+    if args.check is not None and os.path.exists(args.baseline):
+        baseline_report = load_report(args.baseline)
+    micro = macro = None
+    if run_micro_suite:
+        print("running micro benchmarks%s..."
+              % (" (quick)" if args.quick else ""))
+        micro = run_micro(quick=args.quick)
+        for name, row in sorted(micro["benchmarks"].items()):
+            extra = ""
+            if "pages_dirtied" in row:
+                extra = "  (%d pages dirtied)" % row["pages_dirtied"]
+            print("  %-28s %12.0f/s%s" % (name, row["per_sec"], extra))
+        write_report(os.path.join(args.out, "BENCH_micro.json"), micro)
+    if run_macro_suite:
+        if args.execs is not None:
+            execs = args.execs
+        elif baseline_report is not None:
+            # Gated runs must match the baseline's campaign config or
+            # the sim-clock comparison is meaningless (sim metrics are
+            # a pure function of the configuration).
+            execs = int((baseline_report.get("macro") or {}).get(
+                "execs", 2000))
+        else:
+            execs = 400 if args.quick else 2000
+        print("running macro benchmark: %s, seed %d, %d execs%s..."
+              % (args.target, args.seed, execs,
+                 ", sanitized" if args.sanitize_resets is not None else ""))
+        macro = run_macro(target=args.target, seed=args.seed, execs=execs,
+                          sanitize_every=args.sanitize_resets)
+        print("  %d execs in %.2fs wall (%.1f execs/s wall, "
+              "%.1f execs/s sim), %d edges"
+              % (macro["execs"], macro["wall_seconds"],
+                 macro["wall_execs_per_sec"], macro["sim_execs_per_sec"],
+                 macro["final_edges"]))
+        write_report(os.path.join(args.out, "BENCH_fuzz.json"), macro)
+        if args.sanitize_resets is not None:
+            print("  reset sanitizer: %d checks, %d leaks"
+                  % (macro["sanitizer_checks"], macro["sanitizer_leaks"]))
+            if macro["sanitizer_leaks"]:
+                print("FAIL: sanitized bench run reported reset leaks",
+                      file=sys.stderr)
+                return 1
+    if args.write_baseline:
+        write_report(args.baseline, make_baseline(micro, macro))
+        print("wrote baseline %s" % args.baseline)
+    if args.check is not None:
+        if baseline_report is None:
+            print("no baseline at %s (use --write-baseline first)"
+                  % args.baseline, file=sys.stderr)
+            return 2
+        comparison = compare_reports(micro, macro,
+                                     baseline_report, args.check)
+        print(comparison.format_text())
+        if not comparison.ok:
+            return 1
     return 0
 
 
@@ -337,8 +420,41 @@ def build_parser() -> argparse.ArgumentParser:
     mario.add_argument("--seed", type=int, default=0)
     mario.add_argument("--execs", type=int, default=10000)
 
-    bench = sub.add_parser("bench", help="run the campaign matrix")
-    bench.add_argument("--targets", help="comma list (default: all 13)")
+    bench = sub.add_parser(
+        "bench", help="hot-path benchmarks (docs/performance.md)")
+    bench.add_argument("--matrix", action="store_true",
+                       help="run the ProFuzzBench campaign matrix "
+                            "(Tables 1-3) instead of the perf harness")
+    bench.add_argument("--targets", help="with --matrix: comma list "
+                                         "(default: all 13)")
+    bench.add_argument("--quick", action="store_true",
+                       help="short measurement windows (CI smoke)")
+    bench.add_argument("--micro", dest="micro_only", action="store_true",
+                       help="run only the micro suite")
+    bench.add_argument("--macro", dest="macro_only", action="store_true",
+                       help="run only the macro campaign benchmark")
+    bench.add_argument("--target", default="lighttpd",
+                       help="macro benchmark target (default: lighttpd)")
+    bench.add_argument("--seed", type=int, default=1,
+                       help="macro campaign seed (default: 1)")
+    bench.add_argument("--execs", type=int, default=None,
+                       help="macro campaign execs "
+                            "(default: 2000, or 400 with --quick)")
+    bench.add_argument("--out", default=".",
+                       help="directory for BENCH_*.json (default: .)")
+    bench.add_argument("--baseline", default="BENCH_baseline.json",
+                       help="baseline path for --check/--write-baseline")
+    bench.add_argument("--check", type=float, default=None, metavar="PCT",
+                       help="gate against the baseline; exit 1 when a "
+                            "wall rate regresses or a sim metric drifts "
+                            "by more than PCT percent")
+    bench.add_argument("--write-baseline", action="store_true",
+                       help="save this run as the new baseline")
+    bench.add_argument("--sanitize-resets", nargs="?", const=250, type=int,
+                       default=None, metavar="N",
+                       help="arm the runtime reset sanitizer every N "
+                            "execs during the macro run (default N: 250); "
+                            "exits 1 on any leak")
 
     replay = sub.add_parser("replay", help="replay a .nyx input")
     replay.add_argument("target")

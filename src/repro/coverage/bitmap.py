@@ -73,23 +73,34 @@ class CoverageMap:
         a new hit-count bucket appeared on a known edge, NEW_NOTHING
         otherwise.  When ``update`` is set, the virgin map absorbs the
         trace.
+
+        ``edges_seen`` moves only when ``update`` does: a read-only
+        query must not inflate the edge counter, and two trace indices
+        aliasing the same map slot count the slot once (the first
+        absorbs into the virgin map; the second then sees a known
+        edge), never twice.
         """
         verdict = self.NEW_NOTHING
         virgin = self.virgin
         lookup = BUCKET_LOOKUP
+        size = self.size
+        new_edges = 0
         for idx, count in trace.items():
             bucket = lookup[count if count < 256 else 255]
             if not bucket:
                 continue
-            old = virgin[idx % self.size]
+            slot = idx % size
+            old = virgin[slot]
             if bucket & ~old:
                 if old == 0:
                     verdict = self.NEW_EDGE
-                    self.edges_seen += 1
+                    new_edges += 1
                 elif verdict == self.NEW_NOTHING:
                     verdict = self.NEW_COUNT
                 if update:
-                    virgin[idx % self.size] = old | bucket
+                    virgin[slot] = old | bucket
+        if update:
+            self.edges_seen += new_edges
         return verdict
 
     def edge_count(self) -> int:

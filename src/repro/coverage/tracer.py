@@ -9,14 +9,43 @@ sparse AFL-style trace, using AFL's ``cur ^ (prev >> 1)`` edge formula.
 Only code whose filename matches the configured path fragments is
 traced, so the kernel, fuzzer and harness never pollute coverage —
 the analogue of only instrumenting the target binary.
+
+The tracer sits on the hottest host path there is — every line of
+every target function of every execution — so the work is split into
+a record phase and a fold phase, producing bit-identical traces to the
+straightforward implementation:
+
+* the **global** callback is a closure over pre-bound locals whose
+  per-code decision is one dict probe; untraced code (the kernel, the
+  fuzzer, libraries) costs exactly that probe per call;
+* each traced code object gets its own **specialized local callback**
+  that appends one precomputed *site* integer per line event to a flat
+  stream — no edge arithmetic inside the callback;
+* :meth:`take_trace` folds the site stream into the sparse edge trace
+  once per execution, vectorized with numpy when available (the pure
+  Python fallback computes the identical dict).
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from array import array as _array
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.coverage.bitmap import MAP_SIZE
+
+try:  # Optional acceleration for the per-exec fold; results identical.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is normally available
+    _np = None
+
+try:  # C-level "count into a dict" helper used by Counter itself.
+    from collections import _count_elements
+except ImportError:  # pragma: no cover - CPython always has it
+    def _count_elements(mapping: Dict[int, int], iterable) -> None:
+        get = mapping.get
+        for item in iterable:
+            mapping[item] = get(item, 0) + 1
 
 #: Path fragments identifying "instrumented" code.  The Mario *engine*
 #: is deliberately absent: like IJON's original experiment, game
@@ -52,25 +81,81 @@ class EdgeTracer:
                  map_size: int = MAP_SIZE) -> None:
         self.traced_fragments = traced_fragments
         self.map_size = map_size
-        #: Sparse trace of the current execution: edge index -> count.
+        #: Sparse trace of the last folded execution (edge -> count);
+        #: refreshed by :meth:`take_trace`.
         self.trace: Dict[int, int] = {}
-        self._prev_site = 0
+        #: Flat stream of site values in execution order.  Persistent
+        #: list (cleared in place) so the callbacks can capture its
+        #: bound ``append`` once.
+        self._stream: List[int] = []
+        #: IJON state hits land directly on edges (they bypass the
+        #: prev-site chain), so they live outside the site stream.
+        self._ijon: Dict[int, int] = {}
         #: Per-code-object cache: id(code) -> stable site base for
         #: traced code, None for untraced.  (id() is only the cache
         #: key — sites themselves come from :func:`_stable_site`.)
         self._code_cache: Dict[int, Optional[int]] = {}
+        #: id(code) -> (base, specialized local callback) for traced
+        #: code, None for untraced.
+        self._entry_cache: Dict[int, Optional[Tuple[int, Callable]]] = {}
+        #: Fold memo: packed site stream -> folded edge trace.  Mutated
+        #: inputs mostly retrace known paths, so identical streams
+        #: recur constantly; keying on the exact packed stream keeps
+        #: the memo collision-proof (bytes equality compares it all).
+        self._fold_cache: Dict[bytes, Dict[int, int]] = {}
+        self._global = self._build_global()
         self._depth = 0
 
     # -- per-test lifecycle --------------------------------------------------
 
     def begin(self) -> None:
         """Reset the trace for a new test case."""
+        del self._stream[:]
+        self._ijon.clear()
         self.trace = {}
-        self._prev_site = 0
 
     def take_trace(self) -> Dict[int, int]:
-        """Return the sparse trace collected since :meth:`begin`."""
-        return self.trace
+        """Fold the site stream into the sparse edge trace.
+
+        Returns a fresh dict each call; the stream itself is only
+        cleared by :meth:`begin`, so repeated calls agree.
+        """
+        stream = self._stream
+        # Bytes key: one C-level pack + hash instead of building and
+        # hashing a 300-element tuple per execution.
+        key = _array("Q", stream).tobytes()
+        cached = self._fold_cache.get(key)
+        if cached is not None:
+            trace = dict(cached)
+        else:
+            size = self.map_size
+            if _np is not None and len(stream) > 64:
+                sites = _np.frombuffer(key, dtype=_np.uint64)
+                edges = _np.empty(len(sites), _np.uint64)
+                edges[0] = sites[0]  # the initial prev-site is 0
+                _np.bitwise_xor(sites[1:], sites[:-1] >> 1, out=edges[1:])
+                edges %= size
+                trace = {}
+                _count_elements(trace, edges.tolist())
+            else:
+                trace = {}
+                trace_get = trace.get
+                prev = 0
+                for site in stream:
+                    edge = (site ^ (prev >> 1)) % size
+                    prev = site
+                    trace[edge] = trace_get(edge, 0) + 1
+            if len(self._fold_cache) >= 8192:
+                # Deterministic pressure valve; a campaign's distinct
+                # control-flow paths rarely approach this.
+                self._fold_cache.clear()
+            self._fold_cache[key] = dict(trace)
+        if self._ijon:
+            trace_get = trace.get
+            for edge, count in self._ijon.items():
+                trace[edge] = trace_get(edge, 0) + count
+        self.trace = trace
+        return trace
 
     def ijon_set(self, slot: int) -> None:
         """IJON-style state feedback: mark a state slot as reached.
@@ -80,8 +165,8 @@ class EdgeTracer:
         fuzzer's novelty check.
         """
         edge = (IJON_BASE + slot) % self.map_size
-        trace = self.trace
-        trace[edge] = trace.get(edge, 0) + 1
+        ijon = self._ijon
+        ijon[edge] = ijon.get(edge, 0) + 1
 
     # -- execution wrapper --------------------------------------------------
 
@@ -91,7 +176,7 @@ class EdgeTracer:
         Re-entrant: nested calls keep the existing trace hook.
         """
         if self._depth == 0:
-            sys.settrace(self._global_trace)
+            sys.settrace(self._global)
         self._depth += 1
         try:
             fn(*args)
@@ -102,41 +187,58 @@ class EdgeTracer:
 
     # -- trace hooks -----------------------------------------------------------
 
+    def _build_global(self) -> Callable:
+        """The ``sys.settrace`` global callback, specialized once.
+
+        Invoked for every 'call' event in the trace window — including
+        every untraced kernel/library call made by target code — so the
+        miss path is a single dict hit returning None.
+        """
+        entry_cache = self._entry_cache
+        make_entry = self._make_entry
+        append = self._stream.append
+
+        def global_trace(frame, event, arg):
+            code = frame.f_code
+            try:
+                entry = entry_cache[id(code)]
+            except KeyError:
+                entry = make_entry(code)
+            if entry is None:
+                return None
+            # The call edge: the code's base site enters the stream.
+            append(entry[0])
+            return entry[1]
+
+        return global_trace
+
+    def _make_entry(self, code) -> Optional[Tuple[int, Callable]]:
+        """Build (and cache) the specialized local callback for ``code``."""
+        filename = code.co_filename
+        if not any(fragment in filename
+                   for fragment in self.traced_fragments):
+            self._entry_cache[id(code)] = None
+            self._code_cache[id(code)] = None
+            return None
+        base = _stable_site("%s:%s:%d" % (filename, code.co_name,
+                                          code.co_firstlineno))
+        self._code_cache[id(code)] = base
+        base33 = base * 33
+        append = self._stream.append
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                append((base33 + frame.f_lineno) & 0xFFFFFFFF)
+            return local_trace
+
+        entry = (base, local_trace)
+        self._entry_cache[id(code)] = entry
+        return entry
+
     def _code_site(self, code) -> Optional[int]:
         """Stable site base for a code object (None = not traced)."""
-        key = id(code)
         try:
-            return self._code_cache[key]
+            return self._code_cache[id(code)]
         except KeyError:
-            filename = code.co_filename
-            if any(fragment in filename
-                   for fragment in self.traced_fragments):
-                site = _stable_site("%s:%s:%d" % (filename, code.co_name,
-                                                  code.co_firstlineno))
-            else:
-                site = None
-            self._code_cache[key] = site
-            return site
-
-    def _global_trace(self, frame, event, arg) -> Optional[Callable]:
-        if event == "call":
-            site = self._code_site(frame.f_code)
-            if site is not None:
-                # Record the call edge itself, then trace lines inside.
-                self._hit(site)
-                return self._local_trace
-        return None
-
-    def _local_trace(self, frame, event, arg) -> Optional[Callable]:
-        if event == "line":
-            base = self._code_cache.get(id(frame.f_code))
-            if base is not None:
-                self._hit((base * 33 + frame.f_lineno) & 0xFFFFFFFF)
-        return self._local_trace
-
-    def _hit(self, site: int) -> None:
-        site &= 0xFFFFFFFF
-        edge = (site ^ (self._prev_site >> 1)) % self.map_size
-        self._prev_site = site
-        trace = self.trace
-        trace[edge] = trace.get(edge, 0) + 1
+            entry = self._make_entry(code)
+            return None if entry is None else entry[0]

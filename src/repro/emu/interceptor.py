@@ -262,7 +262,9 @@ class Interceptor:
         Preserves packet boundaries: one queued packet per recv call,
         truncated (remainder requeued) if the buffer is smaller.
         """
-        state = self._conn_for_sid(sock.sid)
+        # _conn_for_sid inlined: this hook runs on every recv attempt.
+        conn_id = self._sid_to_conn.get(sock.sid)
+        state = None if conn_id is None else self._conns.get(conn_id)
         if state is None:
             return None
         self.saw_first_read = True

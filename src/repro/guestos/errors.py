@@ -32,11 +32,21 @@ class Errno(enum.IntEnum):
 
 
 class GuestError(Exception):
-    """A syscall failure, carrying the errno a real kernel would set."""
+    """A syscall failure, carrying the errno a real kernel would set.
+
+    Raised (and immediately caught) on hot polling paths — every empty
+    ``accept``/``recv`` attempt ends in an EAGAIN — so construction
+    stores the raw parts and defers message formatting to the rare
+    moment something actually prints the error.
+    """
 
     def __init__(self, errno: Errno, message: str = "") -> None:
-        super().__init__("%s%s" % (errno.name, (": " + message) if message else ""))
         self.errno = errno
+        self.message = message
+
+    def __str__(self) -> str:
+        return "%s%s" % (self.errno.name,
+                         (": " + self.message) if self.message else "")
 
 
 class CrashKind(enum.Enum):

@@ -1,0 +1,24 @@
+"""Performance measurement for the execute-reset hot path.
+
+The ROADMAP's north star ("as fast as the hardware allows") needs a
+ruler before it needs a faster engine: this package provides
+wall-clock-instrumented micro and macro benchmarks plus a baseline
+comparison/regression gate, surfaced as ``repro bench``.
+
+Two clocks matter and must never be conflated:
+
+* **sim clock** — the deterministic cost-model time every reproduced
+  table and figure reports.  Optimizations must leave it untouched.
+* **wall clock** — host CPU time actually burned per execution.  This
+  is what the hot-path work in ``vm/memory.py`` / ``vm/snapshot.py``
+  optimizes, and what the benchmarks here measure.
+
+See docs/performance.md for how to run and read the reports.
+"""
+
+from repro.perf.macro import run_macro
+from repro.perf.micro import run_micro
+from repro.perf.report import (compare_reports, load_report, write_report)
+
+__all__ = ["run_macro", "run_micro", "compare_reports", "load_report",
+           "write_report"]

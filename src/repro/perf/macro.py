@@ -1,0 +1,88 @@
+"""End-to-end campaign benchmark: wall-clock *and* sim-clock execs/s.
+
+One seeded single-instance campaign against a real target profile
+(lighttpd by default), measured on both clocks:
+
+* ``wall_execs_per_sec`` — host throughput, the number the hot-path
+  optimizations move;
+* ``sim_execs_per_sec`` — cost-model throughput, the number the
+  reproduced tables report.  It must NOT move when host-side
+  optimizations land; the report carries a canonical checksum of the
+  full campaign stats so any sim-visible drift is caught exactly.
+
+Results land in ``BENCH_fuzz.json`` (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from typing import Dict, Optional
+
+from repro.perf.timers import wall_now
+
+
+def stats_checksum(stats) -> str:
+    """sha1 over the canonical JSON of a campaign's full stats dict.
+
+    Identical sim behaviour => identical checksum; any change to exec
+    counts, coverage timestamps or crash times shows up here even when
+    the headline rates round to the same value.
+    """
+    payload = json.dumps(stats.as_dict(), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def run_macro(target: str = "lighttpd", seed: int = 1,
+              execs: int = 2000, policy: str = "aggressive",
+              sanitize_every: Optional[int] = None) -> Dict[str, object]:
+    """Run one seeded campaign and report both clocks.
+
+    The campaign is capped by host-side execution count (not sim time)
+    so the measured wall window covers a fixed amount of work.  With
+    ``sanitize_every`` the NYX05x reset sanitizer runs during the
+    campaign and its leak count is reported (and should be zero).
+    """
+    from repro.fuzz.campaign import build_campaign
+    from repro.targets import PROFILES
+    profile = PROFILES[target]
+
+    boot_start = wall_now()
+    handles = build_campaign(profile, policy=policy, seed=seed,
+                             time_budget=1e9, max_execs=execs,
+                             sanitize_every=sanitize_every)
+    boot_seconds = wall_now() - boot_start
+
+    run_start = wall_now()
+    stats = handles.fuzzer.run_campaign()
+    wall_seconds = wall_now() - run_start
+
+    sim_seconds = stats.duration()
+    payload: Dict[str, object] = {
+        "kind": "macro",
+        "target": target,
+        "policy": policy,
+        "seed": seed,
+        "execs": stats.execs,
+        "suffix_execs": stats.suffix_execs,
+        "boot_seconds": round(boot_seconds, 4),
+        "wall_seconds": round(wall_seconds, 4),
+        "wall_execs_per_sec": round(stats.execs / wall_seconds, 2)
+        if wall_seconds > 0 else 0.0,
+        "sim_seconds": round(sim_seconds, 6),
+        "sim_execs_per_sec": round(stats.execs_per_second(), 4),
+        "final_edges": stats.final_edges,
+        "crashes_found": stats.crashes_found,
+        "stats_checksum": stats_checksum(stats),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+    }
+    if sanitize_every is not None:
+        payload["sanitizer_checks"] = stats.sanitizer_checks
+        payload["sanitizer_leaks"] = stats.sanitizer_leaks
+    return payload

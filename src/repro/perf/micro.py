@@ -1,0 +1,207 @@
+"""Micro-benchmarks of the execute-reset hot path's building blocks.
+
+Each benchmark isolates one operation the fuzzing loop performs
+thousands of times per second — sub-page guest writes, single-page
+reads, root/incremental resets, incremental snapshot churn, coverage
+novelty checks and kernel state-blob flushes — and reports its
+wall-clock rate.  The workloads are fully deterministic (fixed
+payloads, fixed page patterns), so rate changes between runs measure
+the implementation, not the input.
+
+Run via ``repro bench`` (see docs/performance.md); results land in
+``BENCH_micro.json``.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Dict, List
+
+from repro.coverage.bitmap import CoverageMap
+from repro.perf.timers import bench_loop, rate_entry
+from repro.vm.machine import Machine
+from repro.vm.memory import PAGE_SIZE, GuestMemory, RegionAllocator
+
+#: Pages of guest memory used by the memory-level benchmarks — small
+#: enough to boot instantly, large enough that full-memory scans (the
+#: anti-pattern the hot-path work removes) would dominate.
+_BENCH_PAGES = 2048
+
+
+def _bench_memory(min_seconds: float) -> List[Dict[str, object]]:
+    """Write/read throughput of :class:`GuestMemory`."""
+    rows: List[Dict[str, object]] = []
+    memory = GuestMemory(_BENCH_PAGES * PAGE_SIZE)
+    payload = bytes(range(64))
+
+    # Sub-page write churn over a 32-page working set: the pattern of a
+    # busy guest mutating socket buffers and counters in place.
+    def write_churn(i: int) -> None:
+        page = i % 32
+        offset = (i * 97) % (PAGE_SIZE - len(payload))
+        memory.write(page * PAGE_SIZE + offset, payload)
+        if i % 4096 == 4095:
+            memory.take_dirty()
+
+    iterations, elapsed = bench_loop(write_churn, min_seconds=min_seconds)
+    memory.take_dirty()
+    rows.append(rate_entry("memory_write_subpage", iterations, elapsed))
+
+    # Single-page-sized writes (state blob serialization pattern).
+    blob = bytes(PAGE_SIZE)
+
+    def write_page(i: int) -> None:
+        memory.write((i % 32) * PAGE_SIZE, blob)
+
+    iterations, elapsed = bench_loop(write_page, min_seconds=min_seconds)
+    memory.take_dirty()
+    rows.append(rate_entry("memory_write_page", iterations, elapsed))
+
+    # Short reads at arbitrary offsets (blob header peeks, packet data).
+    def read_short(i: int) -> None:
+        offset = (i * 89) % (32 * PAGE_SIZE - 64)
+        memory.read(offset, 64)
+
+    iterations, elapsed = bench_loop(read_short, min_seconds=min_seconds)
+    rows.append(rate_entry("memory_read_short", iterations, elapsed))
+
+    # Whole-page reads (snapshot capture / blob reload pattern).
+    def read_page(i: int) -> None:
+        memory.read((i % 32) * PAGE_SIZE, PAGE_SIZE)
+
+    iterations, elapsed = bench_loop(read_page, min_seconds=min_seconds)
+    rows.append(rate_entry("memory_read_page", iterations, elapsed))
+    return rows
+
+
+def _bench_resets(min_seconds: float) -> List[Dict[str, object]]:
+    """Root and incremental reset cycles (the §4.2 hot loop)."""
+    rows: List[Dict[str, object]] = []
+    machine = Machine(memory_bytes=_BENCH_PAGES * PAGE_SIZE,
+                      disk_sectors=64)
+    machine.capture_root()
+    payload = b"dirty-page-payload"
+
+    # Root reset after touching a 24-page working set.
+    def root_cycle(i: int) -> None:
+        for page in range(24):
+            machine.memory.write(page * PAGE_SIZE + (i % 256), payload)
+        machine.restore_root()
+
+    iterations, elapsed = bench_loop(root_cycle, min_seconds=min_seconds)
+    rows.append(rate_entry("reset_root_24pages", iterations, elapsed))
+
+    # Incremental reset: prefix state + mutated 8-page suffix, the
+    # paper's fast path ("only pages dirtied since the incremental
+    # snapshot are reset").
+    for page in range(16):
+        machine.memory.write(page * PAGE_SIZE, b"prefix state")
+    machine.create_incremental()
+
+    def incremental_cycle(i: int) -> None:
+        for page in range(16, 24):
+            machine.memory.write(page * PAGE_SIZE + (i % 256), payload)
+        machine.restore_incremental()
+
+    iterations, elapsed = bench_loop(incremental_cycle,
+                                     min_seconds=min_seconds)
+    rows.append(rate_entry("reset_incremental_8pages", iterations, elapsed))
+
+    # Incremental snapshot churn: recreate the snapshot every cycle,
+    # which exercises the mirror copy + CRC maintenance path.
+    def create_cycle(i: int) -> None:
+        machine.memory.write((16 + i % 8) * PAGE_SIZE, payload)
+        machine.create_incremental()
+        machine.memory.write(30 * PAGE_SIZE, payload)
+        machine.restore_incremental()
+
+    iterations, elapsed = bench_loop(create_cycle, min_seconds=min_seconds)
+    rows.append(rate_entry("snapshot_create_restore", iterations, elapsed))
+    return rows
+
+
+def _bench_blobs(min_seconds: float) -> List[Dict[str, object]]:
+    """Kernel state-blob flush pattern over :class:`RegionAllocator`."""
+    rows: List[Dict[str, object]] = []
+    memory = GuestMemory(_BENCH_PAGES * PAGE_SIZE)
+    allocator = RegionAllocator(memory)
+    region = allocator.alloc(4 * PAGE_SIZE)
+    base = bytes(range(256)) * 48  # ~3 pages of stable component state
+
+    # Rewrite an identical blob every time — the "unchanged component
+    # reserialized at a test boundary" pattern.  A hot-path-aware
+    # implementation dirties zero pages here.
+    allocator.write_blob(region, base)
+    memory.take_dirty()
+
+    def rewrite_same(i: int) -> None:
+        allocator.write_blob(region, base)
+
+    iterations, elapsed = bench_loop(rewrite_same, min_seconds=min_seconds)
+    pages_dirtied = len(memory.take_dirty())
+    rows.append(rate_entry("blob_rewrite_identical", iterations, elapsed,
+                           pages_dirtied=pages_dirtied))
+
+    # Rewrite with one late byte changing — only the tail page differs.
+    def rewrite_tail(i: int) -> None:
+        blob = base[:-8] + (i % 251).to_bytes(8, "little")
+        allocator.write_blob(region, blob)
+
+    iterations, elapsed = bench_loop(rewrite_tail, min_seconds=min_seconds)
+    pages_dirtied = len(memory.take_dirty())
+    rows.append(rate_entry("blob_rewrite_tail_byte", iterations, elapsed,
+                           pages_dirtied=pages_dirtied))
+    return rows
+
+
+def _bench_coverage(min_seconds: float) -> List[Dict[str, object]]:
+    """``has_new_bits`` over a realistic sparse trace."""
+    rows: List[Dict[str, object]] = []
+    coverage = CoverageMap()
+    # A 384-edge trace, counts spread over the bucket classes.
+    trace = {(i * 131) % (1 << 16): (i % 9) + 1 for i in range(384)}
+    coverage.has_new_bits(trace)
+
+    # The common case: an already-seen trace (no novelty).
+    def known_trace(i: int) -> None:
+        coverage.has_new_bits(trace)
+
+    iterations, elapsed = bench_loop(known_trace, min_seconds=min_seconds)
+    rows.append(rate_entry("coverage_known_trace", iterations, elapsed,
+                           trace_edges=len(trace)))
+
+    # Novel traces: fresh edges each call (bounded so the map never
+    # saturates enough to change the work done per call).
+    def novel_trace(i: int) -> None:
+        fresh = {(50000 + (i * 384 + j) % 15000): 1 for j in range(64)}
+        coverage.has_new_bits(fresh)
+
+    iterations, elapsed = bench_loop(novel_trace, min_seconds=min_seconds)
+    rows.append(rate_entry("coverage_novel_trace", iterations, elapsed))
+    return rows
+
+
+def run_micro(quick: bool = False) -> Dict[str, object]:
+    """Run every micro benchmark; returns the ``BENCH_micro`` payload.
+
+    ``quick`` shortens each measurement window (CI smoke); rates are
+    noisier but orders of magnitude remain meaningful.
+    """
+    min_seconds = 0.05 if quick else 0.4
+    rows: List[Dict[str, object]] = []
+    rows.extend(_bench_memory(min_seconds))
+    rows.extend(_bench_resets(min_seconds))
+    rows.extend(_bench_blobs(min_seconds))
+    rows.extend(_bench_coverage(min_seconds))
+    return {
+        "kind": "micro",
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "benchmarks": {row["name"]: {k: v for k, v in row.items()
+                                     if k != "name"}
+                       for row in rows},
+    }

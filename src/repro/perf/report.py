@@ -1,0 +1,187 @@
+"""Benchmark reports: JSON persistence, baseline comparison, the gate.
+
+``repro bench`` emits two machine-readable files — ``BENCH_micro.json``
+and ``BENCH_fuzz.json`` — and, with ``--check <pct>``, compares them
+against a committed ``BENCH_baseline.json``:
+
+* **wall-clock rates** regress when they fall more than ``pct`` percent
+  below the baseline (faster is always fine — the gate is one-sided);
+* **sim-clock metrics** (sim execs/s, final edges) *drift* when they
+  differ from the baseline in either direction by more than ``pct``
+  percent — host-side optimizations must not move the simulation;
+* the macro ``stats_checksum`` is reported informationally: a mismatch
+  with identical sim rates usually means the baseline was recorded on
+  an older campaign implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a fresh run against a baseline."""
+
+    lines: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def add(self, line: str) -> None:
+        self.lines.append(line)
+
+    def regress(self, line: str) -> None:
+        self.lines.append(line)
+        self.regressions.append(line)
+
+    def format_text(self) -> str:
+        out = list(self.lines)
+        if self.regressions:
+            out.append("REGRESSION: %d metric(s) failed the gate"
+                       % len(self.regressions))
+        else:
+            out.append("benchmark gate passed")
+        return "\n".join(out)
+
+
+def write_report(path: str, payload: Dict[str, object]) -> None:
+    """Persist a benchmark payload as stable, diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def make_baseline(micro: Optional[Dict[str, object]],
+                  macro: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """Bundle fresh results into the committed-baseline format."""
+    payload: Dict[str, object] = {"kind": "baseline"}
+    if micro is not None:
+        payload["micro"] = micro
+    if macro is not None:
+        payload["macro"] = macro
+    return payload
+
+
+def _pct_below(current: float, base: float) -> float:
+    """How many percent ``current`` sits below ``base`` (>=0)."""
+    if base <= 0:
+        return 0.0
+    return max(0.0, (base - current) / base * 100.0)
+
+
+def _pct_drift(current: float, base: float) -> float:
+    if base == 0:
+        return 0.0 if current == 0 else 100.0
+    return abs(current - base) / abs(base) * 100.0
+
+
+def compare_micro(current: Dict[str, object], baseline: Dict[str, object],
+                  pct: float, out: Comparison) -> None:
+    base_rows = baseline.get("benchmarks", {})
+    cur_rows = current.get("benchmarks", {})
+    # Micro rates are wall-clock: gate them only on the host that
+    # recorded the baseline (an absent host field on either side is
+    # treated as a different host).
+    same_host = (current.get("host") is not None
+                 and current.get("host") == baseline.get("host"))
+    for name in sorted(cur_rows):
+        cur = cur_rows[name]
+        base = base_rows.get(name)
+        if base is None:
+            out.add("micro %-28s %12.0f/s  (no baseline)"
+                    % (name, cur["per_sec"]))
+            continue
+        below = _pct_below(float(cur["per_sec"]), float(base["per_sec"]))
+        line = ("micro %-28s %12.0f/s  vs %12.0f/s  (%+.1f%%)"
+                % (name, cur["per_sec"], base["per_sec"],
+                   (float(cur["per_sec"]) / float(base["per_sec"]) - 1.0)
+                   * 100.0 if float(base["per_sec"]) else 0.0))
+        if below > pct and same_host:
+            out.regress(line + "  << regressed beyond %.0f%%" % pct)
+        elif below > pct:
+            out.add(line + "  (different host: not gated)")
+        else:
+            out.add(line)
+
+
+def compare_macro(current: Dict[str, object], baseline: Dict[str, object],
+                  pct: float, out: Comparison) -> None:
+    cur_wall = float(current.get("wall_execs_per_sec", 0.0))
+    base_wall = float(baseline.get("wall_execs_per_sec", 0.0))
+    below = _pct_below(cur_wall, base_wall)
+    speedup = cur_wall / base_wall if base_wall else 0.0
+    line = ("macro wall execs/s: %.1f vs %.1f baseline (%.2fx)"
+            % (cur_wall, base_wall, speedup))
+    # Wall rates are only comparable on the machine that recorded the
+    # baseline (docs/performance.md); on any other host the number is
+    # reported but never gated — the sim metrics below are the gate.
+    same_host = current.get("host") == baseline.get("host")
+    if below > pct and same_host:
+        out.regress(line + "  << regressed beyond %.0f%%" % pct)
+    elif below > pct:
+        out.add(line + "  (different host: wall rate not gated)")
+    else:
+        out.add(line)
+
+    # Sim-clock metrics are a pure function of the campaign
+    # configuration; comparing them across different configurations
+    # (e.g. a 400-exec quick run vs a 2000-exec baseline) would flag
+    # drift that is really a config difference, not a behaviour change.
+    config_keys = ("target", "seed", "policy", "execs")
+    same_config = all(current.get(k) == baseline.get(k)
+                      for k in config_keys)
+    if not same_config:
+        out.add("macro sim metrics: skipped (campaign config differs "
+                "from baseline: %s)"
+                % ", ".join("%s=%r vs %r" % (k, current.get(k),
+                                             baseline.get(k))
+                            for k in config_keys
+                            if current.get(k) != baseline.get(k)))
+        return
+
+    for key, label in (("sim_execs_per_sec", "sim execs/s"),
+                       ("final_edges", "final edges")):
+        cur_v = float(current.get(key, 0.0))
+        base_v = float(baseline.get(key, 0.0))
+        drift = _pct_drift(cur_v, base_v)
+        line = "macro %s: %.4g vs %.4g baseline" % (label, cur_v, base_v)
+        if drift > pct:
+            out.regress(line + "  << sim drift %.1f%% beyond %.0f%%"
+                        % (drift, pct))
+        else:
+            out.add(line)
+
+    cur_sum = current.get("stats_checksum")
+    base_sum = baseline.get("stats_checksum")
+    if base_sum is not None:
+        if cur_sum == base_sum:
+            out.add("macro stats checksum: identical (sim-clock behaviour "
+                    "byte-identical to baseline)")
+        else:
+            out.add("macro stats checksum: differs from baseline "
+                    "(informational; sim rates above are the gate)")
+
+
+def compare_reports(micro: Optional[Dict[str, object]],
+                    macro: Optional[Dict[str, object]],
+                    baseline: Dict[str, object],
+                    pct: float) -> Comparison:
+    """Gate fresh micro/macro payloads against a committed baseline."""
+    out = Comparison()
+    if micro is not None and "micro" in baseline:
+        compare_micro(micro, baseline["micro"], pct, out)
+    if macro is not None and "macro" in baseline:
+        compare_macro(macro, baseline["macro"], pct, out)
+    if not out.lines:
+        out.add("baseline has no comparable sections")
+    return out

@@ -33,7 +33,8 @@ class Machine:
     def __init__(self, memory_bytes: int = DEFAULT_MEMORY_BYTES,
                  disk_sectors: int = DEFAULT_DISK_SECTORS,
                  costs: Optional[CostModel] = None,
-                 clock: Optional[SimClock] = None) -> None:
+                 clock: Optional[SimClock] = None,
+                 snapshot_verify_every: int = 1) -> None:
         self.costs = costs or DEFAULT_COSTS
         self.clock = clock or SimClock()
         self.memory = GuestMemory(memory_bytes)
@@ -41,7 +42,8 @@ class Machine:
         self.disk = EmulatedDisk(disk_sectors)
         self.allocator = RegionAllocator(self.memory)
         self.snapshots = SnapshotManager(
-            self.memory, self.devices, self.disk, self.clock, self.costs)
+            self.memory, self.devices, self.disk, self.clock, self.costs,
+            verify_every=snapshot_verify_every)
         # Boot-time host wiring (restore callbacks, hypercall handler):
         # registered once before the root snapshot, never per-exec.
         self._on_restore: List[Callable[[], None]] = []  # nyx: allow[reset]
@@ -148,7 +150,7 @@ def unique_page_footprint(machines: Iterable[Machine],
     """
     ids: set = set()
     for root in roots:
-        ids.update(id(p) for p in root.pages)
+        ids.update(root.page_id_set())
     for machine in machines:
         ids.update(machine.snapshots.owned_page_identities())
     return len(ids)

@@ -9,17 +9,33 @@ exactly as §2.3 describes:
 * Nyx's **dirty-page stack**, which records each page the first time it
   is dirtied so a reset never needs to scan the whole bitmap.
 
-Pages are immutable ``bytes`` objects; an all-zero page is shared via a
-sentinel, which is the Python analogue of lazily allocated guest
-memory.  Copying a page reference is our copy-on-write primitive.
+Pages live in one of two tiers (the write-combining scheme from
+docs/performance.md):
+
+* **sealed** — an immutable ``bytes`` object.  Sealed pages are the
+  only ones ever shared: root snapshots, incremental-snapshot mirrors
+  and fleet-wide CoW all hold references to sealed pages, so sharing a
+  reference *is* the copy-on-write primitive.  An all-zero page is
+  shared via a sentinel, the analogue of lazily allocated guest memory.
+* **unsealed** — a private mutable ``bytearray``.  The first write to a
+  page since the last snapshot boundary copies it to a bytearray;
+  subsequent writes mutate that buffer in place instead of rebuilding a
+  4 KiB ``bytes`` object per store.  Unsealed pages are never visible
+  outside this class: every API that could leak a page reference
+  (:meth:`page`, :meth:`pages_snapshot`, :meth:`page_identities`) seals
+  first, so the CoW invariant is preserved by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 PAGE_SIZE = 4096
+#: ``PAGE_SIZE == 1 << PAGE_SHIFT``; the hot paths use shifts/masks
+#: instead of ``divmod``.
+PAGE_SHIFT = 12
+PAGE_MASK = PAGE_SIZE - 1
 
 _ZERO_PAGE = bytes(PAGE_SIZE)
 
@@ -48,6 +64,8 @@ class GuestMemory:  # nyx: allow[reset]
         self.num_pages = -(-size_bytes // PAGE_SIZE)
         self.size_bytes = self.num_pages * PAGE_SIZE
         self._pages: List[bytes] = [_ZERO_PAGE] * self.num_pages
+        #: Indices of pages currently in the unsealed (bytearray) tier.
+        self._unsealed: set = set()
         #: KVM-style dirty bitmap, one byte per page.
         self.dirty_bitmap = bytearray(self.num_pages)
         #: Nyx-style stack of pages dirtied since the last flush.
@@ -55,28 +73,85 @@ class GuestMemory:  # nyx: allow[reset]
         #: Count of pages ever dirtied (statistics only).
         self.total_dirtied = 0
 
+    # -- sealing -----------------------------------------------------------
+
+    def seal_page(self, index: int) -> bytes:
+        """Freeze page ``index`` back to immutable ``bytes`` and return it.
+
+        Idempotent; sealed pages are returned as-is.  Does not touch the
+        dirty log — sealing changes representation, not content.
+        """
+        page = self._pages[index]
+        if type(page) is bytearray:
+            page = bytes(page)
+            self._pages[index] = page
+            self._unsealed.discard(index)
+        return page
+
+    def seal_all(self) -> None:
+        """Freeze every unsealed page (snapshot-boundary bulk seal)."""
+        if not self._unsealed:
+            return
+        pages = self._pages
+        for idx in sorted(self._unsealed):
+            pages[idx] = bytes(pages[idx])
+        self._unsealed.clear()
+
     # -- raw page access -------------------------------------------------
 
     def page(self, index: int) -> bytes:
-        """Return the current content of page ``index``."""
+        """Return the current content of page ``index`` (always sealed).
+
+        The returned object is immutable and safe to alias in snapshot
+        structures; if the page was unsealed it is sealed in place.
+        """
         self._check_page(index)
-        return self._pages[index]
+        return self.seal_page(index)
 
     def set_page(self, index: int, content: bytes, *, log: bool = True) -> None:
         """Replace page ``index``; marks it dirty unless ``log`` is False.
 
         Restores pass ``log=False`` — resetting a page must not make it
         appear dirty again, or the next reset would do wasted work.
+        ``content`` is coerced to immutable ``bytes``, so the page
+        lands sealed (this is the path snapshot restores take with CoW
+        references).
         """
         self._check_page(index)
         if len(content) != PAGE_SIZE:
             raise ValueError("page content must be exactly PAGE_SIZE bytes")
+        if type(content) is not bytes:
+            content = bytes(content)
         self._pages[index] = content
+        self._unsealed.discard(index)
         if log:
             self.mark_dirty(index)
 
+    def restore_pages(self, indices: Sequence[int],
+                      source: List[bytes]) -> None:
+        """Reset every page in ``indices`` to ``source[idx]`` without
+        dirty-logging — the batch form of ``set_page(..., log=False)``
+        used by snapshot restores (one call instead of one per page).
+
+        ``source`` must hold sealed pages (snapshot page arrays do).
+        """
+        pages = self._pages
+        unsealed = self._unsealed
+        if unsealed:
+            for idx in indices:
+                pages[idx] = source[idx]
+                unsealed.discard(idx)
+        else:
+            for idx in indices:
+                pages[idx] = source[idx]
+
     def pages_snapshot(self) -> List[bytes]:
-        """Shallow copy of the page array (CoW view of all memory)."""
+        """Shallow copy of the page array (CoW view of all memory).
+
+        Seals every page first: the returned list must stay valid when
+        shared across machines or stored in a root snapshot.
+        """
+        self.seal_all()
         return list(self._pages)
 
     def page_identities(self) -> List[int]:
@@ -85,8 +160,10 @@ class GuestMemory:  # nyx: allow[reset]
         Pages shared with a root snapshot (or the zero-page sentinel)
         alias the same objects, so unique-id counting across a fleet of
         machines measures the true memory footprint of §5.3's shared
-        root snapshots.
+        root snapshots.  Seals first so identities are stable until the
+        next write.
         """
+        self.seal_all()
         return [id(p) for p in self._pages]
 
     # -- byte-granular access ---------------------------------------------
@@ -96,31 +173,99 @@ class GuestMemory:  # nyx: allow[reset]
         self._check_range(addr, length)
         if length == 0:
             return b""
-        out = bytearray()
+        page_off = addr & PAGE_MASK
+        end = page_off + length
+        if end <= PAGE_SIZE:
+            # Single-page fast path: one slice, no assembly buffer.
+            chunk = self._pages[addr >> PAGE_SHIFT][page_off:end]
+            return chunk if type(chunk) is bytes else bytes(chunk)
+        parts = []
         remaining = length
         offset = addr
         while remaining:
-            page_idx, page_off = divmod(offset, PAGE_SIZE)
+            page_idx = offset >> PAGE_SHIFT
+            page_off = offset & PAGE_MASK
             chunk = min(remaining, PAGE_SIZE - page_off)
-            out += self._pages[page_idx][page_off:page_off + chunk]
+            parts.append(self._pages[page_idx][page_off:page_off + chunk])
             offset += chunk
             remaining -= chunk
-        return bytes(out)
+        return b"".join(parts)
 
     def write(self, addr: int, data: bytes) -> None:
         """Write ``data`` at guest physical ``addr``, dirtying pages."""
-        self._check_range(addr, len(data))
-        offset = addr
+        length = len(data)
+        self._check_range(addr, length)
+        if not length:
+            return
+        page_off = addr & PAGE_MASK
+        if page_off + length <= PAGE_SIZE:
+            # Single-page fast path (the overwhelmingly common case).
+            self._write_chunk(addr >> PAGE_SHIFT, page_off, data, length)
+            return
         view = memoryview(data)
-        while view:
-            page_idx, page_off = divmod(offset, PAGE_SIZE)
-            chunk = min(len(view), PAGE_SIZE - page_off)
-            old = self._pages[page_idx]
-            new = old[:page_off] + bytes(view[:chunk]) + old[page_off + chunk:]
-            self._pages[page_idx] = new
-            self.mark_dirty(page_idx)
-            view = view[chunk:]
-            offset += chunk
+        page_idx = addr >> PAGE_SHIFT
+        start = 0
+        while start < length:
+            chunk = min(length - start, PAGE_SIZE - page_off)
+            self._write_chunk(page_idx, page_off,
+                              view[start:start + chunk], chunk)
+            start += chunk
+            page_idx += 1
+            page_off = 0
+
+    def write_if_changed(self, addr: int, data: bytes) -> int:
+        """Like :meth:`write`, but skip pages whose bytes are identical.
+
+        Returns the number of pages actually written.  Used by the
+        state-blob flush path: reserializing a component whose bytes
+        landed unchanged must not dirty its pages (dirty pages are real
+        reset work on the next restore).
+        """
+        length = len(data)
+        self._check_range(addr, length)
+        if not length:
+            return 0
+        pages = self._pages
+        page_idx = addr >> PAGE_SHIFT
+        page_off = addr & PAGE_MASK
+        start = 0
+        written = 0
+        while start < length:
+            chunk = min(length - start, PAGE_SIZE - page_off)
+            # bytes slices on both sides: the comparison is a C-level
+            # memcmp (a memoryview here would compare elementwise).
+            piece = data[start:start + chunk]
+            if pages[page_idx][page_off:page_off + chunk] != piece:
+                self._write_chunk(page_idx, page_off, piece, chunk)
+                written += 1
+            start += chunk
+            page_idx += 1
+            page_off = 0
+        return written
+
+    def _write_chunk(self, page_idx: int, page_off: int, data, length: int) -> None:
+        """Store one intra-page chunk, unsealing or replacing the page."""
+        if length == PAGE_SIZE and page_off == 0:
+            # Whole-page store: adopt immutable payloads by reference,
+            # seal the page for free.
+            if type(data) is bytes:
+                self._pages[page_idx] = data
+            else:
+                self._pages[page_idx] = bytes(data)
+            self._unsealed.discard(page_idx)
+        else:
+            page = self._pages[page_idx]
+            if type(page) is bytearray:
+                page[page_off:page_off + length] = data
+            else:
+                buf = bytearray(page)
+                buf[page_off:page_off + length] = data
+                self._pages[page_idx] = buf
+                self._unsealed.add(page_idx)
+        if not self.dirty_bitmap[page_idx]:
+            self.dirty_bitmap[page_idx] = 1
+            self.dirty_stack.append(page_idx)
+            self.total_dirtied += 1
 
     # -- dirty logging -----------------------------------------------------
 
@@ -238,14 +383,20 @@ class RegionAllocator:  # nyx: allow[reset]
         return region
 
     def write_blob(self, region: Region, blob: bytes) -> None:
-        """Store ``blob`` (length-prefixed) into ``region``."""
+        """Store ``blob`` (length-prefixed) into ``region``.
+
+        Pages whose bytes come out identical to what they already hold
+        are skipped entirely (no write, no dirty marking): rewriting a
+        blob that only changed near its tail must not cost a reset of
+        its unchanged leading pages.
+        """
         framed = len(blob).to_bytes(8, "little") + blob
         if len(framed) > region.size:
             raise MemoryError_(
                 "blob of %d bytes does not fit region of %d bytes"
                 % (len(blob), region.size)
             )
-        self._memory.write(region.start_addr, framed)
+        self._memory.write_if_changed(region.start_addr, framed)
 
     def read_blob(self, region: Region) -> bytes:
         """Read back a blob previously stored with :meth:`write_blob`."""

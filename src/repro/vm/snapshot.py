@@ -21,13 +21,17 @@ Incremental snapshots add a second level:
 
 Cost accounting: every operation charges the machine clock through the
 cost model, so Table 3 and Figure 6 reproduce the structural costs of
-the paper (per-dirty-page work + a fixed hypercall/device cost).
+the paper (per-dirty-page work + a fixed hypercall/device cost).  The
+*simulated* charges are a function of the dirty/diverged sets only —
+the host-side bookkeeping below (incremental CRC maintenance, the
+since-create delta set, identity-memoized verification) reduces Python
+work per operation without moving a single charge.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
@@ -64,7 +68,8 @@ class RootSnapshot:
     references into it.
     """
 
-    __slots__ = ("pages", "device_state", "disk_overlay", "guest_blob")
+    __slots__ = ("pages", "device_state", "disk_overlay", "guest_blob",
+                 "_page_ids")
 
     def __init__(self, pages: List[bytes], device_state: Dict[str, Tuple],
                  disk_overlay: Dict[int, bytes], guest_blob: bytes) -> None:
@@ -74,10 +79,25 @@ class RootSnapshot:
         #: Opaque host-side guest-OS bookkeeping captured with the root
         #: (the directory of state regions; see repro.guestos.kernel).
         self.guest_blob = guest_blob
+        # Lazy memo of immutable data, not guest state.
+        self._page_ids: Optional[FrozenSet[int]] = None  # nyx: allow[reset]
 
     @property
     def num_pages(self) -> int:
         return len(self.pages)
+
+    def page_id_set(self) -> FrozenSet[int]:
+        """``id()`` of every page in the (immutable) root image, cached.
+
+        The page list never changes after capture, so the set is
+        computed once and shared by every footprint query against this
+        root — fleet accounting stops paying an O(num_pages) scan per
+        machine per query.
+        """
+        ids = self._page_ids
+        if ids is None:
+            ids = self._page_ids = frozenset(map(id, self.pages))
+        return ids
 
 
 class SnapshotStats:
@@ -102,20 +122,39 @@ class SnapshotManager:  # nyx: allow[reset]
     Reset-lint suppression: the manager *is* the reset mechanism; its
     snapshot handles, divergence bookkeeping and CRC tables are
     definitionally cross-exec state.
+
+    ``verify_every`` amortizes the pre-restore checksum validation of
+    the incremental snapshot: 1 (the default) validates on every
+    restore, exactly the historical behaviour; N > 1 validates on every
+    N-th restore.  A full validation is always forced right after a
+    corruption was detected and on the first restore of a rebuilt
+    snapshot, so an injected fault is never outrun by the amortization.
     """
 
     def __init__(self, memory: GuestMemory, devices: DeviceBoard,
-                 disk: EmulatedDisk, clock: SimClock, costs: CostModel) -> None:
+                 disk: EmulatedDisk, clock: SimClock, costs: CostModel,
+                 verify_every: int = 1) -> None:
+        if verify_every < 1:
+            raise ValueError("verify_every must be >= 1")
         self._memory = memory
         self._devices = devices
         self._disk = disk
         self._clock = clock
         self._costs = costs
+        self.verify_every = verify_every
         self.stats = SnapshotStats()
 
         self._root: Optional[RootSnapshot] = None
         #: Pages that may differ from the root snapshot.
         self._diverged: set = set()
+        #: Pages (re)written since the last create_incremental — the
+        #: subset of ``_diverged`` whose mirror entry is out of date.
+        #: Fed by ``_absorb_dirty``; drained at snapshot boundaries.
+        self._since_create: set = set()
+        #: Pages whose live memory object differs (by identity) from
+        #: the root page — maintained incrementally so footprint
+        #: queries never scan the whole page array.
+        self._private: set = set()
         #: Disk sectors that may differ from the root overlay.
         self._disk_diverged: set = set()
 
@@ -127,11 +166,26 @@ class SnapshotManager:  # nyx: allow[reset]
         self._inc_active = False
         self._creates_since_remirror = 0
         #: CRC32 of every real-copy mirror page at create time, checked
-        #: before each restore (self-healing snapshots).
+        #: before restores (self-healing snapshots).  Maintained
+        #: incrementally: only pages copied by a create are re-CRC'd.
         self._inc_checksums: Dict[int, int] = {}
+        #: ``id()`` of each real-copy page at the time its CRC last
+        #: validated.  Mirror pages are immutable ``bytes`` — any
+        #: corruption vector in this simulation replaces the object —
+        #: so an unchanged identity lets verification skip the CRC
+        #: recompute while still charging the modelled validation cost.
+        self._verified_ids: Dict[int, int] = {}
+        #: Restores until the next amortized verification is due.
+        self._verify_countdown = 0
         #: Optional :class:`~repro.faults.injector.FaultInjector` hooked
         #: into the restore paths (fault-injection campaigns).
         self.injector: Optional[Any] = None
+        #: Page indices the most recent restore actually rewrote, or
+        #: ``None`` when every page may have changed (adopting a shared
+        #: root).  Restore consumers (the guest kernel's reload) use it
+        #: to skip re-reading state regions whose pages provably kept
+        #: their bytes across the reset.
+        self.last_reset_pages: Optional[set] = None
 
     # -- root snapshot ------------------------------------------------------
 
@@ -170,12 +224,16 @@ class SnapshotManager:  # nyx: allow[reset]
         self._memory.clear_dirty_log()
         self._disk.take_dirty()
         self._diverged = set()
+        self._since_create = set()
+        self._private = set()
         self._disk_diverged = set()
         self._mirror = list(pages)
         self._mirror_touched = set()
         self._inc_active = False
         self._creates_since_remirror = 0
         self._inc_checksums = {}
+        self._verified_ids = {}
+        self._verify_countdown = 0
         return root
 
     def adopt_root(self, root: RootSnapshot) -> None:
@@ -188,6 +246,7 @@ class SnapshotManager:  # nyx: allow[reset]
         if root.num_pages != self._memory.num_pages:
             raise SnapshotError("shared root has mismatched memory geometry")
         self._root = root
+        self.last_reset_pages = None  # every page changes: no fast path
         # Load the shared image into this machine (CoW references).
         for idx, page in enumerate(root.pages):
             self._memory.set_page(idx, page, log=False)
@@ -195,12 +254,16 @@ class SnapshotManager:  # nyx: allow[reset]
         self._disk.restore_overlay(root.disk_overlay, self._disk.take_dirty())
         self._memory.clear_dirty_log()
         self._diverged = set()
+        self._since_create = set()
+        self._private = set()
         self._disk_diverged = set()
         self._mirror = list(root.pages)
         self._mirror_touched = set()
         self._inc_active = False
         self._creates_since_remirror = 0
         self._inc_checksums = {}
+        self._verified_ids = {}
+        self._verify_countdown = 0
 
     def restore_root(self) -> int:
         """Reset the VM to the root snapshot; returns pages reset."""
@@ -208,10 +271,13 @@ class SnapshotManager:  # nyx: allow[reset]
         if self.injector is not None:
             self.injector.on_root_restore(self)
         self._absorb_dirty()
-        for idx in self._diverged:
-            self._memory.set_page(idx, root.pages[idx], log=False)
-        n = len(self._diverged)
+        diverged = self._diverged
+        self._memory.restore_pages(diverged, root.pages)
+        n = len(diverged)
+        self.last_reset_pages = diverged
         self._diverged = set()
+        self._since_create = set()
+        self._private = set()
         self._devices.restore_fast(root.device_state)
         for sector in self._disk_diverged:
             overlay = root.disk_overlay
@@ -238,11 +304,15 @@ class SnapshotManager:  # nyx: allow[reset]
 
         Returns the number of pages captured.  Cost: per page diverged
         from root (plus reverting stale mirror entries), a fixed
-        hypercall cost, and a device state copy.
+        hypercall cost, and a device state copy.  Host-side, only the
+        pages whose content can actually differ from their mirror entry
+        — those written since the previous create, plus those the
+        mirror never captured — are copied and re-CRC'd.
         """
         root = self.root
         self._absorb_dirty()
 
+        remirrored = False
         if self._creates_since_remirror >= REMIRROR_PERIOD:
             # Re-mirror: throw away accumulated real copies and start
             # from a clean CoW view of the root image.
@@ -251,30 +321,48 @@ class SnapshotManager:  # nyx: allow[reset]
             self._creates_since_remirror = 0
             self.stats.remirrors += 1
             self._clock.charge(self._costs.snapshot_fixed)
+            remirrored = True
 
         mirror = self._mirror
         assert mirror is not None
+        memory = self._memory
+        diverged = self._diverged
+        touched = self._mirror_touched
+        checksums = self._inc_checksums
         # Revert mirror entries left over from the previous incremental
         # snapshot that are no longer diverged.
-        stale = self._mirror_touched - self._diverged
-        for idx in stale:
-            mirror[idx] = root.pages[idx]
-        # Copy every diverged page's current content into the mirror.
-        for idx in self._diverged:
-            mirror[idx] = self._memory.page(idx)
-        self._mirror_touched = set(self._diverged)
+        stale = touched - diverged
+        if stale:
+            root_pages = root.pages
+            for idx in stale:
+                mirror[idx] = root_pages[idx]
+                checksums.pop(idx, None)
+                self._verified_ids.pop(idx, None)
+        # Copy into the mirror only the pages whose mirror entry can be
+        # out of date; untouched-since-last-create entries already hold
+        # the right content and keep their CRC.
+        if remirrored or not touched:
+            to_copy = diverged
+        else:
+            to_copy = (diverged & self._since_create) | (diverged - touched)
+        crc32 = zlib.crc32
+        for idx in to_copy:
+            page = memory.page(idx)
+            mirror[idx] = page
+            checksums[idx] = crc32(page)
+            self._verified_ids[idx] = id(page)
+        self._mirror_touched = set(diverged)
+        self._since_create = set()
 
         self._inc_device_state = self._devices.capture_fast()
         self._inc_disk_overlay = self._disk.capture_overlay()
         self._inc_active = True
         self._creates_since_remirror += 1
-        # Fingerprint every real-copy page so a corrupted mirror entry
-        # (cosmic ray, host bug, injected fault) is caught on restore
-        # instead of silently poisoning every subsequent execution.
-        self._inc_checksums = {idx: zlib.crc32(mirror[idx])
-                               for idx in self._mirror_touched}
+        # A freshly (re)built snapshot always gets a full validation on
+        # its first restore, even under an amortized verify_every.
+        self._verify_countdown = 0
 
-        n = len(self._diverged)
+        n = len(diverged)
         self._clock.charge(
             self._costs.snapshot_fixed
             + self._costs.device_reset_fast
@@ -298,23 +386,42 @@ class SnapshotManager:  # nyx: allow[reset]
         mirror = self._mirror
         assert mirror is not None
         dirty = self._memory.take_dirty()
+        since = self._since_create
+        if since:
+            # Writes previously absorbed into the diverged set (e.g. a
+            # mid-cycle footprint query drained the dirty log) still
+            # differ from the mirror and must be reset too.
+            since.update(dirty)
+            dirty = since
+        self._memory.restore_pages(dirty, mirror)
+        self.last_reset_pages = set(dirty)
+        diverged = self._diverged
+        private = self._private
+        touched = self._mirror_touched
         for idx in dirty:
-            self._memory.set_page(idx, mirror[idx], log=False)
-            self._diverged.add(idx)
+            diverged.add(idx)
+            # A mirror real copy is a private page; a CoW root
+            # reference restores the page to shared-root identity.
+            if idx in touched:
+                private.add(idx)
+            else:
+                private.discard(idx)
+        self._since_create = set()
         assert self._inc_device_state is not None
         self._devices.restore_fast(self._inc_device_state)
         dirty_sectors = self._disk.take_dirty()
         assert self._inc_disk_overlay is not None
         self._disk.restore_overlay(self._inc_disk_overlay, dirty_sectors)
         self._disk_diverged.update(dirty_sectors)
+        n = len(dirty)
         self._clock.charge(
             self._costs.snapshot_fixed
             + self._costs.device_reset_fast
-            + len(dirty) * self._costs.page_copy
+            + n * self._costs.page_copy
             + len(dirty_sectors) * self._costs.sector_copy)
         self.stats.incremental_restores += 1
-        self.stats.pages_reset += len(dirty)
-        return len(dirty)
+        self.stats.pages_reset += n
+        return n
 
     def discard_incremental(self) -> None:
         """Drop the secondary snapshot (scheduling a new input, §3.4)."""
@@ -329,20 +436,46 @@ class SnapshotManager:  # nyx: allow[reset]
         :class:`SnapshotCorruption` tells the caller to rebuild from
         the root.  Cost: one pass over the real copies, charged like a
         page copy each.
+
+        With ``verify_every`` == 1 (default) every restore validates.
+        Larger values skip (and do not charge) the validation pass on
+        all but every N-th restore; detection of an injected fault is
+        then delayed by at most N-1 restores.  Host-side, pages whose
+        object identity is unchanged since their last successful check
+        skip the CRC recompute — immutable pages cannot change content
+        without changing identity.
         """
+        if self._verify_countdown > 0:
+            self._verify_countdown -= 1
+            return
+        self._verify_countdown = self.verify_every - 1
         mirror = self._mirror
         assert mirror is not None
         root = self.root
-        bad = [idx for idx, crc in self._inc_checksums.items()
-               if zlib.crc32(mirror[idx]) != crc]
-        self._clock.charge(len(self._inc_checksums) * self._costs.page_copy)
+        checksums = self._inc_checksums
+        verified = self._verified_ids
+        crc32 = zlib.crc32
+        bad = []
+        for idx, crc in checksums.items():
+            page = mirror[idx]
+            if verified.get(idx) == id(page):
+                continue
+            if crc32(page) != crc:
+                bad.append(idx)
+            else:
+                verified[idx] = id(page)
+        self._clock.charge(len(checksums) * self._costs.page_copy)
         if not bad:
             return
         for idx in bad:
             mirror[idx] = root.pages[idx]
             self._mirror_touched.discard(idx)
             del self._inc_checksums[idx]
+            self._verified_ids.pop(idx, None)
         self._inc_active = False
+        # Force a full validation on the first restore of the rebuilt
+        # snapshot regardless of the amortization schedule.
+        self._verify_countdown = 0
         self.stats.corruption_detected += 1
         raise SnapshotCorruption(
             "incremental snapshot failed validation on %d page(s): %s"
@@ -383,17 +516,26 @@ class SnapshotManager:  # nyx: allow[reset]
         return len(self._diverged)
 
     def owned_page_identities(self) -> set:
-        """``id()`` of every page object this VM references.
+        """``id()`` of every page object this VM keeps alive.
 
-        Covers live memory plus the incremental-snapshot mirror (whose
-        real copies are page objects this VM keeps alive on top of the
-        shared root).  Unioning these sets across a fleet — together
-        with the root image's own pages — yields the fleet's true
-        unique-page footprint.
+        Covers the shared root image (held via the root snapshot and
+        through every CoW reference in live memory and the mirror),
+        this VM's private live pages, and the incremental-snapshot
+        mirror's real copies.  Unioning these sets across a fleet —
+        together with the root image's own pages — yields the fleet's
+        true unique-page footprint.  O(private + mirror copies): the
+        shared portion comes from the root's cached id set.
         """
-        ids = set(self._memory.page_identities())
-        if self._mirror is not None:
-            ids.update(id(p) for p in self._mirror)
+        if self._root is None:
+            return set(self._memory.page_identities())
+        ids = set(self._root.page_id_set())
+        memory = self._memory
+        for idx in self._private:
+            ids.add(id(memory.page(idx)))
+        mirror = self._mirror
+        if mirror is not None:
+            for idx in self._mirror_touched:
+                ids.add(id(mirror[idx]))
         return ids
 
     def private_page_count(self) -> int:
@@ -401,19 +543,21 @@ class SnapshotManager:  # nyx: allow[reset]
 
         Used by the §5.3 scalability experiment: instances sharing a
         root snapshot only own their diverged pages plus mirror copies.
+        Maintained incrementally — no O(num_pages) identity scan.
         """
-        root = self.root
-        private = 0
-        for idx in range(self._memory.num_pages):
-            if self._memory.page(idx) is not root.pages[idx]:
-                private += 1
+        self._absorb_dirty()
+        private = len(self._private)
         if self._mirror is not None:
             private += len(self._mirror_touched)
         return private
 
     def _absorb_dirty(self) -> None:
         """Fold the hardware dirty log into the diverged-from-root set."""
-        for idx in self._memory.take_dirty():
-            self._diverged.add(idx)
-        for sector in self._disk.take_dirty():
-            self._disk_diverged.add(sector)
+        dirty = self._memory.take_dirty()
+        if dirty:
+            self._diverged.update(dirty)
+            self._since_create.update(dirty)
+            self._private.update(dirty)
+        dirty_sectors = self._disk.take_dirty()
+        if dirty_sectors:
+            self._disk_diverged.update(dirty_sectors)

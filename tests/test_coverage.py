@@ -40,7 +40,29 @@ class TestCoverageMap:
     def test_update_false_leaves_virgin_untouched(self):
         cov = CoverageMap()
         assert cov.has_new_bits({7: 1}, update=False) == CoverageMap.NEW_EDGE
+        assert cov.edges_seen == 0
         assert cov.has_new_bits({7: 1}) == CoverageMap.NEW_EDGE
+
+    def test_aliasing_indices_count_edge_once(self):
+        # Regression: two trace indices landing on the same map slot
+        # (idx and idx + MAP_SIZE) are one edge, and edges_seen must
+        # reflect post-mask slots, not pre-mask indices.
+        cov = CoverageMap()
+        assert cov.has_new_bits({5: 1, MAP_SIZE + 5: 1}) == CoverageMap.NEW_EDGE
+        assert cov.edges_seen == 1
+        assert cov.edge_count() == 1
+        # The slot is now known under either alias.
+        assert cov.has_new_bits({5: 1}) == CoverageMap.NEW_NOTHING
+        assert cov.has_new_bits({MAP_SIZE + 5: 1}) == CoverageMap.NEW_NOTHING
+        assert cov.edges_seen == 1
+
+    def test_aliasing_with_distinct_buckets_is_new_count_not_new_edge(self):
+        cov = CoverageMap()
+        cov.has_new_bits({9: 1})
+        # Alias of slot 9 with a different hit-count bucket: known edge,
+        # new bucket — must not inflate the distinct-edge counter.
+        assert cov.has_new_bits({MAP_SIZE + 9: 5}) == CoverageMap.NEW_COUNT
+        assert cov.edges_seen == 1
 
     def test_indices_wrap_modulo_map_size(self):
         cov = CoverageMap()

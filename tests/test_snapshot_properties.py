@@ -97,6 +97,84 @@ def test_incremental_splits_history_exactly(writes, split_raw):
         assert machine.memory.read(page * PAGE_SIZE, 1)[0] == 0
 
 
+def _force_always_immutable(memory):
+    """Turn a live GuestMemory into the pre-optimization reference:
+    every write immediately reseals its page to immutable ``bytes``,
+    exactly what the old always-immutable implementation did."""
+    from repro.vm.memory import GuestMemory
+
+    orig = GuestMemory._write_chunk
+
+    def sealing_chunk(page_idx, page_off, data, length):
+        orig(memory, page_idx, page_off, data, length)
+        memory.seal_page(page_idx)
+
+    memory._write_chunk = sealing_chunk
+    return memory
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"),
+                  st.integers(0, N_PAGES * PAGE_SIZE - 8),
+                  st.binary(min_size=1, max_size=8)),
+        st.tuples(st.just("write_span"),
+                  st.integers(0, N_PAGES - 2),
+                  st.binary(min_size=PAGE_SIZE, max_size=PAGE_SIZE + 64)),
+        st.tuples(st.just("create")),
+        st.tuples(st.just("restore_inc")),
+        st.tuples(st.just("restore_root")),
+    ),
+    min_size=1, max_size=40)
+
+
+@given(_OPS)
+@settings(max_examples=40, deadline=None)
+def test_sealing_matches_always_immutable_reference(ops):
+    """Snapshot-boundary sealing is invisible: any interleaving of
+    writes, create_incremental, restore_incremental and restore_root
+    yields byte-identical memory, identical SnapshotStats page counts
+    and an identical sim clock vs. the old always-immutable
+    implementation."""
+    fast = _machine()
+    slow = _machine()
+    _force_always_immutable(slow.memory)
+    fast.capture_root()
+    slow.capture_root()
+
+    for op in ops:
+        kind = op[0]
+        if kind == "write":
+            _, addr, data = op
+            fast.memory.write(addr, data)
+            slow.memory.write(addr, data)
+        elif kind == "write_span":
+            _, page, data = op
+            addr = page * PAGE_SIZE + PAGE_SIZE - 32  # straddles a boundary
+            data = data[:fast.memory.size_bytes - addr]  # clamp to memory end
+            fast.memory.write(addr, data)
+            slow.memory.write(addr, data)
+        elif kind == "create":
+            assert fast.create_incremental() == slow.create_incremental()
+        elif kind == "restore_inc":
+            if fast.snapshots.incremental_active:
+                assert slow.snapshots.incremental_active
+                assert fast.restore_incremental() == slow.restore_incremental()
+            else:
+                assert not slow.snapshots.incremental_active
+        else:
+            assert fast.restore_root() == slow.restore_root()
+
+        size = fast.memory.size_bytes
+        assert fast.memory.read(0, size) == slow.memory.read(0, size)
+
+    assert fast.snapshots.stats.as_dict() == slow.snapshots.stats.as_dict()
+    assert fast.snapshots.private_page_count() == \
+        slow.snapshots.private_page_count()
+    assert fast.snapshots.diverged_pages() == slow.snapshots.diverged_pages()
+    assert fast.clock.now == slow.clock.now
+
+
 @given(st.integers(1, 6), st.integers(8, N_PAGES))
 @settings(max_examples=20, deadline=None)
 def test_snapshot_costs_scale_with_dirty_pages(n_small, n_large):

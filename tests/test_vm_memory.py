@@ -52,6 +52,121 @@ class TestReadWrite:
         assert mem.read(0, 0) == b""
 
 
+class TestSealingTiers:
+    """The write-combining scheme: unsealed bytearray pages vs sealed
+    ``bytes`` pages (docs/performance.md)."""
+
+    def test_subpage_write_unseals_then_page_reseals(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(10, b"abc")
+        assert 0 in mem._unsealed
+        page = mem.page(0)
+        assert type(page) is bytes
+        assert 0 not in mem._unsealed
+        assert page[10:13] == b"abc"
+
+    def test_repeated_writes_mutate_in_place(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(0, b"a")
+        buf = mem._pages[0]
+        mem.write(1, b"b")
+        assert mem._pages[0] is buf  # no per-write page rebuild
+        assert mem.read(0, 2) == b"ab"
+
+    def test_whole_page_write_adopts_bytes_by_reference(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        payload = bytes(range(256)) * 16
+        mem.write(PAGE_SIZE, payload)
+        assert mem._pages[1] is payload  # sealed for free
+        assert not mem._unsealed
+
+    def test_seal_all_is_idempotent_and_content_preserving(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(5, b"x")
+        mem.write(PAGE_SIZE + 7, b"y")
+        mem.seal_all()
+        assert not mem._unsealed
+        mem.seal_all()
+        assert mem.read(5, 1) == b"x"
+        assert mem.read(PAGE_SIZE + 7, 1) == b"y"
+
+    def test_pages_snapshot_never_leaks_mutable_pages(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(3, b"q")
+        snap = mem.pages_snapshot()
+        assert all(type(p) is bytes for p in snap)
+        mem.write(3, b"z")  # must not mutate the snapshot's view
+        assert snap[0][3:4] == b"q"
+
+    def test_sealing_does_not_touch_dirty_log(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(0, b"a")
+        mem.take_dirty()
+        mem.seal_all()
+        mem.page(0)
+        assert mem.dirty_count == 0
+
+
+class TestReadFastPath:
+    """Single-page reads take a direct-slice fast path; straddling
+    reads assemble chunks — both must agree byte-for-byte."""
+
+    def test_single_page_read_returns_bytes_from_sealed_page(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(0, bytes(PAGE_SIZE))  # whole-page: lands sealed
+        out = mem.read(100, 50)
+        assert type(out) is bytes
+        assert out == bytes(50)
+
+    def test_single_page_read_returns_bytes_from_unsealed_page(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(100, b"hot")  # sub-page: page is a private bytearray
+        out = mem.read(100, 3)
+        assert type(out) is bytes
+        assert out == b"hot"
+
+    def test_read_straddling_page_boundary(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        left = bytes([7]) * 64
+        right = bytes([9]) * 64
+        mem.write(PAGE_SIZE - 64, left)
+        mem.write(PAGE_SIZE, right)
+        assert mem.read(PAGE_SIZE - 64, 128) == left + right
+
+    def test_read_straddling_sealed_and_unsealed_pages(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(PAGE_SIZE, bytes([1]) * PAGE_SIZE)  # page 1 sealed
+        mem.write(2 * PAGE_SIZE + 5, b"\x02")         # page 2 unsealed
+        out = mem.read(2 * PAGE_SIZE - 8, 16)
+        assert type(out) is bytes
+        assert out == bytes([1]) * 8 + bytes(5) + b"\x02" + bytes(2)
+
+    def test_read_spanning_three_pages(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        data = bytes(range(256)) * ((2 * PAGE_SIZE + 512) // 256)
+        mem.write(PAGE_SIZE - 256, data)
+        assert mem.read(PAGE_SIZE - 256, len(data)) == data
+
+    def test_exact_page_read_at_boundary_is_whole_page(self):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        mem.write(PAGE_SIZE, b"edge")
+        out = mem.read(PAGE_SIZE, PAGE_SIZE)
+        assert len(out) == PAGE_SIZE
+        assert out[:4] == b"edge"
+
+    @given(st.integers(0, 3 * PAGE_SIZE - 1), st.integers(0, PAGE_SIZE + 17))
+    @settings(max_examples=60)
+    def test_fast_path_agrees_with_bytewise_reads(self, addr, length):
+        mem = GuestMemory(4 * PAGE_SIZE)
+        pattern = bytes((i * 31 + 7) & 0xFF for i in range(PAGE_SIZE))
+        mem.write(0, pattern)            # page 0 sealed (whole-page)
+        mem.write(PAGE_SIZE + 3, b"mid")  # page 1 unsealed
+        mem.write(2 * PAGE_SIZE, pattern)
+        chunk = mem.read(addr, length)
+        assert chunk == b"".join(mem.read(addr + i, 1)
+                                 for i in range(length))
+
+
 class TestDirtyLogging:
     def test_first_write_pushes_stack_once(self):
         mem = GuestMemory(8 * PAGE_SIZE)
