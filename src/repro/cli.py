@@ -47,6 +47,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 2
     if args.workers > 1:
         return _fuzz_parallel(args, profile)
+    from repro.coverage.backends import BackendUnavailable
     from repro.faults import PlanError
     try:
         handles = build_campaign(profile, policy=args.policy, seed=args.seed,
@@ -55,9 +56,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                                  fault_rate=args.fault_rate,
                                  fault_plan=args.fault_plan,
                                  exec_timeout=args.exec_timeout,
-                                 sanitize_every=args.sanitize_resets)
+                                 sanitize_every=args.sanitize_resets,
+                                 coverage_backend=args.coverage_backend)
     except PlanError as err:
         print("invalid fault plan: %s" % err, file=sys.stderr)
+        return 2
+    except BackendUnavailable as err:
+        print("coverage backend unavailable: %s" % err, file=sys.stderr)
         return 2
     print("fuzzing %s with nyx-net-%s (sim budget %.0fs, cap %s execs)"
           % (args.target, args.policy, args.time, args.execs))
@@ -94,6 +99,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
     """``fuzz --workers N``: one golden boot, N instances, shared root."""
+    from repro.coverage.backends import BackendUnavailable
     from repro.faults import PlanError
     from repro.fuzz.campaign import build_parallel_campaign
     from repro.fuzz.persist import save_parallel_campaign
@@ -102,9 +108,13 @@ def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
             profile, workers=args.workers, policy=args.policy, seed=args.seed,
             time_budget=args.time, max_total_execs=args.execs,
             sync_interval=args.sync_interval,
-            fault_rate=args.fault_rate, exec_timeout=args.exec_timeout)
+            fault_rate=args.fault_rate, exec_timeout=args.exec_timeout,
+            coverage_backend=args.coverage_backend)
     except PlanError as err:
         print("invalid fault plan: %s" % err, file=sys.stderr)
+        return 2
+    except BackendUnavailable as err:
+        print("coverage backend unavailable: %s" % err, file=sys.stderr)
         return 2
     print("fuzzing %s with %d nyx-net-%s workers over one shared root "
           "(sim budget %.0fs, cap %s execs)"
@@ -229,13 +239,19 @@ def _bench_perf(args: argparse.Namespace) -> int:
         print("running macro benchmark: %s, seed %d, %d execs%s..."
               % (args.target, args.seed, execs,
                  ", sanitized" if args.sanitize_resets is not None else ""))
-        macro = run_macro(target=args.target, seed=args.seed, execs=execs,
-                          sanitize_every=args.sanitize_resets)
+        from repro.coverage.backends import BackendUnavailable
+        try:
+            macro = run_macro(target=args.target, seed=args.seed, execs=execs,
+                              sanitize_every=args.sanitize_resets,
+                              coverage_backend=args.coverage_backend)
+        except BackendUnavailable as err:
+            print("coverage backend unavailable: %s" % err, file=sys.stderr)
+            return 2
         print("  %d execs in %.2fs wall (%.1f execs/s wall, "
-              "%.1f execs/s sim), %d edges"
+              "%.1f execs/s sim), %d edges [%s backend]"
               % (macro["execs"], macro["wall_seconds"],
                  macro["wall_execs_per_sec"], macro["sim_execs_per_sec"],
-                 macro["final_edges"]))
+                 macro["final_edges"], macro["coverage_backend"]))
         write_report(os.path.join(args.out, "BENCH_fuzz.json"), macro)
         if args.sanitize_resets is not None:
             print("  reset sanitizer: %d checks, %d leaks"
@@ -413,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="digest-diff the host object graph against the "
                            "post-root-snapshot baseline every N execs "
                            "(default N: 250); exits 1 on any reset leak")
+    fuzz.add_argument("--coverage-backend", default="auto",
+                      choices=["auto", "settrace", "monitoring"],
+                      help="edge tracer backend (auto: sys.monitoring on "
+                           "3.12+, sys.settrace otherwise; results are "
+                           "byte-identical either way)")
 
     mario = sub.add_parser("mario", help="Table 4 on one level")
     mario.add_argument("level", nargs="?", default="1-1")
@@ -455,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm the runtime reset sanitizer every N "
                             "execs during the macro run (default N: 250); "
                             "exits 1 on any leak")
+    bench.add_argument("--coverage-backend", default="auto",
+                       choices=["auto", "settrace", "monitoring"],
+                       help="edge tracer backend for the macro campaign "
+                            "(sim metrics and stats_checksum are "
+                            "backend-independent)")
 
     replay = sub.add_parser("replay", help="replay a .nyx input")
     replay.add_argument("target")

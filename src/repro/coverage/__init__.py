@@ -1,15 +1,21 @@
-"""Coverage feedback: AFL-style bitmaps over a Python edge tracer.
+"""Coverage feedback: AFL-style bitmaps over pluggable edge tracers.
 
 The paper's prototype supports Intel PT and AFL's compile-time
 instrumentation (§4.5); our substitute traces the *actual Python code*
-of the guest targets with :mod:`sys.settrace` and folds (prev, cur)
-line transitions into a classic 64 KiB AFL hit-count bitmap with the
-standard bucketing semantics.
+of the guest targets and folds (prev, cur) line transitions into a
+classic 64 KiB AFL hit-count bitmap with the standard bucketing
+semantics.  Two byte-equivalent tracer backends exist — ``settrace``
+(every CPython) and ``monitoring`` (PEP 669, 3.12+) — selected through
+:mod:`repro.coverage.backends`.
 """
 
+from repro.coverage.backends import (BACKEND_CHOICES, BackendUnavailable,
+                                     default_backend_name, make_tracer,
+                                     resolve_backend_name)
 from repro.coverage.bitmap import (MAP_SIZE, classify_counts, count_bits,
                                    CoverageMap)
-from repro.coverage.tracer import EdgeTracer
+from repro.coverage.tracer import EdgeTracer, TracerCore
 
 __all__ = ["MAP_SIZE", "classify_counts", "count_bits", "CoverageMap",
-           "EdgeTracer"]
+           "EdgeTracer", "TracerCore", "make_tracer", "default_backend_name",
+           "resolve_backend_name", "BACKEND_CHOICES", "BackendUnavailable"]

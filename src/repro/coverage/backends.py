@@ -1,0 +1,71 @@
+"""Tracer backend registry and selection.
+
+Two interchangeable tracer backends collect the site stream:
+
+* ``settrace`` — :class:`repro.coverage.tracer.EdgeTracer`, works on
+  every supported CPython (the ≤3.11 path);
+* ``monitoring`` — :class:`repro.coverage.monitoring.MonitoringTracer`,
+  PEP 669, requires CPython 3.12+.
+
+``auto`` (the default everywhere) resolves to ``monitoring`` when the
+interpreter supports it and ``settrace`` otherwise.  Both backends
+must produce byte-identical traces for the same execution — identical
+edge maps, hit-count buckets, IJON slots and therefore identical
+campaign ``stats_checksum`` — so backend choice is purely a host-side
+performance knob (``--coverage-backend`` on ``fuzz``/``bench``) and
+never a behaviour change.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Tuple
+
+from repro.coverage.tracer import TracerCore
+
+#: Names accepted by ``--coverage-backend``.
+BACKEND_CHOICES: Tuple[str, ...] = ("auto", "settrace", "monitoring")
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested tracer backend cannot run on this interpreter."""
+
+
+def monitoring_supported() -> bool:
+    """PEP 669 present (CPython 3.12+)."""
+    return hasattr(sys, "monitoring")
+
+
+def default_backend_name() -> str:
+    """What ``auto`` resolves to on this interpreter."""
+    return "monitoring" if monitoring_supported() else "settrace"
+
+
+def resolve_backend_name(backend: str = "auto") -> str:
+    """Validate a backend name and resolve ``auto``."""
+    if backend in (None, "", "auto"):
+        return default_backend_name()
+    if backend not in BACKEND_CHOICES:
+        raise BackendUnavailable(
+            "unknown coverage backend %r (choices: %s)"
+            % (backend, ", ".join(BACKEND_CHOICES)))
+    if backend == "monitoring" and not monitoring_supported():
+        raise BackendUnavailable(
+            "coverage backend 'monitoring' needs sys.monitoring "
+            "(CPython 3.12+); this is %s — use 'settrace' or 'auto'"
+            % sys.version.split()[0])
+    return backend
+
+
+def make_tracer(backend: str = "auto", **kwargs) -> TracerCore:
+    """Instantiate the selected tracer backend.
+
+    ``kwargs`` pass through to the backend constructor
+    (``traced_fragments``, ``map_size``, ``fold_memo_limit``).
+    """
+    name = resolve_backend_name(backend)
+    if name == "monitoring":
+        from repro.coverage.monitoring import MonitoringTracer
+        return MonitoringTracer(**kwargs)
+    from repro.coverage.tracer import EdgeTracer
+    return EdgeTracer(**kwargs)

@@ -1,0 +1,293 @@
+"""``sys.monitoring`` (PEP 669) tracer backend for CPython 3.12+.
+
+Produces site streams byte-identical to the ``sys.settrace`` backend
+(:class:`repro.coverage.tracer.EdgeTracer`) — the differential suite
+in ``tests/test_coverage_backends.py`` pins the equivalence — while
+paying per-*location* instead of per-*event* cost for everything the
+tracer does not care about:
+
+* untraced code (kernel, fuzzer, libraries) returns
+  ``sys.monitoring.DISABLE`` from its first START/LINE/JUMP/BRANCH
+  event at each location, so steady-state cost there is zero (the
+  settrace backend pays a dict probe per call forever);
+* traced code keeps LINE events (they are the site stream) but
+  disables every JUMP/BRANCH location that provably cannot produce a
+  same-line backward jump — the one case where ``sys.settrace``
+  re-fires a line event that ``sys.monitoring`` coalesces away.
+
+That last point is the whole equivalence subtlety: ``sys.settrace``
+emits a line event every time execution jumps backwards to an
+instruction of the *same* line (comprehension loops, one-line
+``while`` bodies); PEP 669 LINE events only fire when the line
+*changes*.  The JUMP/BRANCH callbacks synthesize exactly the missing
+events, using the static line table, and everything else folds through
+the shared :class:`~repro.coverage.tracer.TracerCore` pipeline.
+
+``sys.monitoring`` has process-global callbacks per tool id, so a
+module-level host owns the tool id and routes events to the active
+tracer instance (parallel campaigns create one tracer per worker).
+Per-location DISABLE state is also process-global and sticky across
+``set_events`` windows; it encodes "this location is untraced", which
+is only valid for one ``traced_fragments`` signature — the host calls
+``restart_events()`` whenever a tracer with a different signature
+takes over.
+"""
+
+from __future__ import annotations
+
+import dis
+import sys
+from typing import Dict, Optional, Tuple
+
+from repro.coverage.bitmap import MAP_SIZE
+from repro.coverage.tracer import (DEFAULT_TRACED_FRAGMENTS, FOLD_MEMO_LIMIT,
+                                   TracerCore, _stable_site)
+
+
+def monitoring_available() -> bool:
+    """True when this interpreter implements PEP 669."""
+    return hasattr(sys, "monitoring")
+
+
+#: Tool-id candidates, preferred first.  COVERAGE_ID (1) is the
+#: conventional slot for coverage tools; the fallbacks matter when a
+#: host process (e.g. coverage.py under pytest) already claimed it.
+_TOOL_CANDIDATES = (1, 4, 3, 2, 0)
+
+_JUMP_OPCODES = frozenset(dis.hasjrel) | frozenset(dis.hasjabs)
+
+
+class _MonitoringHost:
+    """Owns the process-global tool id and the active-tracer routing.
+
+    The event mask stays ON between executions ("open window"): all
+    code the tracer does not care about self-disables per location, so
+    an idle open window costs nothing, while toggling ``set_events``
+    around every guest time slice costs ~30% of campaign throughput.
+    The window only closes while a deterministic prefix replays with
+    elision (events there would append already-recorded sites) and on
+    :func:`deactivate`.
+    """
+
+    def __init__(self) -> None:
+        self.tool_id: Optional[int] = None
+        self.owner: Optional["MonitoringTracer"] = None
+        self.events_on = False
+        #: ``traced_fragments`` signature the sticky DISABLE state was
+        #: built for; a different signature means locations disabled as
+        #: "untraced" might be traced now, so all events restart.
+        self.disable_signature: Optional[Tuple[str, ...]] = None
+
+    def acquire_tool(self) -> int:
+        if self.tool_id is not None:
+            return self.tool_id
+        monitoring = sys.monitoring
+        last_error: Optional[Exception] = None
+        for candidate in _TOOL_CANDIDATES:
+            try:
+                monitoring.use_tool_id(candidate, "repro-edge-tracer")
+                self.tool_id = candidate
+                return candidate
+            except ValueError as err:  # slot in use by another tool
+                last_error = err
+        raise RuntimeError("no free sys.monitoring tool id: %s" % last_error)
+
+    def arm(self, tracer: "MonitoringTracer") -> None:
+        """Route events to ``tracer`` and open the event window."""
+        monitoring = sys.monitoring
+        tool = self.acquire_tool()
+        if self.owner is not tracer:
+            self.owner = tracer
+            events = monitoring.events
+            for event, callback in (
+                    (events.PY_START, tracer._on_start),
+                    (events.PY_RESUME, tracer._on_start),
+                    (events.PY_THROW, tracer._on_throw),
+                    (events.LINE, tracer._on_line),
+                    (events.JUMP, tracer._on_jump),
+                    (events.BRANCH, tracer._on_jump)):
+                monitoring.register_callback(tool, event, callback)
+        if self.disable_signature != tracer.traced_fragments:
+            if self.disable_signature is not None:
+                monitoring.restart_events()
+            self.disable_signature = tracer.traced_fragments
+        if not self.events_on:
+            monitoring.set_events(tool, tracer._events)
+            self.events_on = True
+
+    def disarm(self) -> None:
+        """Close the event window (elision replay, or tear-down)."""
+        if self.events_on and self.tool_id is not None:
+            sys.monitoring.set_events(self.tool_id, 0)
+            self.events_on = False
+
+
+_HOST = _MonitoringHost()
+
+
+def deactivate() -> None:
+    """Close the monitoring window and drop the active tracer.
+
+    Campaigns never need this (an idle open window is free); tests use
+    it to keep one test's tracer from warming DISABLE state while
+    unrelated code runs.
+    """
+    _HOST.disarm()
+    _HOST.owner = None
+
+
+class MonitoringTracer(TracerCore):
+    """PEP 669 backend; byte-identical streams to :class:`EdgeTracer`."""
+
+    backend_name = "monitoring"
+
+    def __init__(self, traced_fragments: Tuple[str, ...] = DEFAULT_TRACED_FRAGMENTS,
+                 map_size: int = MAP_SIZE,
+                 fold_memo_limit: int = FOLD_MEMO_LIMIT) -> None:
+        if not monitoring_available():
+            raise RuntimeError(
+                "sys.monitoring requires Python 3.12+ (running %s); use the "
+                "settrace backend" % sys.version.split()[0])
+        super().__init__(traced_fragments, map_size, fold_memo_limit)
+        monitoring = sys.monitoring
+        events = monitoring.events
+        self._events = (events.PY_START | events.PY_RESUME | events.PY_THROW
+                        | events.LINE | events.JUMP | events.BRANCH)
+        self._disable = monitoring.DISABLE
+        #: id(code) -> (base site, base*33) for traced code, None for
+        #: untraced (same keying caveat as EdgeTracer: id() is only the
+        #: cache key, sites come from the stable hash).
+        self._entries: Dict[int, Optional[Tuple[int, int]]] = {}
+        #: id(code) -> (offset -> line table, offsets that may jump
+        #: backwards); lazily built for traced code on its first
+        #: JUMP/BRANCH event.
+        self._jump_info: Dict[int, Tuple[Dict[int, int], frozenset]] = {}
+        self._build_callbacks()
+
+    # -- execution wrapper ---------------------------------------------------
+
+    def run(self, fn, *args) -> None:
+        """Run ``fn(*args)`` with the monitoring window open.
+
+        The window is left open on exit (see :class:`_MonitoringHost`);
+        the fast path when this tracer is already routed is two
+        attribute probes.  While suspended (prefix elision) the window
+        must actively close — unlike ``sys.settrace``, an installed
+        mask keeps firing regardless of which wrapper runs the code.
+        """
+        if self._suspended:
+            if _HOST.events_on and _HOST.owner is self:
+                _HOST.disarm()
+            fn(*args)
+            return
+        if not _HOST.events_on or _HOST.owner is not self:
+            _HOST.arm(self)
+        fn(*args)
+
+    # -- per-code classification ---------------------------------------------
+
+    def _entry(self, code) -> Optional[Tuple[int, int]]:
+        key = id(code)
+        entry = self._entries.get(key, 0)
+        if entry == 0:
+            filename = code.co_filename
+            if any(fragment in filename
+                   for fragment in self.traced_fragments):
+                base = _stable_site("%s:%s:%d" % (filename, code.co_name,
+                                                  code.co_firstlineno))
+                entry = (base, base * 33)
+            else:
+                entry = None
+            self._entries[key] = entry
+        return entry
+
+    def _jump_tables(self, code) -> Tuple[Dict[int, int], frozenset]:
+        key = id(code)
+        info = self._jump_info.get(key)
+        if info is None:
+            lines: Dict[int, int] = {}
+            for start, end, line in code.co_lines():
+                if line is None:
+                    continue
+                for offset in range(start, end, 2):
+                    lines[offset] = line
+            # Offsets whose instruction has a static jump target behind
+            # it: the only locations that can ever produce a backward
+            # JUMP/BRANCH event.  Everything else gets DISABLEd on
+            # first sight (a fall-through arm is always forward).
+            backward = set()
+            for inst in dis.get_instructions(code):
+                if inst.opcode in _JUMP_OPCODES:
+                    target = inst.argval
+                    if isinstance(target, int) and target < inst.offset:
+                        backward.add(inst.offset)
+            info = (lines, frozenset(backward))
+            self._jump_info[key] = info
+        return info
+
+    # -- event callbacks -----------------------------------------------------
+
+    def _build_callbacks(self) -> None:
+        """Specialize the event callbacks over pre-bound locals.
+
+        These run once per surviving event — after the DISABLE warm-up,
+        that is every line of traced code — so like the settrace
+        backend's local callbacks they avoid attribute and method
+        lookups on the hot path: one dict probe, one append.
+        """
+        entries = self._entries
+        entry_of = self._entry
+        jump_tables = self._jump_tables
+        append = self._stream.append
+        disable = self._disable
+
+        def on_start(code, offset):
+            entry = entries.get(id(code), 0)
+            if entry == 0:
+                entry = entry_of(code)
+            if entry is None:
+                return disable
+            append(entry[0])
+
+        def on_throw(code, offset, exc):
+            # A throw into a frame is settrace's 'call' event on
+            # generator resume-with-exception; exception events cannot
+            # be DISABLEd.
+            entry = entries.get(id(code), 0)
+            if entry == 0:
+                entry = entry_of(code)
+            if entry is None:
+                return None
+            append(entry[0])
+
+        def on_line(code, line):
+            entry = entries.get(id(code), 0)
+            if entry == 0:
+                entry = entry_of(code)
+            if entry is None:
+                return disable
+            append((entry[1] + line) & 0xFFFFFFFF)
+
+        def on_jump(code, src, dst):
+            entry = entries.get(id(code), 0)
+            if entry == 0:
+                entry = entry_of(code)
+            if entry is None:
+                return disable
+            lines, backward = jump_tables(code)
+            if src not in backward:
+                # This location can never jump backwards: no same-line
+                # backward edge to synthesize, ever.
+                return disable
+            if dst < src:
+                line = lines.get(dst)
+                if line is not None and line == lines.get(src):
+                    # settrace re-fires the line event on a backward
+                    # jump landing on the same line; synthesize it.
+                    append((entry[1] + line) & 0xFFFFFFFF)
+            return None
+
+        self._on_start = on_start
+        self._on_throw = on_throw
+        self._on_line = on_line
+        self._on_jump = on_jump

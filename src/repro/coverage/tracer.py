@@ -1,4 +1,4 @@
-"""``sys.settrace``-based edge tracer for guest target code.
+"""Edge tracers for guest target code: shared core + settrace backend.
 
 This is the reproduction's stand-in for AFL compile-time
 instrumentation (§4.5): instead of instrumenting basic blocks at
@@ -10,26 +10,37 @@ Only code whose filename matches the configured path fragments is
 traced, so the kernel, fuzzer and harness never pollute coverage —
 the analogue of only instrumenting the target binary.
 
+The module is split into a backend-independent :class:`TracerCore`
+(site stream, fold memo, IJON slots, prefix-fold seeding) and the
+``sys.settrace`` backend :class:`EdgeTracer`.  A ``sys.monitoring``
+backend for py3.12+ lives in :mod:`repro.coverage.monitoring`; both
+are registered through :mod:`repro.coverage.backends` and must
+produce byte-identical site streams for the same execution — the
+differential suite in ``tests/test_coverage_backends.py`` pins this.
+
 The tracer sits on the hottest host path there is — every line of
 every target function of every execution — so the work is split into
 a record phase and a fold phase, producing bit-identical traces to the
 straightforward implementation:
 
-* the **global** callback is a closure over pre-bound locals whose
-  per-code decision is one dict probe; untraced code (the kernel, the
-  fuzzer, libraries) costs exactly that probe per call;
-* each traced code object gets its own **specialized local callback**
-  that appends one precomputed *site* integer per line event to a flat
-  stream — no edge arithmetic inside the callback;
-* :meth:`take_trace` folds the site stream into the sparse edge trace
-  once per execution, vectorized with numpy when available (the pure
-  Python fallback computes the identical dict).
+* event callbacks append one precomputed *site* integer per event to a
+  flat stream — no edge arithmetic inside the callback;
+* :meth:`TracerCore.take_trace` folds the site stream into the sparse
+  edge trace once per execution, vectorized with numpy when available
+  (the pure Python fallback computes the identical dict), memoized on
+  the packed stream under an LRU cap;
+* the executor's prefix-trace elision suspends collection across an
+  op prefix that a previous recording already proved deterministic and
+  seeds :meth:`take_trace` with the recorded prefix fold instead
+  (:meth:`elide_suspend` / :meth:`elide_resume`), yielding the same
+  bytes without re-paying the per-line callbacks.
 """
 
 from __future__ import annotations
 
 import sys
 from array import array as _array
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.coverage.bitmap import MAP_SIZE
@@ -58,6 +69,12 @@ DEFAULT_TRACED_FRAGMENTS = ("/repro/targets/", "/repro/mario/target")
 #: hash range used by code edges only probabilistically, like IJON).
 IJON_BASE = 0xF000
 
+#: Fold-memo LRU cap.  Mutated inputs mostly retrace known paths, so a
+#: campaign's distinct streams stay far below this; the cap exists so
+#: week-long campaigns with pathological path churn cannot grow the
+#: memo without bound (evictions are counted into ``CampaignStats``).
+FOLD_MEMO_LIMIT = 8192
+
 
 def _stable_site(text: str) -> int:
     """FNV-1a site hash, stable across processes.
@@ -74,13 +91,24 @@ def _stable_site(text: str) -> int:
     return value
 
 
-class EdgeTracer:
-    """Collects sparse edge traces from traced module code."""
+class TracerCore:
+    """Backend-independent tracer state and the stream-fold pipeline.
+
+    Backends only differ in *how* site integers reach
+    :attr:`_stream`; everything downstream of the stream — folding,
+    memoization, IJON slots, prefix seeding — is shared, which is what
+    makes backend traces byte-comparable.
+    """
+
+    #: Overridden by each backend; surfaced in reports and stats.
+    backend_name = "abstract"
 
     def __init__(self, traced_fragments: Tuple[str, ...] = DEFAULT_TRACED_FRAGMENTS,
-                 map_size: int = MAP_SIZE) -> None:
-        self.traced_fragments = traced_fragments
+                 map_size: int = MAP_SIZE,
+                 fold_memo_limit: int = FOLD_MEMO_LIMIT) -> None:
+        self.traced_fragments = tuple(traced_fragments)
         self.map_size = map_size
+        self.fold_memo_limit = fold_memo_limit
         #: Sparse trace of the last folded execution (edge -> count);
         #: refreshed by :meth:`take_trace`.
         self.trace: Dict[int, int] = {}
@@ -91,20 +119,22 @@ class EdgeTracer:
         #: IJON state hits land directly on edges (they bypass the
         #: prev-site chain), so they live outside the site stream.
         self._ijon: Dict[int, int] = {}
-        #: Per-code-object cache: id(code) -> stable site base for
-        #: traced code, None for untraced.  (id() is only the cache
-        #: key — sites themselves come from :func:`_stable_site`.)
-        self._code_cache: Dict[int, Optional[int]] = {}
-        #: id(code) -> (base, specialized local callback) for traced
-        #: code, None for untraced.
-        self._entry_cache: Dict[int, Optional[Tuple[int, Callable]]] = {}
-        #: Fold memo: packed site stream -> folded edge trace.  Mutated
-        #: inputs mostly retrace known paths, so identical streams
-        #: recur constantly; keying on the exact packed stream keeps
+        #: Fold memo: packed site stream (+ seed tag) -> folded edge
+        #: trace, LRU-bounded.  Keying on the exact packed stream keeps
         #: the memo collision-proof (bytes equality compares it all).
-        self._fold_cache: Dict[bytes, Dict[int, int]] = {}
-        self._global = self._build_global()
-        self._depth = 0
+        self._fold_cache: "OrderedDict[bytes, Dict[int, int]]" = OrderedDict()
+        #: Entries evicted from the fold memo (stamped into
+        #: ``CampaignStats.fold_memo_evictions``).
+        self.fold_evictions = 0
+        #: Packed full-stream bytes of the last :meth:`take_trace`
+        #: (prefix + live suffix) — the executor's trace recordings
+        #: reuse it instead of re-packing.
+        self.last_packed: bytes = b""
+        #: Elision state: while suspended, :meth:`run` executes without
+        #: hooks and :meth:`ijon_set` is a no-op (the recorded prefix
+        #: already contains those hits).
+        self._suspended = False
+        self._prefix_packed: bytes = b""
 
     # -- per-test lifecycle --------------------------------------------------
 
@@ -113,48 +143,76 @@ class EdgeTracer:
         del self._stream[:]
         self._ijon.clear()
         self.trace = {}
+        self._prefix_packed = b""
+        self._suspended = False
 
     def take_trace(self) -> Dict[int, int]:
         """Fold the site stream into the sparse edge trace.
 
         Returns a fresh dict each call; the stream itself is only
-        cleared by :meth:`begin`, so repeated calls agree.
+        cleared by :meth:`begin`, so repeated calls agree.  When a
+        prefix fold was seeded via :meth:`elide_resume`, the live
+        suffix is folded with the prefix's last site as its previous
+        site and merged — byte-identical to having traced the whole
+        run.
         """
-        stream = self._stream
         # Bytes key: one C-level pack + hash instead of building and
         # hashing a 300-element tuple per execution.
-        key = _array("Q", stream).tobytes()
-        cached = self._fold_cache.get(key)
-        if cached is not None:
-            trace = dict(cached)
-        else:
-            size = self.map_size
-            if _np is not None and len(stream) > 64:
-                sites = _np.frombuffer(key, dtype=_np.uint64)
-                edges = _np.empty(len(sites), _np.uint64)
-                edges[0] = sites[0]  # the initial prev-site is 0
-                _np.bitwise_xor(sites[1:], sites[:-1] >> 1, out=edges[1:])
-                edges %= size
-                trace = {}
-                _count_elements(trace, edges.tolist())
-            else:
-                trace = {}
-                trace_get = trace.get
-                prev = 0
-                for site in stream:
-                    edge = (site ^ (prev >> 1)) % size
-                    prev = site
-                    trace[edge] = trace_get(edge, 0) + 1
-            if len(self._fold_cache) >= 8192:
-                # Deterministic pressure valve; a campaign's distinct
-                # control-flow paths rarely approach this.
-                self._fold_cache.clear()
-            self._fold_cache[key] = dict(trace)
+        packed = _array("Q", self._stream).tobytes()
+        prefix = self._prefix_packed
+        if prefix:
+            # Folding the concatenation is identical to folding the
+            # prefix and then the suffix seeded with the prefix's last
+            # site (the edge chain just runs through the join) — and
+            # the joined stream is byte-equal to a fully-traced run's,
+            # so elided and traced runs share fold-memo entries.
+            packed = prefix + packed
+        trace = dict(self._fold_packed(packed, 0))
+        self.last_packed = packed
         if self._ijon:
-            trace_get = trace.get
+            get = trace.get
             for edge, count in self._ijon.items():
-                trace[edge] = trace_get(edge, 0) + count
+                trace[edge] = get(edge, 0) + count
         self.trace = trace
+        return trace
+
+    def _fold_packed(self, packed: bytes, prev: int) -> Dict[int, int]:
+        """Memoized fold of a packed site stream seeded with ``prev``.
+
+        Returns a shared dict — callers copy before mutating.  Seeded
+        folds get a tag byte in their memo key: a plain packed stream
+        is always a multiple of 8 bytes, so the 9-bytes-mod-8 tagged
+        key can never collide with an untagged one.
+        """
+        if not packed:
+            return {}
+        key = packed if prev == 0 else (
+            b"\x01" + prev.to_bytes(8, "little") + packed)
+        cache = self._fold_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            return cached
+        size = self.map_size
+        if _np is not None and len(packed) > 512:
+            sites = _np.frombuffer(packed, dtype=_np.uint64)
+            edges = _np.empty(len(sites), _np.uint64)
+            edges[0] = (int(sites[0]) ^ (prev >> 1)) % size
+            _np.bitwise_xor(sites[1:], sites[:-1] >> 1, out=edges[1:])
+            edges %= size
+            trace: Dict[int, int] = {}
+            _count_elements(trace, edges.tolist())
+        else:
+            trace = {}
+            trace_get = trace.get
+            for site in _array("Q", packed):
+                edge = (site ^ (prev >> 1)) % size
+                prev = site
+                trace[edge] = trace_get(edge, 0) + 1
+        if len(cache) >= self.fold_memo_limit:
+            cache.popitem(last=False)
+            self.fold_evictions += 1
+        cache[key] = trace
         return trace
 
     def ijon_set(self, slot: int) -> None:
@@ -164,17 +222,97 @@ class EdgeTracer:
         bitmap entry, so novel states look like novel edges to the
         fuzzer's novelty check.
         """
+        if self._suspended:
+            return
         edge = (IJON_BASE + slot) % self.map_size
         ijon = self._ijon
         ijon[edge] = ijon.get(edge, 0) + 1
+
+    def ijon_snapshot(self) -> Optional[Dict[int, int]]:
+        """Copy of the IJON slot counts so far (None when empty)."""
+        return dict(self._ijon) if self._ijon else None
+
+    # -- prefix-trace elision (driven by the executor) -----------------------
+
+    def stream_pos(self) -> int:
+        """Number of sites recorded so far in the live stream."""
+        return len(self._stream)
+
+    @property
+    def prefix_site_count(self) -> int:
+        """Sites covered by the seeded prefix, so boundary marks stay
+        in full-stream coordinates after an elided resume."""
+        return len(self._prefix_packed) // 8
+
+    def elide_suspend(self) -> None:
+        """Stop collecting: a recorded deterministic prefix is being
+        replayed, so its events would only repeat known bytes."""
+        self._suspended = True
+
+    def elide_resume(self, prefix_packed: bytes,
+                     ijon_seed: Optional[Dict[int, int]] = None) -> None:
+        """Resume collection, seeding the recorded prefix.
+
+        ``prefix_packed`` is the packed site stream the suspended
+        window *would* have produced; ``ijon_seed`` the IJON counts it
+        would have accumulated.  :meth:`take_trace` then returns the
+        same bytes a fully-traced run yields.
+        """
+        self._suspended = False
+        self._prefix_packed = prefix_packed
+        if ijon_seed:
+            ijon = self._ijon
+            get = ijon.get
+            for edge, count in ijon_seed.items():
+                ijon[edge] = get(edge, 0) + count
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    # -- backend hooks -------------------------------------------------------
+
+    def run(self, fn: Callable, *args) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class EdgeTracer(TracerCore):
+    """``sys.settrace`` backend: works on every supported CPython.
+
+    * the **global** callback is a closure over pre-bound locals whose
+      per-code decision is one dict probe; untraced code (the kernel,
+      the fuzzer, libraries) costs exactly that probe per call;
+    * each traced code object gets its own **specialized local
+      callback** that appends one precomputed site per line event.
+    """
+
+    backend_name = "settrace"
+
+    def __init__(self, traced_fragments: Tuple[str, ...] = DEFAULT_TRACED_FRAGMENTS,
+                 map_size: int = MAP_SIZE,
+                 fold_memo_limit: int = FOLD_MEMO_LIMIT) -> None:
+        super().__init__(traced_fragments, map_size, fold_memo_limit)
+        #: Per-code-object cache: id(code) -> stable site base for
+        #: traced code, None for untraced.  (id() is only the cache
+        #: key — sites themselves come from :func:`_stable_site`.)
+        self._code_cache: Dict[int, Optional[int]] = {}
+        #: id(code) -> (base, specialized local callback) for traced
+        #: code, None for untraced.
+        self._entry_cache: Dict[int, Optional[Tuple[int, Callable]]] = {}
+        self._global = self._build_global()
+        self._depth = 0
 
     # -- execution wrapper --------------------------------------------------
 
     def run(self, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` with tracing enabled.
 
-        Re-entrant: nested calls keep the existing trace hook.
+        Re-entrant: nested calls keep the existing trace hook.  While
+        suspended (prefix elision), runs plain.
         """
+        if self._suspended:
+            fn(*args)
+            return
         if self._depth == 0:
             sys.settrace(self._global)
         self._depth += 1

@@ -144,6 +144,13 @@ class NyxNetFuzzer:
         self.stats.queue_size = len(self.corpus)
         self.stats.snapshot_rebuilds = self.executor.snapshot_rebuilds
         self.stats.degraded_root_only = self.executor.degraded_root_only
+        self.stats.prefix_elisions = self.executor.prefix_elisions
+        self.stats.prefix_elided_ops = self.executor.prefix_elided_ops
+        self.stats.elision_invalidations = self.executor.elision_invalidations
+        tracer = self.executor.tracer
+        if tracer is not None:
+            self.stats.fold_memo_evictions = tracer.fold_evictions
+            self.stats.coverage_backend = tracer.backend_name
         injector = getattr(self.executor.interceptor, "injector", None)
         if injector is not None:
             self.stats.faults_injected = injector.faults_injected
@@ -233,7 +240,11 @@ class NyxNetFuzzer:
             child = self.mutator.mutate(
                 entry.input, from_index=0,
                 splice_donor=self.corpus.splice_donor(entry))
-            result = self.executor.run_full(child)
+            # Any op prefix the child still shares with its parent
+            # replays with the tracer elided against the parent's
+            # recording.
+            result = self.executor.run_full(child,
+                                            parent_key=entry.entry_id)
             if self._process_result(child, result):
                 found_new = True
         self.policy.feedback(entry, found_new, self.config.iterations_root)
@@ -243,8 +254,13 @@ class NyxNetFuzzer:
         # One full run creates the incremental snapshot after the
         # chosen packet (and is itself a normal execution).
         base = entry.input
-        result = self.executor.run_full(base, snapshot_after_packet=snapshot_packet)
+        result = self.executor.run_full(base,
+                                        snapshot_after_packet=snapshot_packet,
+                                        parent_key=entry.entry_id)
         self._process_result(base, result, count_as_new_input=False)
+        # Entries discovered by suffix runs carry no recording of their
+        # own; this capture run's (charge-clamped) recording fills in.
+        self.executor.remember_trace(entry.entry_id, result, replace=False)
         resume = self.executor.suffix_resume_index
         found_new = False
         iterations = self.config.iterations_per_snapshot
@@ -298,12 +314,16 @@ class NyxNetFuzzer:
         if verdict != CoverageMap.NEW_NOTHING:
             self.stats.record_coverage(now, self.coverage.edge_count())
             if count_as_new_input and verdict == CoverageMap.NEW_EDGE:
-                self.corpus.add(input_.copy(), exec_time=result.exec_time,
-                                new_edges=self.coverage.edge_count(),
-                                found_at=now,
-                                checksum=self.coverage.checksum(result.trace),
-                                packets_consumed=result.packets_consumed,
-                                trace=dict(result.trace))
+                entry = self.corpus.add(
+                    input_.copy(), exec_time=result.exec_time,
+                    new_edges=self.coverage.edge_count(),
+                    found_at=now,
+                    checksum=self.coverage.checksum(result.trace),
+                    packets_consumed=result.packets_consumed,
+                    trace=dict(result.trace))
+                # Future children of this entry elide their shared
+                # prefix against this run's recording.
+                self.executor.remember_trace(entry.entry_id, result)
                 found_new = True
         return found_new
 
@@ -358,8 +378,10 @@ class NyxNetFuzzer:
             self.stats.record_crash(result.crash.dedup_key, now)
         self.coverage.has_new_bits(result.trace)
         self.stats.record_coverage(now, self.coverage.edge_count())
-        self.corpus.add(seed, exec_time=result.exec_time,
-                        new_edges=self.coverage.edge_count(), found_at=now,
-                        checksum=self.coverage.checksum(result.trace),
-                        packets_consumed=result.packets_consumed,
-                        trace=dict(result.trace))
+        entry = self.corpus.add(seed, exec_time=result.exec_time,
+                                new_edges=self.coverage.edge_count(),
+                                found_at=now,
+                                checksum=self.coverage.checksum(result.trace),
+                                packets_consumed=result.packets_consumed,
+                                trace=dict(result.trace))
+        self.executor.remember_trace(entry.entry_id, result)

@@ -58,6 +58,25 @@ class CampaignStats:
     sanitizer_checks: int = 0
     #: Reset leaks (NYX050/NYX051 findings) those checks reported.
     sanitizer_leaks: int = 0
+    #: Coverage backend the campaign's tracer used ("settrace",
+    #: "monitoring"; "" when tracing is off).  Host-side detail: lives
+    #: outside :meth:`as_dict` so campaigns on different backends stay
+    #: byte-comparable — that identity is the whole point.
+    coverage_backend: str = ""
+    #: --- host-side performance counters -----------------------------
+    #: These describe how cheaply the host computed the campaign, never
+    #: what the campaign computed, so they are excluded from
+    #: :meth:`as_dict` (and hence from ``stats_checksum``): an elided
+    #: and a fully-traced run of the same campaign must hash the same.
+    #: Runs whose traced prefix was elided against a recording.
+    prefix_elisions: int = 0
+    #: Ops those elisions skipped tracing for.
+    prefix_elided_ops: int = 0
+    #: Wholesale recording-cache invalidations (snapshot heal/rebuild/
+    #: degrade events).
+    elision_invalidations: int = 0
+    #: Entries evicted from the tracer's LRU fold memo.
+    fold_memo_evictions: int = 0
 
     def record_coverage(self, now: float, edges: int) -> None:
         if not self.coverage_series or self.coverage_series[-1][1] != edges:
@@ -155,6 +174,17 @@ class CampaignStats:
             "sanitizer_leaks": self.sanitizer_leaks,
         }
 
+    def host_counters(self) -> Dict[str, Any]:
+        """Host-side performance counters, reported next to (never
+        inside) the canonical :meth:`as_dict` view."""
+        return {
+            "coverage_backend": self.coverage_backend,
+            "prefix_elisions": self.prefix_elisions,
+            "prefix_elided_ops": self.prefix_elided_ops,
+            "elision_invalidations": self.elision_invalidations,
+            "fold_memo_evictions": self.fold_memo_evictions,
+        }
+
     # -- multi-worker rollup ------------------------------------------------
 
     @classmethod
@@ -191,6 +221,12 @@ class CampaignStats:
             merged.trim_ops_exec += part.trim_ops_exec
             merged.sanitizer_checks += part.sanitizer_checks
             merged.sanitizer_leaks += part.sanitizer_leaks
+            merged.prefix_elisions += part.prefix_elisions
+            merged.prefix_elided_ops += part.prefix_elided_ops
+            merged.elision_invalidations += part.elision_invalidations
+            merged.fold_memo_evictions += part.fold_memo_evictions
+            if part.coverage_backend and not merged.coverage_backend:
+                merged.coverage_backend = part.coverage_backend
             for key, when in part.crash_times.items():
                 if key not in merged.crash_times or when < merged.crash_times[key]:
                     merged.crash_times[key] = when

@@ -38,13 +38,17 @@ def stats_checksum(stats) -> str:
 
 def run_macro(target: str = "lighttpd", seed: int = 1,
               execs: int = 2000, policy: str = "aggressive",
-              sanitize_every: Optional[int] = None) -> Dict[str, object]:
+              sanitize_every: Optional[int] = None,
+              coverage_backend: str = "auto") -> Dict[str, object]:
     """Run one seeded campaign and report both clocks.
 
     The campaign is capped by host-side execution count (not sim time)
     so the measured wall window covers a fixed amount of work.  With
     ``sanitize_every`` the NYX05x reset sanitizer runs during the
     campaign and its leak count is reported (and should be zero).
+    ``coverage_backend`` only changes *how fast* the host computes the
+    campaign: ``stats_checksum`` and every sim metric must come out
+    identical across backends (CI's per-backend bench-smoke pins this).
     """
     from repro.fuzz.campaign import build_campaign
     from repro.targets import PROFILES
@@ -53,7 +57,8 @@ def run_macro(target: str = "lighttpd", seed: int = 1,
     boot_start = wall_now()
     handles = build_campaign(profile, policy=policy, seed=seed,
                              time_budget=1e9, max_execs=execs,
-                             sanitize_every=sanitize_every)
+                             sanitize_every=sanitize_every,
+                             coverage_backend=coverage_backend)
     boot_seconds = wall_now() - boot_start
 
     run_start = wall_now()
@@ -81,6 +86,11 @@ def run_macro(target: str = "lighttpd", seed: int = 1,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
         },
+        # Host-side counters: how cheaply the campaign was computed.
+        # Deliberately outside stats_checksum (which hashes the sim
+        # view only) so backends and elision stay byte-comparable.
+        "coverage_backend": stats.coverage_backend,
+        "host_counters": stats.host_counters(),
     }
     if sanitize_every is not None:
         payload["sanitizer_checks"] = stats.sanitizer_checks

@@ -44,8 +44,21 @@ class DeterministicRandom(random.Random):
         return max(a, b) if towards_end else min(a, b)
 
     def some_bytes(self, length: int) -> bytes:
-        """Random byte string of the given length."""
-        return bytes(self.getrandbits(8) for _ in range(length))
+        """Random byte string of the given length.
+
+        One bulk ``getrandbits`` draw instead of a Python loop, while
+        consuming the underlying Mersenne-Twister stream exactly like
+        ``length`` separate ``getrandbits(8)`` calls did: each byte
+        draw consumes one 32-bit MT output word and keeps its top 8
+        bits, so the batched draw takes ``32 * length`` bits and keeps
+        every fourth byte (little-endian word order puts each word's
+        top byte at offset 3).  Seed streams — and therefore whole
+        campaigns — replay byte-identically across the change.
+        """
+        if length <= 0:
+            return b""
+        words = self.getrandbits(32 * length)
+        return words.to_bytes(4 * length, "little")[3::4]
 
     def shuffled(self, items: Sequence[T]) -> List[T]:
         """Return a shuffled copy without mutating the input."""

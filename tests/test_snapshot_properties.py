@@ -190,3 +190,89 @@ def test_snapshot_costs_scale_with_dirty_pages(n_small, n_large):
         machine.create_incremental()
         costs.append(machine.clock.now - before)
     assert costs[1] > costs[0]
+
+
+# ----------------------------------------------------------------------
+# prefix-trace elision == full tracing (PR: pluggable backends)
+# ----------------------------------------------------------------------
+
+
+def _traced_executor():
+    from repro.coverage.tracer import EdgeTracer
+    from repro.emu.interceptor import Interceptor
+    from repro.emu.surface import AttackSurface
+    from repro.fuzz.executor import NyxExecutor
+    from repro.guestos.kernel import Kernel
+    from tests.helpers import EchoServer
+    machine = Machine(memory_bytes=16 * 1024 * 1024)
+    kernel = Kernel(machine)
+    interceptor = Interceptor(kernel, AttackSurface.tcp_server(7))
+    kernel.spawn(EchoServer(7))
+    kernel.run()
+    kernel.flush_to_memory(full=True)
+    machine.capture_root()
+    tracer = EdgeTracer(traced_fragments=("helpers",))
+    return machine, NyxExecutor(machine, kernel, interceptor, tracer)
+
+
+def _elision_sequence(machine, executor, base, child):
+    """One full exercise of every elision path; returns the traces.
+
+    Covers from-root elision against a remembered parent recording
+    (whole-run elision when the child equals the parent), suffix
+    elision against the capture recording, and the heal/rebuild path
+    (which invalidates all recordings mid-sequence).
+    """
+    traces = []
+    r_base = executor.run_full(base)
+    executor.remember_trace(1, r_base)
+    traces.append(r_base.trace)
+    executor.finish_snapshot_cycle()
+    traces.append(executor.run_full(child, parent_key=1).trace)
+    executor.finish_snapshot_cycle()
+    executor.run_full(base)                       # re-arm the snapshot
+    traces.append(executor.run_suffix(child).trace)
+    machine.snapshots.discard_incremental()       # corrupt -> heal
+    traces.append(executor.run_suffix(child).trace)
+    executor.finish_snapshot_cycle()
+    return traces
+
+
+@given(payloads=st.lists(st.binary(min_size=1, max_size=6),
+                         min_size=2, max_size=4),
+       mutated=st.binary(min_size=0, max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_prefix_elision_equals_full_tracing(payloads, mutated):
+    """Elision is invisible: every run's trace is byte-identical to the
+    same sequence executed with elision disabled — through from-root
+    elision, whole-run elision, suffix elision and heal/rebuild."""
+    from repro.fuzz.input import FuzzInput
+    from repro.spec.bytecode import Op
+
+    ops = [Op("connection"), Op("packet", (0,), (bytes(payloads[0]),)),
+           Op("snapshot")]
+    ops.extend(Op("packet", (0,), (bytes(p),)) for p in payloads[1:])
+    base = FuzzInput(ops)
+    child = base.copy()
+    child.with_payload(base.packet_indices()[-1], bytes(mutated))
+
+    machine, executor = _traced_executor()
+    elided = _elision_sequence(machine, executor, base, child)
+    assert executor.prefix_elisions >= 1
+    assert executor.elision_invalidations >= 1
+
+    executor.trace_elision = False
+    plain = _elision_sequence(machine, executor, base, child)
+    assert elided == plain
+
+    # FaultPlan composition: an armed injector (even at rate 0, which
+    # never fires) disarms elision; traces still match the reference.
+    from repro.faults import FaultInjector, FaultPlan
+    executor.trace_elision = True
+    injector = FaultInjector(FaultPlan(seed=0, rate=0.0))
+    executor.interceptor.injector = injector
+    machine.snapshots.injector = injector
+    before = executor.prefix_elisions
+    armed = _elision_sequence(machine, executor, base, child)
+    assert executor.prefix_elisions == before
+    assert armed == plain
