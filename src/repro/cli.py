@@ -40,11 +40,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import build_campaign
     from repro.fuzz.persist import save_campaign
     from repro.targets import PROFILES
+    if args.resume:
+        return _fuzz_resume(args)
+    if args.target is None:
+        print("a target is required unless --resume is given "
+              "(see `repro targets`)", file=sys.stderr)
+        return 2
     profile = PROFILES.get(args.target)
     if profile is None:
         print("unknown target %r (see `repro targets`)" % args.target,
               file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None:
+        return _fuzz_durable(args, profile)
     if args.workers > 1:
         return _fuzz_parallel(args, profile)
     from repro.coverage.backends import BackendUnavailable
@@ -142,6 +150,189 @@ def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
     if args.out:
         written = save_parallel_campaign(campaign, args.out)
         print("saved %d files to %s" % (written, args.out))
+    return 0
+
+
+#: Parser defaults for the flags a durable campaign's manifest records.
+#: On ``--resume``, a flag still at its default adopts the manifest's
+#: value; a flag the user explicitly changed must match the manifest or
+#: the resume is refused (resuming under a different config would
+#: silently produce incomparable results).
+_FUZZ_DEFAULTS = {
+    "target": ("target", None),
+    "policy": ("policy", "aggressive"),
+    "seed": ("seed", 0),
+    "time_budget": ("time", 600.0),
+    "max_execs": ("execs", 5000),
+    "fault_rate": ("fault_rate", 0.0),
+    "fault_plan": ("fault_plan", None),
+    "exec_timeout": ("exec_timeout", None),
+    "sanitize_every": ("sanitize_resets", None),
+    "coverage_backend": ("coverage_backend", "auto"),
+    "workers": ("workers", 1),
+    "sync_interval": ("sync_interval", 5.0),
+}
+
+
+def _resume_conflicts(manifest: dict, args: argparse.Namespace) -> List[str]:
+    """Explicitly-passed fuzz flags that contradict the manifest."""
+    conflicts = []
+    for key, (attr, default) in _FUZZ_DEFAULTS.items():
+        given = getattr(args, attr)
+        if given == default:
+            continue  # left at the default: the manifest's value wins
+        recorded = manifest.get(key)
+        if given != recorded:
+            flag = attr.replace("_", "-")
+            conflicts.append("--%s %r conflicts with the campaign's "
+                             "recorded %r" % (flag, given, recorded))
+    if args.no_asan and manifest.get("asan", True):
+        conflicts.append("--no-asan conflicts with the campaign's "
+                         "recorded asan=True")
+    return conflicts
+
+
+def _fuzz_durable(args: argparse.Namespace, profile) -> int:
+    """``fuzz --checkpoint-every N``: a journaled, resumable campaign."""
+    from repro.coverage.backends import BackendUnavailable
+    from repro.faults import PlanError
+    from repro.fuzz.journal import (DurableCampaign, DurableParallelCampaign,
+                                    campaign_manifest)
+    if not args.out:
+        print("--checkpoint-every needs --out DIR (the durable campaign "
+              "directory the journal, checkpoints and manifest live in)",
+              file=sys.stderr)
+        return 2
+    if args.distill:
+        print("(--distill is ignored with --checkpoint-every)")
+    kind = "parallel" if args.workers > 1 else "single"
+    manifest = campaign_manifest(
+        kind, args.target, policy=args.policy, seed=args.seed,
+        time_budget=args.time, max_execs=args.execs,
+        checkpoint_every=args.checkpoint_every,
+        asan=not args.no_asan, fault_rate=args.fault_rate,
+        fault_plan=args.fault_plan, exec_timeout=args.exec_timeout,
+        sanitize_every=args.sanitize_resets,
+        coverage_backend=args.coverage_backend,
+        workers=args.workers, sync_interval=args.sync_interval)
+    try:
+        if kind == "parallel":
+            from repro.fuzz.campaign import (
+                build_parallel_campaign_from_manifest)
+            campaign = build_parallel_campaign_from_manifest(profile,
+                                                             manifest)
+            durable = DurableParallelCampaign(
+                campaign, args.out, checkpoint_every=args.checkpoint_every,
+                manifest=manifest)
+        else:
+            from repro.fuzz.campaign import build_campaign_from_manifest
+            handles = build_campaign_from_manifest(profile, manifest)
+            durable = DurableCampaign(
+                handles, args.out, checkpoint_every=args.checkpoint_every,
+                manifest=manifest)
+    except PlanError as err:
+        print("invalid fault plan: %s" % err, file=sys.stderr)
+        return 2
+    except BackendUnavailable as err:
+        print("coverage backend unavailable: %s" % err, file=sys.stderr)
+        return 2
+    print("durable campaign on %s in %s (checkpoint every %d execs)"
+          % (args.target, args.out, args.checkpoint_every))
+    return _run_durable(durable)
+
+
+def _fuzz_resume(args: argparse.Namespace) -> int:
+    """``fuzz --resume DIR``: continue a durable campaign."""
+    from repro.coverage.backends import BackendUnavailable
+    from repro.faults import PlanError
+    from repro.fuzz.journal import (DurabilityError, read_manifest,
+                                    resume_campaign)
+    try:
+        manifest = read_manifest(args.resume)
+    except DurabilityError as err:
+        print("cannot resume: %s" % err, file=sys.stderr)
+        return 2
+    conflicts = _resume_conflicts(manifest, args)
+    if conflicts:
+        print("cannot resume %s with conflicting flags:" % args.resume,
+              file=sys.stderr)
+        for conflict in conflicts:
+            print("  %s" % conflict, file=sys.stderr)
+        print("drop the flags (the manifest's recorded values are used) "
+              "or start a fresh campaign in a new directory",
+              file=sys.stderr)
+        return 2
+    try:
+        durable = resume_campaign(args.resume)
+    except DurabilityError as err:
+        print("cannot resume: %s" % err, file=sys.stderr)
+        return 2
+    except PlanError as err:
+        print("invalid fault plan: %s" % err, file=sys.stderr)
+        return 2
+    except BackendUnavailable as err:
+        print("coverage backend unavailable: %s" % err, file=sys.stderr)
+        return 2
+    if durable.resumed_from is not None:
+        print("resuming %s campaign on %s from checkpoint epoch %d"
+              % (manifest["kind"], manifest["target"], durable.resumed_from))
+    else:
+        print("no usable checkpoint in %s yet; restarting from the manifest"
+              % args.resume)
+    recovered = durable.recovered
+    if recovered.get("corpus_adds") or recovered.get("crashes"):
+        print("journal tail past the checkpoint recorded %d corpus adds "
+              "and %d crashes — the resumed run re-derives them "
+              "deterministically" % (recovered.get("corpus_adds", 0),
+                                     recovered.get("crashes", 0)))
+    return _run_durable(durable)
+
+
+def _run_durable(durable) -> int:
+    """Drive a durable campaign under graceful signal handling."""
+    from repro.fuzz.journal import GracefulShutdown
+    with GracefulShutdown() as drain:
+        try:
+            result = durable.run(stop=drain)
+        except KeyboardInterrupt:
+            print("aborted; the last periodic checkpoint is retained in %s"
+                  % durable.directory, file=sys.stderr)
+            print("resume with: repro fuzz --resume %s" % durable.directory,
+                  file=sys.stderr)
+            return 3
+    if result is None:
+        print("graceful stop: campaign checkpointed to %s"
+              % durable.directory)
+        print("resume with: repro fuzz --resume %s" % durable.directory)
+        return 3
+    if durable.kind == "parallel":
+        print(result.summary())
+        _print_robustness(result.merged)
+        campaign = durable.campaign
+        retired = campaign.retired_workers()
+        if retired:
+            print("retired workers: %s" % ", ".join(map(str, retired)))
+        for bug in sorted({key for w in campaign.workers
+                           for key in w.fuzzer.crashes.records}):
+            print("  CRASH %s" % bug)
+    else:
+        stats = result
+        print(stats.summary())
+        _print_robustness(stats)
+        fuzzer = durable.fuzzer
+        for bug in fuzzer.crashes.unique_bugs:
+            record = fuzzer.crashes.records[bug]
+            print("  CRASH %-40s t=%.2fs x%d" % (bug, record.found_at,
+                                                 record.count))
+        if stats.sanitizer_checks:
+            print("reset sanitizer: %d checks, %d leaks"
+                  % (stats.sanitizer_checks, stats.sanitizer_leaks))
+            for diag in fuzzer.sanitizer_findings:
+                print("  %s" % diag.format())
+            if stats.sanitizer_leaks:
+                return 1
+    print("campaign complete; corpus+crashes persisted in %s"
+          % durable.directory)
     return 0
 
 
@@ -398,7 +589,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("targets", help="list fuzz targets")
 
     fuzz = sub.add_parser("fuzz", help="fuzz one target")
-    fuzz.add_argument("target")
+    fuzz.add_argument("target", nargs="?",
+                      help="target name (optional with --resume: the "
+                           "campaign's manifest records it)")
+    fuzz.add_argument("--resume", metavar="DIR",
+                      help="resume a durable campaign directory from its "
+                           "newest checkpoint (+journal); other flags must "
+                           "match the recorded manifest")
+    fuzz.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N",
+                      help="make the campaign durable: journal progress and "
+                           "checkpoint the full resumable state to --out "
+                           "every N execs (SIGTERM/SIGINT drain into a "
+                           "resumable exit; kill -9 recovers from the last "
+                           "checkpoint via --resume)")
     fuzz.add_argument("--policy", default="aggressive",
                       choices=["none", "balanced", "aggressive"])
     fuzz.add_argument("--seed", type=int, default=0)

@@ -120,3 +120,16 @@ class CoverageMap:
         clone.virgin = bytearray(self.virgin)
         clone.edges_seen = self.edges_seen
         return clone
+
+    # -- durability (checkpoint/resume) ----------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable virgin-map state (see :mod:`repro.fuzz.journal`)."""
+        return {"size": self.size, "virgin": bytes(self.virgin),
+                "edges_seen": self.edges_seen}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed virgin map."""
+        self.size = int(state["size"])
+        self.virgin = bytearray(state["virgin"])
+        self.edges_seen = int(state["edges_seen"])

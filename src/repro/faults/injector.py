@@ -65,6 +65,30 @@ class FaultInjector:  # nyx: allow[reset]
         """Queue specific faults ahead of the random stream."""
         self._forced.extend(kinds)
 
+    # -- durability (checkpoint/resume) ----------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable injector state (see :mod:`repro.fuzz.journal`).
+
+        The fault stream is part of a campaign's deterministic replay:
+        a resumed campaign must draw exactly the faults the killed run
+        would have drawn next, so the RNG position, the in-flight
+        EAGAIN burst and the counters all travel with the checkpoint.
+        """
+        return {"rng": self.rng.getstate(),
+                "faults_injected": self.faults_injected,
+                "by_kind": dict(self.by_kind),
+                "eagain_remaining": self._eagain_remaining,
+                "forced": list(self._forced)}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed injector state."""
+        self.rng.setstate(state["rng"])
+        self.faults_injected = int(state["faults_injected"])
+        self.by_kind = dict(state["by_kind"])
+        self._eagain_remaining = int(state["eagain_remaining"])
+        self._forced = deque(state["forced"])
+
     def _take_forced(self, *allowed: FaultKind) -> Optional[FaultKind]:
         if self._forced and self._forced[0] in allowed:
             return self._forced.popleft()

@@ -157,3 +157,50 @@ def build_parallel_campaign(profile: TargetProfile,
                             exec_timeout=exec_timeout,
                             coverage_backend=coverage_backend)
     return ParallelCampaign(profile, config, seeds=seeds)
+
+
+# ----------------------------------------------------------------------
+# durable-campaign resume (see repro.fuzz.journal)
+# ----------------------------------------------------------------------
+
+def build_campaign_from_manifest(profile: TargetProfile,
+                                 manifest: dict) -> CampaignHandles:
+    """Rebuild a single-instance campaign exactly as a durable
+    campaign's ``manifest.json`` records it.
+
+    Every knob that shapes the campaign's deterministic trajectory
+    comes from the manifest, so the rebuilt campaign is bit-identical
+    to the one that wrote it — the property checkpoint restore relies
+    on.
+    """
+    return build_campaign(
+        profile,
+        policy=manifest["policy"],
+        seed=manifest["seed"],
+        time_budget=manifest["time_budget"],
+        max_execs=manifest.get("max_execs"),
+        asan=manifest.get("asan", True),
+        iterations_per_snapshot=manifest.get("iterations_per_snapshot", 50),
+        fault_rate=manifest.get("fault_rate", 0.0),
+        fault_plan=manifest.get("fault_plan"),
+        exec_timeout=manifest.get("exec_timeout"),
+        sanitize_every=manifest.get("sanitize_every"),
+        coverage_backend=manifest.get("coverage_backend", "auto"))
+
+
+def build_parallel_campaign_from_manifest(profile: TargetProfile,
+                                          manifest: dict):
+    """Parallel counterpart of :func:`build_campaign_from_manifest`."""
+    return build_parallel_campaign(
+        profile,
+        workers=manifest.get("workers", 2),
+        policy=manifest["policy"],
+        seed=manifest["seed"],
+        time_budget=manifest["time_budget"],
+        max_total_execs=manifest.get("max_execs"),
+        asan=manifest.get("asan", True),
+        iterations_per_snapshot=manifest.get("iterations_per_snapshot", 50),
+        sync_interval=manifest.get("sync_interval", 5.0),
+        fault_rate=manifest.get("fault_rate", 0.0),
+        exec_timeout=manifest.get("exec_timeout"),
+        coverage_backend=manifest.get("coverage_backend", "auto"))

@@ -62,6 +62,21 @@ class CrashDatabase:
             record.fastest_exec_time = exec_time
             record.fastest_input = input_.copy()
 
+    # -- durability (checkpoint/resume) ----------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable crash-DB state (see :mod:`repro.fuzz.journal`).
+
+        The whole record map is checkpointed — ``count`` and the
+        fastest-reproducer fields appear in the persisted crash
+        reports, so a resumed campaign must carry them forward exactly.
+        """
+        return {"records": self.records}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed crash DB."""
+        self.records = dict(state["records"])
+
     @property
     def unique_bugs(self) -> List[str]:
         return sorted(self.records)

@@ -286,6 +286,38 @@ class NyxExecutor:
             self._suffix.capture_rec = None
         self.elision_invalidations += 1
 
+    # ------------------------------------------------------------------
+    # durability (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    def durable_state(self) -> dict:
+        """Resumable executor state (see :mod:`repro.fuzz.journal`).
+
+        Only the counters that shape future behaviour travel: the exec
+        count, the degradation ladder (rebuild failures decide when the
+        executor falls back to root-only execution) and the snapshot
+        manager's sim-charge cursors.  The trace-recording cache and
+        suffix state are host-side caches, empty at every step boundary
+        or rebuilt on demand, and never cross a checkpoint.
+        """
+        return {"execs": self.execs,
+                "snapshot_rebuilds": self.snapshot_rebuilds,
+                "degraded_root_only": self.degraded_root_only,
+                "rebuild_failures": self._rebuild_failures,
+                "snapshots": self.machine.snapshots.host_cursor_state()}
+
+    def restore_durable_state(self, state: dict) -> None:
+        """Adopt a checkpointed executor state (inverse of
+        :meth:`durable_state`)."""
+        self.execs = int(state["execs"])
+        self.snapshot_rebuilds = int(state["snapshot_rebuilds"])
+        self.degraded_root_only = bool(state["degraded_root_only"])
+        self._rebuild_failures = int(state["rebuild_failures"])
+        self.machine.snapshots.restore_host_cursor_state(state["snapshots"])
+        self._suffix = None
+        self._recordings.clear()
+        self._rec_in_progress = None
+
     def _elision_blocked(self) -> bool:
         """Elision disarms while fault injection is active: injected
         faults fire on deterministic schedules of their *own*, so a

@@ -189,6 +189,70 @@ class NyxNetFuzzer:
                 and len(self.crashes) > 0)
 
     # ------------------------------------------------------------------
+    # durability (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    #: Version stamp inside every checkpointed fuzzer state; bumped on
+    #: any incompatible change so resume fails loudly, never subtly.
+    STATE_FORMAT = 1
+
+    def snapshot_state(self) -> dict:
+        """Full resumable state, valid at a step boundary only.
+
+        Every :meth:`step` ends with the VM back at the root snapshot
+        (suffix cycles finish with ``restore_root``; from-root runs end
+        with ``reset_for_next_test``), so no guest memory needs to
+        travel: the checkpoint is the RNG position, the sim clock, the
+        corpus/coverage/crash state and the handful of host-side
+        cursors that shape future sim charges.  The caller pickles the
+        returned dict immediately — it holds live references.
+        """
+        injector = getattr(self.executor.interceptor, "injector", None)
+        return {
+            "format": self.STATE_FORMAT,
+            "clock": self.clock.now,
+            "rng": self.rng.getstate(),
+            "seeded": self._seeded,
+            "next_sanitize": self._next_sanitize,
+            "stats": self.stats,
+            "corpus": self.corpus.snapshot_state(),
+            "coverage": self.coverage.snapshot_state(),
+            "crashes": self.crashes.snapshot_state(),
+            "executor": self.executor.durable_state(),
+            "injector": (injector.snapshot_state()
+                         if injector is not None else None),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed state on a freshly built campaign.
+
+        The campaign must have been rebuilt with the *same* config
+        (the durability layer validates the manifest first).  When the
+        sanitizer is configured it must be re-armed *before* this call:
+        its baseline digest is content-based and deterministic, and the
+        absolute clock restore below erases the arming charges.
+        """
+        if state.get("format") != self.STATE_FORMAT:
+            raise ValueError("incompatible checkpoint state format %r "
+                             "(this build speaks %d)"
+                             % (state.get("format"), self.STATE_FORMAT))
+        self.rng.setstate(state["rng"])
+        self._seeded = bool(state["seeded"])
+        self._next_sanitize = state["next_sanitize"]
+        self.stats = state["stats"]
+        self.corpus.restore_state(state["corpus"])
+        self.coverage.restore_state(state["coverage"])
+        self.crashes.restore_state(state["crashes"])
+        self.executor.restore_durable_state(state["executor"])
+        injector = getattr(self.executor.interceptor, "injector", None)
+        if injector is not None and state.get("injector") is not None:
+            injector.restore_state(state["injector"])
+        self.last_entry = None
+        # Last: snap the clock to the checkpointed instant, erasing the
+        # rebuild/re-arm charges accrued while reconstructing the VM.
+        self.clock.restore(state["clock"])
+
+    # ------------------------------------------------------------------
     # reset sanitizer (NYX05x)
     # ------------------------------------------------------------------
 

@@ -149,6 +149,10 @@ class ParallelCampaign:
         self.workers: List[WorkerHandle] = [
             self._spawn_worker(i) for i in range(config.workers)]
         self._finished = False
+        self._started = False
+        #: Sim time of the next corpus sync round (advances by
+        #: ``sync_interval``; part of the resumable state).
+        self._next_sync = config.sync_interval
         #: Step failures attributed to a corpus entry, keyed by its
         #: coverage checksum (the cross-worker identity).
         self._entry_failures: Dict[int, int] = {}
@@ -213,27 +217,46 @@ class ParallelCampaign:
     # the campaign loop
     # ------------------------------------------------------------------
 
-    def run(self) -> AggregateStats:
-        """Run every worker to its budget, syncing corpora as we go."""
-        if self._finished:
-            raise RuntimeError("campaign already ran")
+    def start(self) -> None:
+        """Begin every worker and run the seed sync round (idempotent).
+
+        Seed imports already produced coverage: one sync up front means
+        no worker wastes its budget rediscovering the seed corpus.  On
+        resume this is skipped via the restored ``_started`` flag.
+        """
+        if self._started:
+            return
+        self._started = True
         for worker in self.workers:
             try:
                 worker.fuzzer.begin_campaign()
             except Exception:
                 self._handle_worker_failure(worker)
-        # Seed imports already produced coverage: one sync up front so
-        # no worker wastes its budget rediscovering the seed corpus.
         self._sync_corpora()
-        next_sync = self.config.sync_interval
+
+    def run(self, controller=None) -> Optional[AggregateStats]:
+        """Run every worker to its budget, syncing corpora as we go.
+
+        ``controller`` (the campaign durability layer) may observe
+        slice boundaries via ``after_slice(campaign, worker)`` and
+        request a graceful stop via ``should_stop()`` — in which case
+        the campaign returns ``None`` *without* finishing, every worker
+        parked at a step boundary, ready to be checkpointed and later
+        resumed.
+        """
+        if self._finished:
+            raise RuntimeError("campaign already ran")
+        self.start()
         while True:
+            if controller is not None and controller.should_stop():
+                return None
             live = [w for w in self.workers if not w.done]
             if not live or self._total_execs_capped():
                 break
             now = min(w.fuzzer.clock.now for w in live)
-            if now >= next_sync:
+            if now >= self._next_sync:
                 self._sync_corpora()
-                next_sync += self.config.sync_interval
+                self._next_sync += self.config.sync_interval
             # Step the worker furthest behind on the sim clock: a
             # discrete-event round-robin that keeps instances tightly
             # interleaved without any host-side concurrency.
@@ -255,11 +278,72 @@ class ParallelCampaign:
                 if not alive:
                     worker.done = True
                     break
+            if controller is not None:
+                controller.after_slice(self, worker)
+        return self.finish()
+
+    def finish(self) -> AggregateStats:
+        """Final sync, stamp every worker's stats, roll up."""
         self._sync_corpora()
         for worker in self.workers:
             worker.fuzzer.finish_campaign()
         self._finished = True
         return self.aggregate()
+
+    # ------------------------------------------------------------------
+    # durability (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    #: Version stamp of the checkpointed fleet state.
+    STATE_FORMAT = 1
+
+    def snapshot_state(self) -> dict:
+        """Full resumable fleet state, valid at a slice boundary.
+
+        Covers the campaign RNG (slice lengths), the merged coverage
+        arbiter, the sync schedule, fleet-wide quarantine tallies and
+        every worker's fuzzer state plus supervision counters.  The
+        caller pickles the dict immediately.
+        """
+        return {
+            "format": self.STATE_FORMAT,
+            "started": self._started,
+            "rng": self.rng.getstate(),
+            "global_coverage": self.global_coverage.snapshot_state(),
+            "coverage_series": list(self.coverage_series),
+            "entry_failures": dict(self._entry_failures),
+            "next_sync": self._next_sync,
+            "workers": [{
+                "fuzzer": w.fuzzer.snapshot_state(),
+                "synced_id": w.synced_id,
+                "done": w.done,
+                "consecutive_failures": w.consecutive_failures,
+                "retired": w.retired,
+            } for w in self.workers],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed fleet state on a freshly built fleet."""
+        if state.get("format") != self.STATE_FORMAT:
+            raise ValueError("incompatible parallel checkpoint format %r "
+                             "(this build speaks %d)"
+                             % (state.get("format"), self.STATE_FORMAT))
+        if len(state["workers"]) != len(self.workers):
+            raise ValueError(
+                "checkpoint has %d workers, campaign has %d"
+                % (len(state["workers"]), len(self.workers)))
+        self._started = bool(state["started"])
+        self.rng.setstate(state["rng"])
+        self.global_coverage.restore_state(state["global_coverage"])
+        self.coverage_series = [tuple(p) for p in state["coverage_series"]]
+        self._entry_failures = dict(state["entry_failures"])
+        self._next_sync = float(state["next_sync"])
+        for worker, saved in zip(self.workers, state["workers"]):
+            worker.fuzzer.restore_state(saved["fuzzer"])
+            worker.synced_id = int(saved["synced_id"])
+            worker.done = bool(saved["done"])
+            worker.consecutive_failures = int(saved["consecutive_failures"])
+            worker.retired = bool(saved["retired"])
 
     # ------------------------------------------------------------------
     # worker supervision

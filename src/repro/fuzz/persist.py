@@ -33,11 +33,37 @@ from repro.spec.bytecode import SpecError, deserialize, serialize
 from repro.spec.nodes import Spec, default_network_spec
 
 
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a directory entry to disk; best-effort on platforms that
+    refuse to open directories (the rename is still atomic there)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
-    """Write-temp-then-rename: readers never observe a partial file."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
+    """Write-temp-then-rename, durably.
+
+    Readers never observe a partial file (rename is atomic), and the
+    data survives power loss, not just process death: the temp file is
+    fsync'd before the rename and the parent directory entry after it.
+    The temp name carries the writer's pid so two processes persisting
+    the same path never clobber each other's in-flight temp file.
+    """
+    tmp = path.with_name("%s.tmp.%d" % (path.name, os.getpid()))
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 def _atomic_write_text(path: pathlib.Path, text: str) -> None:
@@ -147,9 +173,11 @@ def save_parallel_campaign(campaign, directory: str,
                 continue
             if blob in seen_blobs:
                 continue
+            # Number before recording the blob so the merged queue
+            # starts at id_000000 like save_campaign's.
+            index = len(seen_blobs)
             seen_blobs.add(blob)
-            _atomic_write_bytes(
-                queue_dir / ("id_%06d.nyx" % len(seen_blobs)), blob)
+            _atomic_write_bytes(queue_dir / ("id_%06d.nyx" % index), blob)
             written += 1
     first_records = {}
     for worker in campaign.workers:
@@ -191,8 +219,8 @@ def load_corpus(directory: str, spec: Optional[Spec] = None,
         try:
             blob = path.read_bytes()
         except OSError as err:
-            warnings.warn("skipping unreadable corpus entry %s: %s"
-                          % (path.name, err))
+            warnings.warn("skipping unreadable corpus entry %s in %s: %s"
+                          % (path.name, directory, err))
             continue
         try:
             ops = deserialize(spec, blob)
@@ -203,11 +231,11 @@ def load_corpus(directory: str, spec: Optional[Spec] = None,
                 from repro.analysis.fixes import repair_blob
                 repaired = repair_blob(spec, blob)
             if repaired is None:
-                warnings.warn("skipping unreadable corpus entry %s: %s"
-                              % (path.name, err))
+                warnings.warn("skipping unreadable corpus entry %s in %s: %s"
+                              % (path.name, directory, err))
                 continue  # corrupt or foreign file: skip, never crash
-            warnings.warn("repaired damaged corpus entry %s (%s)"
-                          % (path.name, err))
+            warnings.warn("repaired damaged corpus entry %s in %s (%s)"
+                          % (path.name, directory, err))
             seeds.append(FuzzInput(repaired, origin="repaired"))
         if limit is not None and len(seeds) >= limit:
             break

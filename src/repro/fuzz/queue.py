@@ -169,6 +169,32 @@ class Corpus:
         for entry in self.entries:
             entry.favored = entry.entry_id in favored_ids
 
+    # -- durability (checkpoint/resume) ----------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Resumable scheduler state (see :mod:`repro.fuzz.journal`).
+
+        The returned dict holds live references; callers pickle it
+        immediately, which deep-copies everything at that instant.
+        """
+        return {
+            "entries": self.entries,
+            "next_id": self._next_id,
+            "cursor": self._cursor,
+            "cycles_done": self.cycles_done,
+            "seen_checksums": self._seen_checksums,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed scheduler state (inverse of
+        :meth:`snapshot_state`).  ``rng`` is deliberately untouched: the
+        corpus shares the fuzzer's RNG, which the fuzzer restores."""
+        self.entries = list(state["entries"])
+        self._next_id = int(state["next_id"])
+        self._cursor = int(state["cursor"])
+        self.cycles_done = int(state["cycles_done"])
+        self._seen_checksums = set(state["seen_checksums"])
+
     def next_entry(self) -> QueueEntry:
         """Cycle through the queue, probabilistically skipping
         non-favored entries (AFL's skip heuristic)."""

@@ -41,5 +41,19 @@ class SimClock:
         """Rewind to zero.  Only used between independent campaigns."""
         self._now = 0.0
 
+    def restore(self, now: float) -> None:
+        """Set the clock to an absolute instant (campaign resume).
+
+        State restoration, not time travel: a resumed campaign rebuilds
+        its VM (charging boot time afresh) and then snaps the clock to
+        the checkpointed instant, erasing the rebuild charges so the
+        simulated timeline continues exactly where the killed run left
+        off.  Only the durability layer (:mod:`repro.fuzz.journal`)
+        calls this.
+        """
+        if now < 0:
+            raise ValueError("cannot restore to a negative time: %r" % now)
+        self._now = float(now)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SimClock(now=%.6f)" % self._now

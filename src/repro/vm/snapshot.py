@@ -481,6 +481,41 @@ class SnapshotManager:  # nyx: allow[reset]
             "incremental snapshot failed validation on %d page(s): %s"
             % (len(bad), sorted(bad)[:8]))
 
+    # -- durability (checkpoint/resume) ----------------------------------------
+
+    def host_cursor_state(self) -> dict:
+        """Sim-charge-relevant cursors for a campaign checkpoint.
+
+        Taken at a step boundary (root restored, no incremental
+        active), the only snapshot state that influences *future* sim
+        charges is: which mirror entries are real copies (the stale
+        revert at the next create charges per page), how far the
+        re-mirror period has advanced, and where the amortized
+        validation schedule stands.  Page contents, per-page CRCs and
+        the verified-identity memo are deliberately excluded — they are
+        host-side caches rebuilt by the next ``create_incremental``
+        (and ``_verified_ids`` holds process-local ``id()``s that must
+        never cross a checkpoint).
+        """
+        return {"mirror_touched": self._mirror_touched,
+                "creates_since_remirror": self._creates_since_remirror,
+                "verify_countdown": self._verify_countdown}
+
+    def restore_host_cursor_state(self, state: dict) -> None:
+        """Adopt checkpointed cursors on a freshly (re)built machine.
+
+        The restored ``mirror_touched`` entries point at CoW root
+        references rather than the original private copies; the next
+        ``create_incremental`` reverts or recopies every one of them
+        (charging exactly what the original run would have), so the
+        invariant heals before any restore can observe the difference.
+        """
+        self._mirror_touched = set(state["mirror_touched"])
+        self._creates_since_remirror = int(state["creates_since_remirror"])
+        self._verify_countdown = int(state["verify_countdown"])
+        self._inc_checksums = {}
+        self._verified_ids = {}
+
     # -- fault-injection surface (see repro.faults) ---------------------------
 
     def mirror_private_pages(self) -> set:
