@@ -25,13 +25,26 @@ enforced dynamically at (de)serialization time:
   mutable state that no reset path restores;
 * :mod:`repro.analysis.sanitizer` — runtime reset sanitizer:
   structural digest of the host object graph diffed across snapshot
-  restores, naming the exact attribute path that leaked.
+  restores, naming the exact attribute path that leaked;
+* :mod:`repro.analysis.durlint` — durability lint (NYX06x): every
+  ``snapshot_state``/``restore_state`` pair audited for uncaptured
+  mutable state, capture/restore asymmetry, unbumped ``STATE_FORMAT``,
+  non-deterministic serialization and unregistered journal frames;
+* :mod:`repro.analysis.statediff` — runtime checkpoint verifier:
+  snapshot→restore→re-snapshot digest fixpoint plus a cross-process
+  differential that restores a checkpoint in a fresh subprocess,
+  re-steps to the parent's exec boundary and diffs the states.
 
 All of it is exposed as the ``repro analyze`` CLI subcommand and runs
 as a CI gate.
 """
 
-from repro.analysis.diagnostics import Diagnostic, Report, RULES, Severity
+from repro.analysis.diagnostics import (Diagnostic, FAMILIES, Report,
+                                        RULES, Severity, validate_registry)
+from repro.analysis.durlint import (analyze_durability_source,
+                                    analyze_durability_tree,
+                                    durability_fixit_stubs,
+                                    state_inventory)
 from repro.analysis.fixes import (FixResult, apply_fixes,
                                   eliminate_dead_ops, repair_blob,
                                   repair_ops)
@@ -43,12 +56,18 @@ from repro.analysis.resetlint import (analyze_reset_source,
 from repro.analysis.sanitizer import (ResetSanitizer, diff_digests,
                                       structural_digest)
 from repro.analysis.speclint import analyze_spec
+from repro.analysis.statediff import (fixpoint_check, state_digest,
+                                      verify_checkpoint)
 
 __all__ = [
-    "Diagnostic", "Report", "RULES", "Severity",
+    "Diagnostic", "FAMILIES", "Report", "RULES", "Severity",
+    "validate_registry",
     "FixResult", "apply_fixes", "eliminate_dead_ops", "repair_blob",
     "repair_ops", "analyze_ops", "analyze_spec",
     "analyze_reset_source", "analyze_reset_tree", "allowed_reset_attrs",
     "fixit_stubs", "tree_fixit_stubs",
     "ResetSanitizer", "diff_digests", "structural_digest",
+    "analyze_durability_source", "analyze_durability_tree",
+    "durability_fixit_stubs", "state_inventory",
+    "fixpoint_check", "state_digest", "verify_checkpoint",
 ]

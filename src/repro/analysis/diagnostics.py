@@ -17,6 +17,12 @@ Rule families::
     NYX03x  corpus audit     (repro.analysis.corpus)
     NYX04x  reset-safety lint (repro.analysis.resetlint)
     NYX05x  runtime reset sanitizer (repro.analysis.sanitizer)
+    NYX06x  durability lint (repro.analysis.durlint) and runtime
+            checkpoint verifier (repro.analysis.statediff)
+
+:data:`FAMILIES` records each family's reserved code range;
+:func:`validate_registry` is the self-test that keeps new rule codes
+from colliding across families.
 """
 
 from __future__ import annotations
@@ -100,7 +106,77 @@ RULES: Dict[str, tuple] = {
                "after a restore", Severity.ERROR),
     "NYX052": ("sanitizer digest truncated at the depth cap; part of the "
                "object graph is unaudited", Severity.INFO),
+    # -- durability lint / checkpoint verifier ------------------------------
+    "NYX060": ("mutable attribute never captured: state mutated after "
+               "__init__ does not travel through snapshot_state",
+               Severity.ERROR),
+    "NYX061": ("snapshot/restore asymmetry: key captured but never "
+               "restored, or restored but never captured", Severity.ERROR),
+    "NYX062": ("capture set changed without a STATE_FORMAT bump (stale "
+               "tests/golden/state_inventory.json)", Severity.ERROR),
+    "NYX063": ("non-deterministically-serializable leaf: set/dict-order "
+               "or object identity reaches the pickled state",
+               Severity.ERROR),
+    "NYX064": ("journal frame kind appended without a matching "
+               "resume/salvage handler registration", Severity.ERROR),
+    "NYX065": ("checkpoint fixpoint violation: snapshot -> restore -> "
+               "re-snapshot changed the structural digest", Severity.ERROR),
+    "NYX066": ("checkpoint divergence: a fresh process restoring the "
+               "checkpoint and re-stepping did not reproduce the parent's "
+               "state", Severity.ERROR),
 }
+
+#: family prefix -> (inclusive numeric code range, owning module).  A
+#: new rule family claims its decade here; :func:`validate_registry`
+#: rejects duplicate codes, codes outside their family's range, and
+#: overlapping family ranges.
+FAMILIES: Dict[str, tuple] = {
+    "spec lint": ((0, 9), "repro.analysis.speclint"),
+    "op-sequence lint": ((10, 19), "repro.analysis.oplint"),
+    "determinism self-lint": ((20, 29), "repro.analysis.selflint"),
+    "corpus audit": ((30, 39), "repro.analysis.corpus"),
+    "reset-safety lint": ((40, 49), "repro.analysis.resetlint"),
+    "runtime reset sanitizer": ((50, 59), "repro.analysis.sanitizer"),
+    "durability lint": ((60, 69), "repro.analysis.durlint"),
+}
+
+
+def validate_registry(rules: Optional[Dict[str, tuple]] = None,
+                      families: Optional[Dict[str, tuple]] = None) -> None:
+    """Self-test of the rule registry; raises ``ValueError`` on drift.
+
+    Checks (defaulting to the live :data:`RULES`/:data:`FAMILIES`):
+
+    * every code is well-formed (``NYX`` + 3 digits) and unique;
+    * every code falls inside exactly one family's reserved range;
+    * no two family ranges overlap.
+
+    Runs as part of the analyze CLI and as a tier-1 test, so a rule
+    family landed in two PRs cannot silently claim the same decade.
+    """
+    rules = RULES if rules is None else rules
+    families = FAMILIES if families is None else families
+    ranges = sorted((rng, name) for name, (rng, _mod) in families.items())
+    for (lo, hi), name in ranges:
+        if lo > hi:
+            raise ValueError("family %r has inverted range %r"
+                             % (name, (lo, hi)))
+    for ((_lo1, hi1), name1), ((lo2, _hi2), name2) in zip(ranges, ranges[1:]):
+        if lo2 <= hi1:
+            raise ValueError("family ranges overlap: %r and %r"
+                             % (name1, name2))
+    seen: Dict[int, str] = {}
+    for code in rules:
+        if (len(code) != 6 or not code.startswith("NYX")
+                or not code[3:].isdigit()):
+            raise ValueError("malformed rule code %r" % code)
+        number = int(code[3:])
+        if number in seen:
+            raise ValueError("duplicate rule code %r" % code)
+        seen[number] = code
+        if not any(lo <= number <= hi for (lo, hi), _name in ranges):
+            raise ValueError("rule code %r belongs to no registered "
+                             "family range" % code)
 
 
 @dataclass

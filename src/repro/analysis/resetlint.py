@@ -96,6 +96,13 @@ def _is_reset_family(name: str) -> bool:
     return name in RESET_NAMES or name.lstrip("_").startswith(RESET_PREFIXES)
 
 
+def _is_staticmethod(node) -> bool:
+    """A ``@staticmethod``'s first parameter is not ``self``; scanning
+    it would misattribute parameter mutations to the class."""
+    return any(isinstance(dec, ast.Name) and dec.id == "staticmethod"
+               for dec in node.decorator_list)
+
+
 def _is_dunder(name: str) -> bool:
     """Module-protocol names (``__all__`` & co) are not caches."""
     return name.startswith("__") and name.endswith("__")
@@ -267,7 +274,7 @@ def _scan_class(node: ast.ClassDef, lines: Sequence[str]) -> ClassRecord:
                     attr.init_value = stmt.value
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             args = stmt.args.posonlyargs + stmt.args.args
-            if not args:
+            if not args or _is_staticmethod(stmt):
                 continue  # staticmethod: no instance state access
             scan = _MethodScan(args[0].arg)
             for inner in stmt.body:

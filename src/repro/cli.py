@@ -13,8 +13,10 @@ Commands:
   crash reproducer) against a fresh target VM.
 * ``analyze`` — static diagnostics: spec lint, corpus dataflow audit
   (with ``--fix`` fix-its), the determinism self-lint, the
-  reset-safety lint (``--reset``) and the runtime reset sanitizer
-  (``--sanitize``).
+  reset-safety lint (``--reset``), the runtime reset sanitizer
+  (``--sanitize``) and the durability lint (``--durability``).
+  Prongs compose: one invocation may run several and emits a single
+  merged report.  Exit codes: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -49,6 +51,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     profile = PROFILES.get(args.target)
     if profile is None:
         print("unknown target %r (see `repro targets`)" % args.target,
+              file=sys.stderr)
+        return 2
+    if (args.verify_checkpoints is not None
+            and args.checkpoint_every is None):
+        print("--verify-checkpoints needs --checkpoint-every N (there is "
+              "nothing to verify without periodic checkpoints)",
               file=sys.stderr)
         return 2
     if args.checkpoint_every is not None:
@@ -171,6 +179,7 @@ _FUZZ_DEFAULTS = {
     "coverage_backend": ("coverage_backend", "auto"),
     "workers": ("workers", 1),
     "sync_interval": ("sync_interval", 5.0),
+    "verify_checkpoints": ("verify_checkpoints", None),
 }
 
 
@@ -214,7 +223,8 @@ def _fuzz_durable(args: argparse.Namespace, profile) -> int:
         fault_plan=args.fault_plan, exec_timeout=args.exec_timeout,
         sanitize_every=args.sanitize_resets,
         coverage_backend=args.coverage_backend,
-        workers=args.workers, sync_interval=args.sync_interval)
+        workers=args.workers, sync_interval=args.sync_interval,
+        verify_checkpoints=args.verify_checkpoints)
     try:
         if kind == "parallel":
             from repro.fuzz.campaign import (
@@ -223,13 +233,13 @@ def _fuzz_durable(args: argparse.Namespace, profile) -> int:
                                                              manifest)
             durable = DurableParallelCampaign(
                 campaign, args.out, checkpoint_every=args.checkpoint_every,
-                manifest=manifest)
+                manifest=manifest, verify_every=args.verify_checkpoints)
         else:
             from repro.fuzz.campaign import build_campaign_from_manifest
             handles = build_campaign_from_manifest(profile, manifest)
             durable = DurableCampaign(
                 handles, args.out, checkpoint_every=args.checkpoint_every,
-                manifest=manifest)
+                manifest=manifest, verify_every=args.verify_checkpoints)
     except PlanError as err:
         print("invalid fault plan: %s" % err, file=sys.stderr)
         return 2
@@ -331,6 +341,16 @@ def _run_durable(durable) -> int:
                 print("  %s" % diag.format())
             if stats.sanitizer_leaks:
                 return 1
+    totals = result.merged if durable.kind == "parallel" else result
+    print("durability: %d checkpoints written, %d stale epochs pruned, "
+          "%d verifications, %d divergences"
+          % (totals.checkpoints_written, totals.checkpoint_epochs_pruned,
+             totals.checkpoint_verifications,
+             totals.checkpoint_divergences))
+    if durable.verify_findings:
+        for diag in durable.verify_findings:
+            print("  %s" % diag.format())
+        return 1
     print("campaign complete; corpus+crashes persisted in %s"
           % durable.directory)
     return 0
@@ -506,22 +526,30 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import os
+
     from repro.analysis.diagnostics import Report
     from repro.spec.nodes import default_network_spec
     run_spec = args.spec
     self_root = args.self_root
     reset_root = args.reset_root
+    durability_root = args.durability_root
     run_corpus = args.corpus is not None
     run_sanitize = args.sanitize is not None
     if not (run_spec or self_root or run_corpus or reset_root
-            or run_sanitize):
+            or run_sanitize or durability_root):
         # Bare `repro analyze`: the checks that need no inputs.
         run_spec = True
         self_root = "src/repro"
         reset_root = "src/repro"
-    if args.fix and not (run_corpus or reset_root):
-        print("note: --fix only applies to --corpus and --reset",
-              file=sys.stderr)
+        durability_root = "src/repro"
+    for root in (self_root, reset_root, durability_root):
+        if root and not os.path.isdir(root):
+            print("not a directory: %s" % root, file=sys.stderr)
+            return 2
+    if args.fix and not (run_corpus or reset_root or durability_root):
+        print("note: --fix only applies to --corpus, --reset and "
+              "--durability", file=sys.stderr)
     spec = default_network_spec()
     report = Report()
     if run_spec:
@@ -539,6 +567,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         report.meta["reset_root"] = reset_root
         if args.fix:
             for where, stub in sorted(tree_fixit_stubs(reset_root).items()):
+                print("--- fix-it for %s ---" % where)
+                print(stub)
+    if durability_root:
+        from repro.analysis.durlint import (analyze_durability_tree,
+                                            durability_fixit_stubs)
+        report.extend(analyze_durability_tree(durability_root))
+        report.meta["durability_root"] = durability_root
+        if args.fix:
+            for where, stub in sorted(
+                    durability_fixit_stubs(durability_root).items()):
                 print("--- fix-it for %s ---" % where)
                 print(stub)
     if run_corpus:
@@ -633,6 +671,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="digest-diff the host object graph against the "
                            "post-root-snapshot baseline every N execs "
                            "(default N: 250); exits 1 on any reset leak")
+    fuzz.add_argument("--verify-checkpoints", nargs="?", const=200, type=int,
+                      default=None, metavar="N",
+                      help="with --checkpoint-every: after each periodic "
+                           "checkpoint, once N further execs have run, "
+                           "restore it in a fresh subprocess, re-step to "
+                           "the same exec boundary and diff the states "
+                           "(NYX065/NYX066; default N: 200); exits 1 on "
+                           "any divergence")
     fuzz.add_argument("--coverage-backend", default="auto",
                       choices=["auto", "settrace", "monitoring"],
                       help="edge tracer backend (auto: sys.monitoring on "
@@ -714,9 +760,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run a short seeded campaign with the "
                               "runtime reset sanitizer armed (NYX05x; "
                               "default TARGET: lighttpd)")
+    analyze.add_argument("--durability", dest="durability_root", nargs="?",
+                         const="src/repro", default=None, metavar="PATH",
+                         help="durability lint over a source tree: "
+                              "snapshot/restore completeness, capture-set "
+                              "drift vs the state-inventory golden, journal "
+                              "frame registration (NYX06x; default PATH: "
+                              "src/repro)")
     analyze.add_argument("--fix", action="store_true",
                          help="rewrite repairable --corpus entries in "
-                              "place; with --reset, print fix-it stubs")
+                              "place; with --reset or --durability, print "
+                              "fix-it stubs")
     analyze.add_argument("--json", metavar="PATH",
                          help="write the machine-readable report here")
     return parser

@@ -166,9 +166,10 @@ class NyxExecutor:
         #: failing validation, so every run now starts from the root.
         self.degraded_root_only = False
         #: Host-side elision counters (stamped into CampaignStats).
-        self.prefix_elisions = 0
-        self.prefix_elided_ops = 0
-        self.elision_invalidations = 0
+        #: Outside stats_checksum by design; resume recounts from 0.
+        self.prefix_elisions = 0  # nyx: state[ephemeral]
+        self.prefix_elided_ops = 0  # nyx: state[ephemeral]
+        self.elision_invalidations = 0  # nyx: state[ephemeral]
         self._rebuild_failures = 0
         self._suffix: Optional[_SuffixState] = None
         self._recordings: "OrderedDict[int, TraceRecording]" = OrderedDict()

@@ -81,8 +81,9 @@ class NyxNetFuzzer:
         #: parallel supervisor's suspect when a step raises.
         self.last_entry: Optional[QueueEntry] = None
         #: Armed by :meth:`begin_campaign` when
-        #: :attr:`FuzzerConfig.sanitize_every` is set.
-        self.sanitizer = None
+        #: :attr:`FuzzerConfig.sanitize_every` is set.  Resume re-arms
+        #: it from config before restore_state, so it never travels.
+        self.sanitizer = None  # nyx: state[ephemeral]
         #: NYX05x diagnostics the sanitizer reported (capped).
         self.sanitizer_findings: list = []
         self._next_sanitize: Optional[int] = None
@@ -194,7 +195,8 @@ class NyxNetFuzzer:
 
     #: Version stamp inside every checkpointed fuzzer state; bumped on
     #: any incompatible change so resume fails loudly, never subtly.
-    STATE_FORMAT = 1
+    #: 2: sanitizer_findings joined the capture set (NYX060 fix).
+    STATE_FORMAT = 2
 
     def snapshot_state(self) -> dict:
         """Full resumable state, valid at a step boundary only.
@@ -214,6 +216,7 @@ class NyxNetFuzzer:
             "rng": self.rng.getstate(),
             "seeded": self._seeded,
             "next_sanitize": self._next_sanitize,
+            "sanitizer_findings": list(self.sanitizer_findings),
             "stats": self.stats,
             "corpus": self.corpus.snapshot_state(),
             "coverage": self.coverage.snapshot_state(),
@@ -239,6 +242,7 @@ class NyxNetFuzzer:
         self.rng.setstate(state["rng"])
         self._seeded = bool(state["seeded"])
         self._next_sanitize = state["next_sanitize"]
+        self.sanitizer_findings = list(state["sanitizer_findings"])
         self.stats = state["stats"]
         self.corpus.restore_state(state["corpus"])
         self.coverage.restore_state(state["coverage"])

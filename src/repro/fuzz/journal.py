@@ -55,7 +55,8 @@ import warnings
 import zlib
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.fuzz.persist import _atomic_write_bytes, _atomic_write_text
+from repro.fuzz.persist import (_atomic_write_bytes, _atomic_write_text,
+                                _fsync_dir)
 
 #: Bumped on any incompatible change to the on-disk layout.
 MANIFEST_VERSION = 1
@@ -70,6 +71,25 @@ _FRAME_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
 #: Upper bound on a single frame/checkpoint payload — anything larger
 #: is treated as a corrupt length field, not an allocation request.
 _MAX_PAYLOAD = 1 << 28
+
+#: Every journal frame kind, mapped to where its records are consumed
+#: on resume/salvage.  A kind appended without an entry here would be
+#: written durably but silently dropped by every reader — the
+#: durability lint (NYX064, :mod:`repro.analysis.durlint`) checks each
+#: ``journal.append`` call against this registry, and
+#: :meth:`Journal.append` enforces it at runtime.
+FRAME_KINDS: Dict[str, str] = {
+    "corpus_add": "salvage_corpus_blobs / _tail_summary corpus adds",
+    "crash": "_tail_summary crash recovery count",
+    "watermark": "_tail_summary journal_execs recovery watermark",
+    "checkpoint": "recovery reporting (epoch audit trail)",
+    "graceful_stop": "recovery reporting (clean-drain marker)",
+    "complete": "recovery reporting (finalization marker)",
+    "quarantine": "recovery reporting (fleet supervision audit)",
+    "retire": "recovery reporting (fleet supervision audit)",
+    "sync": "recovery reporting (corpus-sync audit)",
+    "verify": "recovery reporting (checkpoint-verification audit)",
+}
 
 
 class DurabilityError(Exception):
@@ -166,7 +186,11 @@ class Journal:
         return records, offset
 
     def append(self, kind: str, body: dict) -> None:
-        """Durably append one record."""
+        """Durably append one record (``kind`` must be registered)."""
+        if kind not in FRAME_KINDS:
+            raise ValueError(
+                "journal frame kind %r has no registered resume/salvage "
+                "handler; add it to FRAME_KINDS (NYX064)" % (kind,))
         payload = pickle.dumps((kind, body), protocol=_PICKLE_PROTOCOL)
         self._fh.write(_FRAME_HEADER.pack(len(payload), zlib.crc32(payload)))
         self._fh.write(payload)
@@ -199,6 +223,9 @@ class CheckpointStore:
     def __init__(self, directory, keep: int = 3) -> None:
         self.directory = pathlib.Path(directory)
         self.keep = max(2, int(keep))
+        #: Stale epochs unlinked over this store's lifetime (surfaced
+        #: as the ``checkpoint_epochs_pruned`` host counter).
+        self.pruned_total = 0
 
     def epochs(self) -> List[int]:
         if not self.directory.is_dir():
@@ -224,11 +251,19 @@ class CheckpointStore:
                 + _FRAME_HEADER.pack(len(payload), zlib.crc32(payload))
                 + payload)
         _atomic_write_bytes(self._path(epoch), blob)
+        pruned = 0
         for stale in self.epochs()[:-self.keep]:
             try:
                 self._path(stale).unlink()
             except OSError:
-                pass
+                continue
+            pruned += 1
+        if pruned:
+            # An unlink is only durable once the directory entry's
+            # removal reaches disk — same bar _atomic_write_bytes meets
+            # for the rename that created the entry.
+            _fsync_dir(self.directory)
+            self.pruned_total += pruned
         return epoch
 
     def load(self, epoch: int) -> dict:
@@ -284,7 +319,8 @@ def campaign_manifest(kind: str, target: str, *, policy: str, seed: int,
                       sanitize_every: Optional[int] = None,
                       coverage_backend: str = "auto",
                       workers: int = 1,
-                      sync_interval: float = 5.0) -> dict:
+                      sync_interval: float = 5.0,
+                      verify_checkpoints: Optional[int] = None) -> dict:
     """Everything needed to rebuild this campaign deterministically."""
     from repro.spec.nodes import default_network_spec
     spec = default_network_spec()
@@ -306,6 +342,7 @@ def campaign_manifest(kind: str, target: str, *, policy: str, seed: int,
         "coverage_backend": coverage_backend,
         "workers": workers,
         "sync_interval": sync_interval,
+        "verify_checkpoints": verify_checkpoints,
         "spec_name": spec.name,
         "spec_digest": spec.checksum(),
     }
@@ -446,12 +483,23 @@ class DurableCampaign:
 
     def __init__(self, handles, directory, checkpoint_every: int = 500,
                  manifest: Optional[dict] = None,
-                 journal_sync: bool = True) -> None:
+                 journal_sync: bool = True,
+                 verify_every: Optional[int] = None) -> None:
         self.handles = handles
         self.fuzzer = handles.fuzzer
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.checkpoint_every = max(1, int(checkpoint_every))
+        #: Cross-process checkpoint verification cadence: after each
+        #: periodic checkpoint, once this many further executions have
+        #: replayed past it, a fresh subprocess restores the epoch,
+        #: re-steps to the parent's boundary and the states are diffed
+        #: (NYX065/NYX066, :mod:`repro.analysis.statediff`).
+        self.verify_every = (max(1, int(verify_every))
+                             if verify_every else None)
+        #: Diagnostics from checkpoint verification (empty = healthy).
+        self.verify_findings: List = []
+        self._verify_pending: Optional[Tuple[int, int]] = None
         self.checkpoints = CheckpointStore(self.directory / "checkpoints")
         if manifest is not None and not (
                 self.directory / "manifest.json").exists():
@@ -524,6 +572,8 @@ class DurableCampaign:
             if not fuzzer.step():
                 break
             self._journal_progress()
+            if self._verify_due(fuzzer.stats.execs):
+                self._verify_now()
             if fuzzer.stats.execs - self._ckpt_execs >= self.checkpoint_every:
                 self.save_checkpoint("periodic")
         stats = fuzzer.finish_campaign()
@@ -551,13 +601,54 @@ class DurableCampaign:
         """Checkpoint the full resumable state; returns the epoch."""
         phase = "final" if reason == "final" else "running"
         state = {"phase": phase, "fuzzer": self.fuzzer.snapshot_state()}
+        pruned_before = self.checkpoints.pruned_total
         epoch = self.checkpoints.save(state)
-        self._ckpt_execs = self.fuzzer.stats.execs
+        stats = self.fuzzer.stats
+        stats.checkpoints_written += 1
+        stats.checkpoint_epochs_pruned += (
+            self.checkpoints.pruned_total - pruned_before)
+        self._ckpt_execs = stats.execs
+        if (self.verify_every is not None and self._verify_pending is None
+                and reason == "periodic"):
+            self._verify_pending = (epoch, stats.execs)
         self.journal.append("checkpoint", {
             "epoch": epoch, "reason": reason,
-            "execs": self.fuzzer.stats.execs,
+            "execs": stats.execs,
             "clock": self.fuzzer.clock.now})
         return epoch
+
+    # -- cross-process checkpoint verification ---------------------------
+
+    def _verify_due(self, execs: int) -> bool:
+        """Has the replay window past the pending epoch elapsed?"""
+        return (self._verify_pending is not None
+                and self.verify_every is not None
+                and execs >= self._verify_pending[1] + self.verify_every)
+
+    def _verify_now(self) -> None:
+        """Differential-check the pending epoch against live state.
+
+        Reads the parent's state without mutating it (snapshot +
+        checksum are pure), spawns the verifier subprocess and folds
+        its findings into ``verify_findings`` plus the host counters.
+        """
+        from repro.analysis.statediff import state_digest, verify_checkpoint
+        from repro.perf.macro import stats_checksum
+        epoch, _ckpt_execs = self._verify_pending
+        self._verify_pending = None
+        if epoch not in self.checkpoints.epochs():
+            return  # pruned before the replay window elapsed
+        stats = self.fuzzer.stats
+        expected_digest, _trunc = state_digest(self.fuzzer.snapshot_state())
+        findings = verify_checkpoint(
+            self.directory, epoch, stats.execs,
+            stats_checksum(stats), expected_digest, kind=self.kind)
+        stats.checkpoint_verifications += 1
+        stats.checkpoint_divergences += len(findings)
+        self.verify_findings.extend(findings)
+        self.journal.append("verify", {
+            "epoch": epoch, "execs": stats.execs,
+            "findings": len(findings)})
 
     def _graceful_stop(self) -> None:
         self.save_checkpoint("graceful-stop")
@@ -609,11 +700,16 @@ class DurableParallelCampaign:
 
     def __init__(self, campaign, directory, checkpoint_every: int = 1000,
                  manifest: Optional[dict] = None,
-                 journal_sync: bool = True) -> None:
+                 journal_sync: bool = True,
+                 verify_every: Optional[int] = None) -> None:
         self.campaign = campaign
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.checkpoint_every = max(1, int(checkpoint_every))
+        self.verify_every = (max(1, int(verify_every))
+                             if verify_every else None)
+        self.verify_findings: List = []
+        self._verify_pending: Optional[Tuple[int, int]] = None
         self.checkpoints = CheckpointStore(self.directory / "checkpoints")
         if manifest is not None and not (
                 self.directory / "manifest.json").exists():
@@ -697,6 +793,8 @@ class DurableParallelCampaign:
 
     def after_slice(self, campaign, worker) -> None:
         self._journal_progress()
+        if self._verify_due(campaign.total_execs()):
+            self._verify_now()
         if campaign.total_execs() - self._ckpt_execs >= self.checkpoint_every:
             self.save_checkpoint("periodic")
 
@@ -737,12 +835,50 @@ class DurableParallelCampaign:
     def save_checkpoint(self, reason: str = "periodic") -> int:
         phase = "final" if reason == "final" else "running"
         state = {"phase": phase, "campaign": self.campaign.snapshot_state()}
+        pruned_before = self.checkpoints.pruned_total
         epoch = self.checkpoints.save(state)
+        # Fleet-level host counters live on worker 0's stats; merge()
+        # sums them into the aggregate like every other host counter.
+        stats = self.campaign.workers[0].fuzzer.stats
+        stats.checkpoints_written += 1
+        stats.checkpoint_epochs_pruned += (
+            self.checkpoints.pruned_total - pruned_before)
         self._ckpt_execs = self.campaign.total_execs()
+        if (self.verify_every is not None and self._verify_pending is None
+                and reason == "periodic"):
+            self._verify_pending = (epoch, self._ckpt_execs)
         self.journal.append("checkpoint", {
             "epoch": epoch, "reason": reason,
             "execs": self.campaign.total_execs()})
         return epoch
+
+    # -- cross-process checkpoint verification ---------------------------
+
+    def _verify_due(self, execs: int) -> bool:
+        return (self._verify_pending is not None
+                and self.verify_every is not None
+                and execs >= self._verify_pending[1] + self.verify_every)
+
+    def _verify_now(self) -> None:
+        from repro.analysis.statediff import state_digest, verify_checkpoint
+        from repro.perf.macro import stats_checksum
+        epoch, _ckpt_execs = self._verify_pending
+        self._verify_pending = None
+        if epoch not in self.checkpoints.epochs():
+            return  # pruned before the replay window elapsed
+        campaign = self.campaign
+        expected_digest, _trunc = state_digest(campaign.snapshot_state())
+        expected_checksum = stats_checksum(campaign.aggregate().merged)
+        findings = verify_checkpoint(
+            self.directory, epoch, campaign.total_execs(),
+            expected_checksum, expected_digest, kind=self.kind)
+        stats = campaign.workers[0].fuzzer.stats
+        stats.checkpoint_verifications += 1
+        stats.checkpoint_divergences += len(findings)
+        self.verify_findings.extend(findings)
+        self.journal.append("verify", {
+            "epoch": epoch, "execs": campaign.total_execs(),
+            "findings": len(findings)})
 
     def _graceful_stop(self) -> None:
         self.save_checkpoint("graceful-stop")
@@ -802,18 +938,19 @@ def resume_campaign(directory, journal_sync: bool = True):
             "targets`)" % target)
     _check_spec(manifest)
     checkpoint_every = int(manifest.get("checkpoint_every", 500))
+    verify_every = manifest.get("verify_checkpoints")
     if manifest.get("kind") == "parallel":
         from repro.fuzz.campaign import build_parallel_campaign_from_manifest
         campaign = build_parallel_campaign_from_manifest(profile, manifest)
         durable = DurableParallelCampaign(
             campaign, directory, checkpoint_every=checkpoint_every,
-            journal_sync=journal_sync)
+            journal_sync=journal_sync, verify_every=verify_every)
     else:
         from repro.fuzz.campaign import build_campaign_from_manifest
         handles = build_campaign_from_manifest(profile, manifest)
         durable = DurableCampaign(
             handles, directory, checkpoint_every=checkpoint_every,
-            journal_sync=journal_sync)
+            journal_sync=journal_sync, verify_every=verify_every)
     durable._restore()
     return durable
 

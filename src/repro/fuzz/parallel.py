@@ -295,7 +295,8 @@ class ParallelCampaign:
     # ------------------------------------------------------------------
 
     #: Version stamp of the checkpointed fleet state.
-    STATE_FORMAT = 1
+    #: 2: the _finished latch joined the capture set (NYX060 fix).
+    STATE_FORMAT = 2
 
     def snapshot_state(self) -> dict:
         """Full resumable fleet state, valid at a slice boundary.
@@ -308,6 +309,7 @@ class ParallelCampaign:
         return {
             "format": self.STATE_FORMAT,
             "started": self._started,
+            "finished": self._finished,
             "rng": self.rng.getstate(),
             "global_coverage": self.global_coverage.snapshot_state(),
             "coverage_series": list(self.coverage_series),
@@ -333,6 +335,7 @@ class ParallelCampaign:
                 "checkpoint has %d workers, campaign has %d"
                 % (len(state["workers"]), len(self.workers)))
         self._started = bool(state["started"])
+        self._finished = bool(state["finished"])
         self.rng.setstate(state["rng"])
         self.global_coverage.restore_state(state["global_coverage"])
         self.coverage_series = [tuple(p) for p in state["coverage_series"]]

@@ -182,7 +182,9 @@ class Corpus:
             "next_id": self._next_id,
             "cursor": self._cursor,
             "cycles_done": self.cycles_done,
-            "seen_checksums": self._seen_checksums,
+            # Sorted: pickling a raw set would make two snapshots of
+            # equal state byte-different (NYX063).
+            "seen_checksums": sorted(self._seen_checksums),
         }
 
     def restore_state(self, state: dict) -> None:

@@ -77,6 +77,16 @@ class CampaignStats:
     elision_invalidations: int = 0
     #: Entries evicted from the tracer's LRU fold memo.
     fold_memo_evictions: int = 0
+    #: Checkpoints the durable layer persisted.
+    checkpoints_written: int = 0
+    #: Stale checkpoint epochs unlinked (and directory-fsync'd) away.
+    checkpoint_epochs_pruned: int = 0
+    #: Cross-process checkpoint verifications run
+    #: (``--verify-checkpoints``, :mod:`repro.analysis.statediff`).
+    checkpoint_verifications: int = 0
+    #: NYX065/NYX066 findings those verifications reported (0 = every
+    #: checkpoint restored to a divergence-free replica).
+    checkpoint_divergences: int = 0
 
     def record_coverage(self, now: float, edges: int) -> None:
         if not self.coverage_series or self.coverage_series[-1][1] != edges:
@@ -183,6 +193,10 @@ class CampaignStats:
             "prefix_elided_ops": self.prefix_elided_ops,
             "elision_invalidations": self.elision_invalidations,
             "fold_memo_evictions": self.fold_memo_evictions,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_epochs_pruned": self.checkpoint_epochs_pruned,
+            "checkpoint_verifications": self.checkpoint_verifications,
+            "checkpoint_divergences": self.checkpoint_divergences,
         }
 
     # -- multi-worker rollup ------------------------------------------------
@@ -225,6 +239,10 @@ class CampaignStats:
             merged.prefix_elided_ops += part.prefix_elided_ops
             merged.elision_invalidations += part.elision_invalidations
             merged.fold_memo_evictions += part.fold_memo_evictions
+            merged.checkpoints_written += part.checkpoints_written
+            merged.checkpoint_epochs_pruned += part.checkpoint_epochs_pruned
+            merged.checkpoint_verifications += part.checkpoint_verifications
+            merged.checkpoint_divergences += part.checkpoint_divergences
             if part.coverage_backend and not merged.coverage_backend:
                 merged.coverage_backend = part.coverage_backend
             for key, when in part.crash_times.items():

@@ -178,7 +178,9 @@ class TestFoldMemoBound:
 
 class TestHostCounterPurity:
     HOST_KEYS = ("coverage_backend", "prefix_elisions", "prefix_elided_ops",
-                 "elision_invalidations", "fold_memo_evictions")
+                 "elision_invalidations", "fold_memo_evictions",
+                 "checkpoints_written", "checkpoint_epochs_pruned",
+                 "checkpoint_verifications", "checkpoint_divergences")
 
     def test_as_dict_excludes_host_counters(self):
         stats = CampaignStats()
