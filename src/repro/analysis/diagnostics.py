@@ -19,19 +19,33 @@ Rule families::
     NYX05x  runtime reset sanitizer (repro.analysis.sanitizer)
     NYX06x  durability lint (repro.analysis.durlint) and runtime
             checkpoint verifier (repro.analysis.statediff)
+    NYX07x  hot-path lint (repro.analysis.hotlint) and sim-cost
+            profiler (repro.perf.profiler)
 
 :data:`FAMILIES` records each family's reserved code range;
 :func:`validate_registry` is the self-test that keeps new rule codes
 from colliding across families.
+
+The source lints share one inline-annotation grammar, parsed here so
+every pass agrees on it byte-for-byte:
+
+* ``# nyx: allow[NYX043, reset]`` — suppress rule codes, family
+  tokens (``reset``/``state``/``hot``) or family aliases
+  (``NYX06x``/``NYX07x``) on the finding line (or the ``def``/
+  ``class`` line for a whole scope, where a lint supports it);
+* ``# nyx: state[memory]`` / ``# nyx: state[ephemeral]`` — state
+  classification markers (resetlint / durlint);
+* ``# nyx: hot`` — hot-path root annotation (hotlint).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import re
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 
 class Severity(Enum):
@@ -124,6 +138,23 @@ RULES: Dict[str, tuple] = {
     "NYX066": ("checkpoint divergence: a fresh process restoring the "
                "checkpoint and re-stepping did not reproduce the parent's "
                "state", Severity.ERROR),
+    # -- hot-path lint / sim-cost profiler -----------------------------------
+    "NYX070": ("per-iteration allocation in a hot loop (constant "
+               "bytes/str/container rebuilt every pass)", Severity.ERROR),
+    "NYX071": ("per-draw RNG byte building in a hot loop where the "
+               "batched some_bytes API exists", Severity.ERROR),
+    "NYX072": ("repeated attribute load in a hot loop body; bind a "
+               "local alias before the loop", Severity.WARNING),
+    "NYX073": ("redundant full-buffer copy on a hot path (whole-slice "
+               "copy or pickle round-trip)", Severity.WARNING),
+    "NYX074": ("try/except or generator indirection inside the "
+               "innermost hot loop", Severity.WARNING),
+    "NYX075": ("unresolvable call edge or misplaced '# nyx: hot' "
+               "annotation", Severity.ERROR),
+    "NYX076": ("hot-site budget drift vs the committed profile baseline "
+               "(tests/golden/profile_baseline.json)", Severity.ERROR),
+    "NYX077": ("profile/static disagreement: top-decile sim-cost site "
+               "carries no '# nyx: hot' root coverage", Severity.ERROR),
 }
 
 #: family prefix -> (inclusive numeric code range, owning module).  A
@@ -138,7 +169,47 @@ FAMILIES: Dict[str, tuple] = {
     "reset-safety lint": ((40, 49), "repro.analysis.resetlint"),
     "runtime reset sanitizer": ((50, 59), "repro.analysis.sanitizer"),
     "durability lint": ((60, 69), "repro.analysis.durlint"),
+    "hot-path lint": ((70, 79), "repro.analysis.hotlint"),
 }
+
+
+# ---------------------------------------------------------------------------
+# shared inline-annotation grammar
+# ---------------------------------------------------------------------------
+
+#: ``# nyx: allow[...]`` with a comma list of rule codes, family tokens
+#: and family aliases.  One regex for every lint: a suppression that
+#: selflint parses but resetlint would not is a bug class this module
+#: exists to prevent.
+ALLOW_RE = re.compile(r"nyx:\s*allow\[([A-Za-z0-9,\s]+)\]")
+
+#: marker name -> recognizer for the non-suppression annotations.
+MARKER_RES: Dict[str, "re.Pattern[str]"] = {
+    "hot": re.compile(r"nyx:\s*hot\b"),
+    "state[memory]": re.compile(r"nyx:\s*state\[memory\]"),
+    "state[ephemeral]": re.compile(r"nyx:\s*state\[ephemeral\]"),
+}
+
+
+def allow_tokens(lines: Sequence[str], lineno: int) -> Set[str]:
+    """Tokens of a ``# nyx: allow[...]`` comment on line ``lineno``.
+
+    ``lines`` is the module's splitlines() output; an out-of-range or
+    unannotated line yields the empty set.
+    """
+    if not 1 <= lineno <= len(lines):
+        return set()
+    match = ALLOW_RE.search(lines[lineno - 1])
+    if not match:
+        return set()
+    return {tok.strip() for tok in match.group(1).split(",") if tok.strip()}
+
+
+def has_marker(lines: Sequence[str], lineno: int, marker: str) -> bool:
+    """Is the ``# nyx: <marker>`` annotation present on ``lineno``?"""
+    if not 1 <= lineno <= len(lines):
+        return False
+    return bool(MARKER_RES[marker].search(lines[lineno - 1]))
 
 
 def validate_registry(rules: Optional[Dict[str, tuple]] = None,

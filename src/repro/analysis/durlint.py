@@ -39,11 +39,10 @@ from __future__ import annotations
 import ast
 import json
 import pathlib
-import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.diagnostics import Diagnostic, has_marker
 from repro.analysis.resetlint import (ClassRecord, _allow_tokens,
                                       _default_expr, _is_direct_self_attr,
                                       _MethodScan, _scan_class)
@@ -60,13 +59,8 @@ FAMILY_ALIAS = "NYX06x"
 #: Default golden inventory location, relative to the repo root.
 GOLDEN_INVENTORY = pathlib.Path("tests") / "golden" / "state_inventory.json"
 
-_EPHEMERAL_RE = re.compile(r"nyx:\s*state\[ephemeral\]")
-
-
 def _ephemeral_marked(lines: Sequence[str], lineno: int) -> bool:
-    if not 1 <= lineno <= len(lines):
-        return False
-    return bool(_EPHEMERAL_RE.search(lines[lineno - 1]))
+    return has_marker(lines, lineno, "state[ephemeral]")
 
 
 def _suppressed(record: _DurClass, lines: Sequence[str], lineno: int,

@@ -45,11 +45,10 @@ from __future__ import annotations
 
 import ast
 import pathlib
-import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.diagnostics import Diagnostic, allow_tokens, has_marker
 
 #: Packages (relative to the scanned root) that hold snapshot-covered
 #: machinery and its host-side drivers.
@@ -73,23 +72,14 @@ MUTABLE_CONSTRUCTORS = {"dict", "list", "set", "bytearray", "deque",
 #: Family token accepted by ``# nyx: allow[...]`` alongside rule codes.
 FAMILY_TOKEN = "reset"
 
-_ALLOW_RE = re.compile(r"nyx:\s*allow\[([A-Za-z0-9,\s]+)\]")
-_MEMORY_RE = re.compile(r"nyx:\s*state\[memory\]")
-
-
-def _allow_tokens(lines: Sequence[str], lineno: int) -> Set[str]:
-    if not 1 <= lineno <= len(lines):
-        return set()
-    match = _ALLOW_RE.search(lines[lineno - 1])
-    if not match:
-        return set()
-    return {tok.strip() for tok in match.group(1).split(",")}
+# Annotation parsing lives in diagnostics (shared by every source
+# lint); these aliases keep this module's historical import surface —
+# durlint and the fix-it machinery import them from here.
+_allow_tokens = allow_tokens
 
 
 def _memory_marked(lines: Sequence[str], lineno: int) -> bool:
-    if not 1 <= lineno <= len(lines):
-        return False
-    return bool(_MEMORY_RE.search(lines[lineno - 1]))
+    return has_marker(lines, lineno, "state[memory]")
 
 
 def _is_reset_family(name: str) -> bool:

@@ -24,10 +24,9 @@ from __future__ import annotations
 
 import ast
 import pathlib
-import re
 from typing import List, Optional, Sequence
 
-from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.diagnostics import Diagnostic, allow_tokens
 
 #: (object, attribute) call patterns that read the wall clock.
 WALL_CLOCK_ATTRS = {
@@ -49,17 +48,8 @@ FORBIDDEN_MODULES = {"random": "NYX021", "secrets": "NYX022"}
 #: Directories (relative to the scanned root) exempt from the lint.
 EXEMPT_DIRS = {"sim", "__pycache__"}
 
-_ALLOW_RE = re.compile(r"nyx:\s*allow\[([A-Z0-9,\s]+)\]")
-
-
 def _suppressed(lines: Sequence[str], lineno: int, code: str) -> bool:
-    if not 1 <= lineno <= len(lines):
-        return False
-    match = _ALLOW_RE.search(lines[lineno - 1])
-    if not match:
-        return False
-    codes = {c.strip() for c in match.group(1).split(",")}
-    return code in codes
+    return code in allow_tokens(lines, lineno)
 
 
 def _is_unordered(expr: ast.AST) -> bool:

@@ -14,9 +14,13 @@ Commands:
 * ``analyze`` — static diagnostics: spec lint, corpus dataflow audit
   (with ``--fix`` fix-its), the determinism self-lint, the
   reset-safety lint (``--reset``), the runtime reset sanitizer
-  (``--sanitize``) and the durability lint (``--durability``).
+  (``--sanitize``), the durability lint (``--durability``) and the
+  hot-path lint (``--perf``).
   Prongs compose: one invocation may run several and emits a single
   merged report.  Exit codes: 0 clean, 1 findings, 2 usage error.
+* ``profile`` — deterministic sim-cost profiler: per-site cost table,
+  committed-budget drift gate (NYX076) and static hot-graph
+  cross-check (NYX077).  Same exit contract as ``analyze``.
 """
 
 from __future__ import annotations
@@ -463,6 +467,12 @@ def _bench_perf(args: argparse.Namespace) -> int:
               % (macro["execs"], macro["wall_seconds"],
                  macro["wall_execs_per_sec"], macro["sim_execs_per_sec"],
                  macro["final_edges"], macro["coverage_backend"]))
+        if baseline_report is not None:
+            # Recorded in the report so CI artifacts show whether the
+            # wall-rate gates were live on this runner or skipped for
+            # a host mismatch (the comparison prints the same verdict).
+            base_host = (baseline_report.get("macro") or {}).get("host")
+            macro["wall_gated"] = macro.get("host") == base_host
         write_report(os.path.join(args.out, "BENCH_fuzz.json"), macro)
         if args.sanitize_resets is not None:
             print("  reset sanitizer: %d checks, %d leaks"
@@ -534,22 +544,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     self_root = args.self_root
     reset_root = args.reset_root
     durability_root = args.durability_root
+    perf_root = args.perf_root
     run_corpus = args.corpus is not None
     run_sanitize = args.sanitize is not None
     if not (run_spec or self_root or run_corpus or reset_root
-            or run_sanitize or durability_root):
+            or run_sanitize or durability_root or perf_root):
         # Bare `repro analyze`: the checks that need no inputs.
         run_spec = True
         self_root = "src/repro"
         reset_root = "src/repro"
         durability_root = "src/repro"
-    for root in (self_root, reset_root, durability_root):
+        perf_root = "src/repro"
+    for root in (self_root, reset_root, durability_root, perf_root):
         if root and not os.path.isdir(root):
             print("not a directory: %s" % root, file=sys.stderr)
             return 2
-    if args.fix and not (run_corpus or reset_root or durability_root):
-        print("note: --fix only applies to --corpus, --reset and "
-              "--durability", file=sys.stderr)
+    if args.fix and not (run_corpus or reset_root or durability_root
+                         or perf_root):
+        print("note: --fix only applies to --corpus, --reset, "
+              "--durability and --perf", file=sys.stderr)
     spec = default_network_spec()
     report = Report()
     if run_spec:
@@ -579,6 +592,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     durability_fixit_stubs(durability_root).items()):
                 print("--- fix-it for %s ---" % where)
                 print(stub)
+    if perf_root:
+        from repro.analysis.hotlint import analyze_hot_tree, hot_fixit_stubs
+        report.extend(analyze_hot_tree(perf_root))
+        report.meta["perf_root"] = perf_root
+        if args.fix:
+            for where, stub in sorted(hot_fixit_stubs(perf_root).items()):
+                print("--- fix-it for %s ---" % where)
+                print(stub)
     if run_corpus:
         from repro.analysis.corpus import audit_corpus
         audit = audit_corpus(args.corpus, spec=spec, fix=args.fix)
@@ -591,6 +612,70 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return code
     print(report.format_text())
     if args.json:
+        report.write_json(args.json)
+        print("wrote %s" % args.json)
+    return report.exit_code()
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: the NYX07x runtime prong (docs/performance.md).
+
+    Runs one seeded campaign under sim-cost instrumentation, prints the
+    per-site cost table, gates it against the committed budget baseline
+    (NYX076) and cross-checks top-decile sites against the static hot
+    call graph (NYX077).
+    """
+    import os
+
+    from repro.analysis.diagnostics import Report
+    from repro.perf import load_report, write_report
+    from repro.perf.profiler import (compare_profile, format_profile,
+                                     run_profile, static_disagreement)
+    from repro.targets import PROFILES
+    if args.target not in PROFILES:
+        print("unknown target %r (see `repro targets`)" % args.target,
+              file=sys.stderr)
+        return 2
+    baseline = None
+    if not args.write_baseline and os.path.exists(args.baseline):
+        baseline = load_report(args.baseline)
+    if args.execs is not None:
+        execs = args.execs
+    elif baseline is not None:
+        # A gated run must match the baseline's campaign config: the
+        # cost table is a pure function of it.
+        execs = int(baseline.get("execs", 400))
+    else:
+        execs = 400
+    print("profiling %s, seed %d, %d execs..."
+          % (args.target, args.seed, execs))
+    payload = run_profile(target=args.target, seed=args.seed,
+                          execs=execs, policy=args.policy)
+    print(format_profile(payload))
+    if args.write_baseline:
+        write_report(args.baseline, payload)
+        print("wrote baseline %s" % args.baseline)
+        return 0
+    report = Report()
+    report.meta.update({key: payload[key] for key in
+                        ("target", "seed", "execs", "policy",
+                         "profile_checksum", "stats_checksum")})
+    if baseline is not None:
+        diags, notes = compare_profile(payload, baseline, args.pct,
+                                       args.baseline)
+        for note in notes:
+            print(note)
+        report.extend(diags)
+        report.meta["baseline"] = args.baseline
+    else:
+        print("no profile baseline at %s (use --write-baseline first)"
+              % args.baseline)
+    if os.path.isdir(args.root):
+        report.extend(static_disagreement(payload, args.root))
+        report.meta["perf_root"] = args.root
+    print(report.format_text())
+    if args.json:
+        report.meta["profile"] = payload
         report.write_json(args.json)
         print("wrote %s" % args.json)
     return report.exit_code()
@@ -740,6 +825,31 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("target")
     pack.add_argument("out")
 
+    prof = sub.add_parser(
+        "profile", help="deterministic sim-cost profiler (NYX076/NYX077)")
+    prof.add_argument("target", nargs="?", default="lighttpd",
+                      help="campaign target (default: lighttpd)")
+    prof.add_argument("--seed", type=int, default=1,
+                      help="campaign seed (default: 1)")
+    prof.add_argument("--execs", type=int, default=None,
+                      help="campaign execs (default: the baseline's, "
+                           "or 400 without one)")
+    prof.add_argument("--policy", default="aggressive",
+                      help="snapshot policy (default: aggressive)")
+    prof.add_argument("--baseline",
+                      default="tests/golden/profile_baseline.json",
+                      help="committed per-site budget baseline")
+    prof.add_argument("--write-baseline", action="store_true",
+                      help="save this run's cost table as the baseline")
+    prof.add_argument("--pct", type=float, default=25.0, metavar="PCT",
+                      help="NYX076 per-site budget drift tolerance "
+                           "(default: 25)")
+    prof.add_argument("--root", default="src/repro",
+                      help="source tree for the NYX077 static "
+                           "cross-check (default: src/repro)")
+    prof.add_argument("--json", metavar="PATH",
+                      help="write the merged JSON report here")
+
     analyze = sub.add_parser(
         "analyze", help="static diagnostics (docs/analysis.md)")
     analyze.add_argument("--spec", action="store_true",
@@ -767,10 +877,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "drift vs the state-inventory golden, journal "
                               "frame registration (NYX06x; default PATH: "
                               "src/repro)")
+    analyze.add_argument("--perf", dest="perf_root", nargs="?",
+                         const="src/repro", default=None, metavar="PATH",
+                         help="hot-path lint over a source tree: per-"
+                              "iteration allocation, unbatched RNG draws, "
+                              "repeated attribute loads, redundant copies "
+                              "and indirection on '# nyx: hot'-reachable "
+                              "code (NYX07x; default PATH: src/repro)")
     analyze.add_argument("--fix", action="store_true",
                          help="rewrite repairable --corpus entries in "
-                              "place; with --reset or --durability, print "
-                              "fix-it stubs")
+                              "place; with --reset, --durability or "
+                              "--perf, print fix-it stubs")
     analyze.add_argument("--json", metavar="PATH",
                          help="write the machine-readable report here")
     return parser
@@ -786,6 +903,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "pack": _cmd_pack,
         "analyze": _cmd_analyze,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)
 

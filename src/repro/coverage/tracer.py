@@ -146,7 +146,7 @@ class TracerCore:
         self._prefix_packed = b""
         self._suspended = False
 
-    def take_trace(self) -> Dict[int, int]:
+    def take_trace(self) -> Dict[int, int]:  # nyx: hot
         """Fold the site stream into the sparse edge trace.
 
         Returns a fresh dict each call; the stream itself is only
@@ -304,7 +304,7 @@ class EdgeTracer(TracerCore):
 
     # -- execution wrapper --------------------------------------------------
 
-    def run(self, fn: Callable, *args) -> None:
+    def run(self, fn: Callable, *args) -> None:  # nyx: hot
         """Run ``fn(*args)`` with tracing enabled.
 
         Re-entrant: nested calls keep the existing trace hook.  While
@@ -325,7 +325,7 @@ class EdgeTracer(TracerCore):
 
     # -- trace hooks -----------------------------------------------------------
 
-    def _build_global(self) -> Callable:
+    def _build_global(self) -> Callable:  # nyx: hot
         """The ``sys.settrace`` global callback, specialized once.
 
         Invoked for every 'call' event in the trace window — including

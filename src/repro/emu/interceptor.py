@@ -122,7 +122,7 @@ class Interceptor:
             sid: addr for sid, addr in self.dgram_sids.items()
             if sid in self.kernel.sockets}
 
-    def open_connection(self, conn_id: int) -> None:
+    def open_connection(self, conn_id: int) -> None:  # nyx: hot
         """Bind connection id to a new hooked connection.
 
         Server mode: fabricate an established connection and park it in

@@ -187,7 +187,7 @@ class NyxExecutor:
     # public entry points
     # ------------------------------------------------------------------
 
-    def run_full(self, input_: FuzzInput,
+    def run_full(self, input_: FuzzInput,  # nyx: hot
                  snapshot_after_packet: Optional[int] = None,
                  parent_key: Optional[int] = None) -> ExecResult:
         """Execute the whole input from the active snapshot (root).
@@ -216,7 +216,7 @@ class NyxExecutor:
         return self._run(input_, start=0, snapshot_op_index=snapshot_op_index,
                          parent_rec=parent_rec, record=True)
 
-    def run_suffix(self, input_: FuzzInput) -> ExecResult:
+    def run_suffix(self, input_: FuzzInput) -> ExecResult:  # nyx: hot
         """Execute only the ops after the incremental snapshot point.
 
         Self-healing: if the last reset found the incremental snapshot
@@ -418,7 +418,7 @@ class NyxExecutor:
     # core interpreter
     # ------------------------------------------------------------------
 
-    def _run(self, input_: FuzzInput, start: int,
+    def _run(self, input_: FuzzInput, start: int,  # nyx: hot
              snapshot_op_index: Optional[int],
              values_preassigned: int = 0,
              stop_index: Optional[int] = None,
@@ -502,7 +502,10 @@ class NyxExecutor:
             handler = spec_nodes.get(op.node)
             if handler is not None:
                 conn = op.refs[0] if op.refs else None
-                try:
+                # Per-op fault isolation is the contract: one bad op
+                # must not abort the rest of the test case, so the
+                # handler genuinely needs its own except scope.
+                try:  # nyx: allow[NYX074]
                     handler(self, op, conn)
                 except (GuestError, KeyError, ValueError):
                     # Ill-formed mutation (bad conn ref, closed conn):
@@ -587,7 +590,7 @@ class NyxExecutor:
             capture_rec=self._rec_in_progress,
         )
 
-    def finish_snapshot_cycle(self) -> None:
+    def finish_snapshot_cycle(self) -> None:  # nyx: hot
         """Discard the incremental snapshot and return to the root
         ("as soon as Nyx-Net wants to schedule another input, the
         incremental snapshot is discarded", §3.4)."""

@@ -60,7 +60,7 @@ class MutationEngine:
     # top level
     # ------------------------------------------------------------------
 
-    def mutate(self, parent: FuzzInput, from_index: int = 0,
+    def mutate(self, parent: FuzzInput, from_index: int = 0,  # nyx: hot
                splice_donor: Optional[FuzzInput] = None) -> FuzzInput:
         """Produce a mutated child touching only ops >= from_index."""
         child = parent.copy()
@@ -95,16 +95,16 @@ class MutationEngine:
         ops before ``from_index`` anchor an incremental snapshot and
         must stay put.
         """
-        if not any(op.is_snapshot_marker() for op in child.ops[from_index:]):
+        ops = child.ops
+        if not any(op.is_snapshot_marker() for op in ops[from_index:]):
             return
-        while (len(child.ops) > from_index
-               and child.ops[-1].is_snapshot_marker()):
-            del child.ops[-1]
-        index = len(child.ops) - 1
+        while len(ops) > from_index and ops[-1].is_snapshot_marker():
+            del ops[-1]
+        index = len(ops) - 1
         while index >= max(from_index, 1):
-            if (child.ops[index].is_snapshot_marker()
-                    and child.ops[index - 1].is_snapshot_marker()):
-                del child.ops[index]
+            if (ops[index].is_snapshot_marker()
+                    and ops[index - 1].is_snapshot_marker()):
+                del ops[index]
             index -= 1
 
     # ------------------------------------------------------------------

@@ -162,7 +162,7 @@ class Kernel:
         """Mark a component as possibly modified since the last flush."""
         self._touched.add(key)
 
-    def flush_to_memory(self, full: bool = False) -> None:
+    def flush_to_memory(self, full: bool = False) -> None:  # nyx: hot
         """Serialize (changed) components into their memory regions.
 
         Called at test-case boundaries and before snapshots so that the
@@ -213,7 +213,7 @@ class Kernel:
                     self._blob_cache["_directory"] = dir_blob
                 self._dir_bump = bump
 
-    def reload_from_memory(self) -> None:
+    def reload_from_memory(self) -> None:  # nyx: hot
         """Rebuild host-side kernel objects from guest memory.
 
         Components whose restored blob is byte-identical to the last
@@ -266,8 +266,11 @@ class Kernel:
         for key, (start, npages) in self._regions.items():
             obj = comp_blob = None
             if key not in touched:
-                if unchanged_layout and not any(
-                        start + i in reset_pages for i in range(npages)):
+                # set.isdisjoint(range) is one C-level probe sweep; a
+                # genexp here would allocate a frame per component on
+                # every reset (hot-lint NYX074).
+                if unchanged_layout and reset_pages.isdisjoint(
+                        range(start, start + npages)):
                     comp_blob = old_cache.get(key)
                     if comp_blob is not None:
                         obj = old.get(key)
@@ -337,7 +340,9 @@ class Kernel:
         proc.exit_code = code
         api = KernelApi(self, proc.pid)
         for fd in list(proc.fdtable.entries):
-            try:
+            # Best-effort close: one stuck descriptor must not leak
+            # the rest of the table, so each close isolates its fault.
+            try:  # nyx: allow[NYX074]
                 api._close_fd(proc, fd)
             except GuestError:
                 pass
@@ -354,7 +359,7 @@ class Kernel:
     # scheduling
     # ------------------------------------------------------------------
 
-    def run(self, max_rounds: int = 64) -> int:
+    def run(self, max_rounds: int = 64) -> int:  # nyx: hot
         """Poll processes until the guest is quiescent.
 
         Returns the number of productive syscalls performed.  A round
@@ -419,7 +424,9 @@ class Kernel:
                 proc.timer_deadline = now + period
                 self.touch("proc:%d" % proc.pid)
                 self._activity += 1
-                try:
+                # Per-process fault isolation: one timer handler
+                # crashing must not starve the other processes' timers.
+                try:  # nyx: allow[NYX074]
                     self._run_program(proc, proc.program.on_timer,
                                       self.api_for(proc.pid))
                 except GuestCrash as crash:
@@ -601,7 +608,7 @@ class Kernel:
 # ----------------------------------------------------------------------
 
 
-class KernelApi:
+class KernelApi:  # nyx: hot
     """Syscalls bound to one process.  This is the surface the paper's
     LD_PRELOAD agent intercepts."""
 

@@ -27,6 +27,9 @@ class Comparison:
 
     lines: List[str] = field(default_factory=list)
     regressions: List[str] = field(default_factory=list)
+    #: False when wall-clock gates were skipped (baseline recorded on a
+    #: different host); sim gates still apply.
+    wall_gated: bool = True
 
     @property
     def ok(self) -> bool:
@@ -72,6 +75,24 @@ def make_baseline(micro: Optional[Dict[str, object]],
     return payload
 
 
+def _host_mismatch_detail(cur_host, base_host) -> str:
+    """Human-readable description of why two host stamps differ."""
+    if not isinstance(cur_host, dict) or not isinstance(base_host, dict):
+        return "no host recorded on one side"
+    parts = ["%s %r vs %r" % (key, cur_host.get(key), base_host.get(key))
+             for key in sorted(set(cur_host) | set(base_host))
+             if cur_host.get(key) != base_host.get(key)]
+    return "; ".join(parts) or "host fields differ"
+
+
+def _skip_wall_gates(out: Comparison, cur_host, base_host) -> None:
+    """Mark wall gates off, announcing the host mismatch exactly once."""
+    if out.wall_gated:
+        out.wall_gated = False
+        out.add("wall gates skipped (host mismatch: %s)"
+                % _host_mismatch_detail(cur_host, base_host))
+
+
 def _pct_below(current: float, base: float) -> float:
     """How many percent ``current`` sits below ``base`` (>=0)."""
     if base <= 0:
@@ -94,6 +115,8 @@ def compare_micro(current: Dict[str, object], baseline: Dict[str, object],
     # treated as a different host).
     same_host = (current.get("host") is not None
                  and current.get("host") == baseline.get("host"))
+    if not same_host:
+        _skip_wall_gates(out, current.get("host"), baseline.get("host"))
     for name in sorted(cur_rows):
         cur = cur_rows[name]
         base = base_rows.get(name)
@@ -126,6 +149,8 @@ def compare_macro(current: Dict[str, object], baseline: Dict[str, object],
     # baseline (docs/performance.md); on any other host the number is
     # reported but never gated — the sim metrics below are the gate.
     same_host = current.get("host") == baseline.get("host")
+    if not same_host:
+        _skip_wall_gates(out, current.get("host"), baseline.get("host"))
     if below > pct and same_host:
         out.regress(line + "  << regressed beyond %.0f%%" % pct)
     elif below > pct:

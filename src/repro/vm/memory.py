@@ -127,7 +127,7 @@ class GuestMemory:  # nyx: allow[reset]
         if log:
             self.mark_dirty(index)
 
-    def restore_pages(self, indices: Sequence[int],
+    def restore_pages(self, indices: Sequence[int],  # nyx: hot
                       source: List[bytes]) -> None:
         """Reset every page in ``indices`` to ``source[idx]`` without
         dirty-logging — the batch form of ``set_page(..., log=False)``
@@ -168,7 +168,7 @@ class GuestMemory:  # nyx: allow[reset]
 
     # -- byte-granular access ---------------------------------------------
 
-    def read(self, addr: int, length: int) -> bytes:
+    def read(self, addr: int, length: int) -> bytes:  # nyx: hot
         """Read ``length`` bytes starting at guest physical ``addr``."""
         self._check_range(addr, length)
         if length == 0:
@@ -191,7 +191,7 @@ class GuestMemory:  # nyx: allow[reset]
             remaining -= chunk
         return b"".join(parts)
 
-    def write(self, addr: int, data: bytes) -> None:
+    def write(self, addr: int, data: bytes) -> None:  # nyx: hot
         """Write ``data`` at guest physical ``addr``, dirtying pages."""
         length = len(data)
         self._check_range(addr, length)
@@ -213,7 +213,7 @@ class GuestMemory:  # nyx: allow[reset]
             page_idx += 1
             page_off = 0
 
-    def write_if_changed(self, addr: int, data: bytes) -> int:
+    def write_if_changed(self, addr: int, data: bytes) -> int:  # nyx: hot
         """Like :meth:`write`, but skip pages whose bytes are identical.
 
         Returns the number of pages actually written.  Used by the

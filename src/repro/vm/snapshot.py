@@ -265,7 +265,7 @@ class SnapshotManager:  # nyx: allow[reset]
         self._verified_ids = {}
         self._verify_countdown = 0
 
-    def restore_root(self) -> int:
+    def restore_root(self) -> int:  # nyx: hot
         """Reset the VM to the root snapshot; returns pages reset."""
         root = self.root
         if self.injector is not None:

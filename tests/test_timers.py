@@ -1,0 +1,103 @@
+"""Wall-clock timing primitive tests (``repro.perf.timers``).
+
+These primitives feed every BENCH_*.json number, so the contract is
+pinned: monotone accumulation across windows, correct nesting, and a
+disabled mode that never touches the host clock at all.
+"""
+
+import pytest
+
+import repro.perf.timers as timers
+from repro.perf.timers import WallTimer, bench_loop, rate_entry, wall_now
+
+
+class TestWallNow:
+    def test_monotonic(self):
+        readings = [wall_now() for _ in range(100)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+
+class TestWallTimer:
+    def test_accumulates_across_windows(self):
+        timer = WallTimer()
+        with timer:
+            sum(range(1000))
+        first = timer.elapsed
+        assert first >= 0.0
+        with timer:
+            sum(range(1000))
+        assert timer.elapsed >= first
+
+    def test_nesting_outer_covers_inner(self):
+        outer, inner = WallTimer(), WallTimer()
+        with outer:
+            with inner:
+                sum(range(10000))
+        assert outer.elapsed >= inner.elapsed >= 0.0
+
+    def test_idle_between_windows_is_not_counted(self):
+        timer = WallTimer()
+        with timer:
+            pass
+        idle_mark = timer.elapsed
+        sum(range(200000))  # work outside any window
+        with timer:
+            pass
+        # Two empty windows cost far less than the idle work between
+        # them would have, had it been (wrongly) attributed.
+        assert timer.elapsed >= idle_mark
+
+    def test_disabled_timer_accumulates_nothing(self):
+        timer = WallTimer(enabled=False)
+        with timer:
+            sum(range(100000))
+        assert timer.elapsed == 0.0
+        assert timer._started_at is None
+
+    def test_disabled_timer_never_reads_the_clock(self, monkeypatch):
+        def explode():
+            raise AssertionError("disabled timer read the clock")
+        monkeypatch.setattr(timers, "wall_now", explode)
+        timer = WallTimer(enabled=False)
+        with timer:
+            pass
+        assert timer.elapsed == 0.0
+
+    def test_enabled_by_default(self):
+        assert WallTimer().enabled
+
+    def test_exception_inside_window_still_accumulates(self):
+        timer = WallTimer()
+        with pytest.raises(ValueError):
+            with timer:
+                raise ValueError("boom")
+        assert timer.elapsed >= 0.0
+        assert timer._started_at is None
+
+
+class TestBenchLoop:
+    def test_runs_at_least_min_iterations(self):
+        calls = []
+        iterations, elapsed = bench_loop(calls.append, min_seconds=0.0)
+        assert iterations == len(calls) == 3
+        assert elapsed >= 0.0
+
+    def test_iteration_cap_stops_free_operations(self):
+        iterations, _ = bench_loop(lambda i: None, min_seconds=1e9,
+                                   max_iterations=50)
+        assert iterations == 50
+
+    def test_passes_the_iteration_index(self):
+        seen = []
+        bench_loop(seen.append, min_seconds=0.0)
+        assert seen == [0, 1, 2]
+
+
+class TestRateEntry:
+    def test_rate_math_and_extras(self):
+        entry = rate_entry("restore", 2000, 0.5, pages_dirtied=7)
+        assert entry["per_sec"] == 4000.0
+        assert entry["pages_dirtied"] == 7
+
+    def test_zero_elapsed_yields_zero_rate(self):
+        assert rate_entry("x", 10, 0.0)["per_sec"] == 0.0
