@@ -46,6 +46,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import build_campaign
     from repro.fuzz.persist import save_campaign
     from repro.targets import PROFILES
+    if getattr(args, "placement", None) == "bandit":
+        args.policy = "bandit"
+    if args.max_chain_depth < 1:
+        print("--max-chain-depth must be >= 1", file=sys.stderr)
+        return 2
     if args.resume:
         return _fuzz_resume(args)
     if args.target is None:
@@ -77,7 +82,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                                  fault_plan=args.fault_plan,
                                  exec_timeout=args.exec_timeout,
                                  sanitize_every=args.sanitize_resets,
-                                 coverage_backend=args.coverage_backend)
+                                 coverage_backend=args.coverage_backend,
+                                 max_chain_depth=args.max_chain_depth)
     except PlanError as err:
         print("invalid fault plan: %s" % err, file=sys.stderr)
         return 2
@@ -156,6 +162,9 @@ def _fuzz_parallel(args: argparse.Namespace, profile) -> int:
         print("(--distill is ignored with --workers > 1)")
     if args.sanitize_resets is not None:
         print("(--sanitize-resets is ignored with --workers > 1)")
+    if args.max_chain_depth > 1:
+        print("(--max-chain-depth is ignored with --workers > 1; workers "
+              "run the classic single incremental snapshot)")
     if args.fault_plan:
         print("(--fault-plan is ignored with --workers > 1; each worker "
               "derives its plan from --seed and --fault-rate)")
@@ -181,6 +190,7 @@ _FUZZ_DEFAULTS = {
     "exec_timeout": ("exec_timeout", None),
     "sanitize_every": ("sanitize_resets", None),
     "coverage_backend": ("coverage_backend", "auto"),
+    "max_chain_depth": ("max_chain_depth", 1),
     "workers": ("workers", 1),
     "sync_interval": ("sync_interval", 5.0),
     "verify_checkpoints": ("verify_checkpoints", None),
@@ -228,7 +238,8 @@ def _fuzz_durable(args: argparse.Namespace, profile) -> int:
         sanitize_every=args.sanitize_resets,
         coverage_backend=args.coverage_backend,
         workers=args.workers, sync_interval=args.sync_interval,
-        verify_checkpoints=args.verify_checkpoints)
+        verify_checkpoints=args.verify_checkpoints,
+        max_chain_depth=args.max_chain_depth)
     try:
         if kind == "parallel":
             from repro.fuzz.campaign import (
@@ -414,22 +425,25 @@ def _bench_matrix(args: argparse.Namespace) -> int:
 def _bench_perf(args: argparse.Namespace) -> int:
     """``bench``: hot-path performance benchmarks (docs/performance.md).
 
-    Runs the micro suite and the macro campaign benchmark, writes
-    ``BENCH_micro.json`` / ``BENCH_fuzz.json``, and with ``--check``
+    Runs the micro suite, the macro campaign benchmark and the
+    deep-state chain scenario, writes ``BENCH_micro.json`` /
+    ``BENCH_fuzz.json`` / ``BENCH_chain.json``, and with ``--check``
     gates the results against a committed baseline.
     """
     import os
 
-    from repro.perf import (compare_reports, load_report, run_macro,
-                            run_micro, write_report)
+    from repro.perf import (compare_reports, load_report, run_chain_macro,
+                            run_macro, run_micro, write_report)
     from repro.perf.report import make_baseline
     os.makedirs(args.out, exist_ok=True)
-    run_micro_suite = not args.macro_only
-    run_macro_suite = not args.micro_only
+    run_micro_suite = not args.macro_only and not args.chain_only
+    run_macro_suite = not args.micro_only and not args.chain_only
+    run_chain_suite = (not args.micro_only and not args.macro_only
+                       and not args.skip_chain)
     baseline_report = None
     if args.check is not None and os.path.exists(args.baseline):
         baseline_report = load_report(args.baseline)
-    micro = macro = None
+    micro = macro = chain = None
     if run_micro_suite:
         print("running micro benchmarks%s..."
               % (" (quick)" if args.quick else ""))
@@ -451,14 +465,17 @@ def _bench_perf(args: argparse.Namespace) -> int:
                 "execs", 2000))
         else:
             execs = 400 if args.quick else 2000
-        print("running macro benchmark: %s, seed %d, %d execs%s..."
+        print("running macro benchmark: %s, seed %d, %d execs%s%s..."
               % (args.target, args.seed, execs,
-                 ", sanitized" if args.sanitize_resets is not None else ""))
+                 ", sanitized" if args.sanitize_resets is not None else "",
+                 ", chain depth %d" % args.max_chain_depth
+                 if args.max_chain_depth > 1 else ""))
         from repro.coverage.backends import BackendUnavailable
         try:
             macro = run_macro(target=args.target, seed=args.seed, execs=execs,
                               sanitize_every=args.sanitize_resets,
-                              coverage_backend=args.coverage_backend)
+                              coverage_backend=args.coverage_backend,
+                              max_chain_depth=args.max_chain_depth)
         except BackendUnavailable as err:
             print("coverage backend unavailable: %s" % err, file=sys.stderr)
             return 2
@@ -481,8 +498,35 @@ def _bench_perf(args: argparse.Namespace) -> int:
                 print("FAIL: sanitized bench run reported reset leaks",
                       file=sys.stderr)
                 return 1
+    if run_chain_suite:
+        if args.chain_execs is not None:
+            chain_execs = args.chain_execs
+        elif baseline_report is not None:
+            chain_execs = int((baseline_report.get("chain") or {}).get(
+                "execs", 600))
+        else:
+            chain_execs = 300 if args.quick else 600
+        print("running chain scenario: lightftp deep session, seed %d, "
+              "%d execs per leg, bandit depth %d..."
+              % (args.seed, chain_execs, args.chain_depth))
+        from repro.coverage.backends import BackendUnavailable
+        try:
+            chain = run_chain_macro(seed=args.seed, execs=chain_execs,
+                                    depth=args.chain_depth,
+                                    coverage_backend=args.coverage_backend)
+        except BackendUnavailable as err:
+            print("coverage backend unavailable: %s" % err, file=sys.stderr)
+            return 2
+        for leg in ("ref", "chain"):
+            row = chain[leg]
+            print("  %-26s %8.1f execs/s wall  %d edges"
+                  % ("%s (%s, depth %d)" % (leg, row["policy"],
+                                            row["max_chain_depth"]),
+                     row["wall_execs_per_sec"], row["final_edges"]))
+        print("  chain speedup: %.2fx" % chain["chain_speedup"])
+        write_report(os.path.join(args.out, "BENCH_chain.json"), chain)
     if args.write_baseline:
-        write_report(args.baseline, make_baseline(micro, macro))
+        write_report(args.baseline, make_baseline(micro, macro, chain))
         print("wrote baseline %s" % args.baseline)
     if args.check is not None:
         if baseline_report is None:
@@ -490,7 +534,8 @@ def _bench_perf(args: argparse.Namespace) -> int:
                   % args.baseline, file=sys.stderr)
             return 2
         comparison = compare_reports(micro, macro,
-                                     baseline_report, args.check)
+                                     baseline_report, args.check,
+                                     chain=chain)
         print(comparison.format_text())
         if not comparison.ok:
             return 1
@@ -727,7 +772,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "resumable exit; kill -9 recovers from the last "
                            "checkpoint via --resume)")
     fuzz.add_argument("--policy", default="aggressive",
-                      choices=["none", "balanced", "aggressive"])
+                      choices=["none", "balanced", "aggressive", "bandit"])
+    fuzz.add_argument("--max-chain-depth", type=int, default=1, metavar="K",
+                      help="snapshot chain depth cap: 1 keeps the paper's "
+                           "single incremental snapshot; K>1 lets the "
+                           "policy stack up to K overlay snapshots along "
+                           "each input (docs/snapshots.md)")
+    fuzz.add_argument("--placement", choices=["bandit"], default=None,
+                      help="chain placement strategy; 'bandit' is shorthand "
+                           "for --policy bandit (pair with "
+                           "--max-chain-depth > 1)")
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--time", type=float, default=600.0,
                       help="simulated seconds")
@@ -796,6 +850,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--execs", type=int, default=None,
                        help="macro campaign execs "
                             "(default: 2000, or 400 with --quick)")
+    bench.add_argument("--max-chain-depth", type=int, default=1,
+                       metavar="K",
+                       help="overlay-chain depth for the macro campaign "
+                            "(default: 1, the paper's single incremental "
+                            "snapshot)")
+    bench.add_argument("--chain", dest="chain_only", action="store_true",
+                       help="run only the deep-state chain scenario")
+    bench.add_argument("--skip-chain", action="store_true",
+                       help="skip the deep-state chain scenario")
+    bench.add_argument("--chain-depth", type=int, default=4, metavar="K",
+                       help="chain-scenario bandit depth (default: 4)")
+    bench.add_argument("--chain-execs", type=int, default=None,
+                       help="chain-scenario execs per leg "
+                            "(default: 600, or 300 with --quick)")
     bench.add_argument("--out", default=".",
                        help="directory for BENCH_*.json (default: .)")
     bench.add_argument("--baseline", default="BENCH_baseline.json",

@@ -76,6 +76,7 @@ def build_campaign(profile: TargetProfile,
                    exec_timeout: Optional[float] = None,
                    sanitize_every: Optional[int] = None,
                    coverage_backend: str = "auto",
+                   max_chain_depth: int = 1,
                    seeds=None) -> CampaignHandles:
     """Boot the target in a fresh VM and wire up a Nyx-Net fuzzer.
 
@@ -88,6 +89,9 @@ def build_campaign(profile: TargetProfile,
     ``coverage_backend`` picks the tracer backend (``auto`` resolves to
     ``sys.monitoring`` on 3.12+, ``sys.settrace`` otherwise); backends
     are byte-equivalent, so campaign results do not depend on it.
+    ``max_chain_depth`` > 1 enables overlay snapshot chains (see
+    docs/snapshots.md); 1 keeps the paper's single incremental
+    snapshot and is byte-identical to a pre-chain build.
     """
     machine, kernel, interceptor = boot_target(
         profile, asan=asan, memory_bytes=memory_bytes,
@@ -95,7 +99,8 @@ def build_campaign(profile: TargetProfile,
 
     tracer = make_tracer(coverage_backend)
     executor = NyxExecutor(machine, kernel, interceptor, tracer,
-                           exec_timeout=exec_timeout)
+                           exec_timeout=exec_timeout,
+                           max_chain_depth=max_chain_depth)
     if fault_plan is not None or fault_rate != 0.0:
         # A non-zero (even negative) rate reaches FaultPlan validation,
         # which rejects anything outside [0, 1] with a PlanError.
@@ -111,7 +116,8 @@ def build_campaign(profile: TargetProfile,
                           time_budget=time_budget, max_execs=max_execs,
                           iterations_per_snapshot=iterations_per_snapshot,
                           dictionary=tuple(profile.dictionary),
-                          sanitize_every=sanitize_every)
+                          sanitize_every=sanitize_every,
+                          max_chain_depth=max_chain_depth)
     fuzzer = NyxNetFuzzer(executor,
                           seeds if seeds is not None else profile.seeds(),
                           config)
@@ -185,7 +191,8 @@ def build_campaign_from_manifest(profile: TargetProfile,
         fault_plan=manifest.get("fault_plan"),
         exec_timeout=manifest.get("exec_timeout"),
         sanitize_every=manifest.get("sanitize_every"),
-        coverage_backend=manifest.get("coverage_backend", "auto"))
+        coverage_backend=manifest.get("coverage_backend", "auto"),
+        max_chain_depth=manifest.get("max_chain_depth", 1))
 
 
 def build_parallel_campaign_from_manifest(profile: TargetProfile,

@@ -53,6 +53,7 @@ from repro.fuzz.input import FuzzInput
 from repro.guestos.errors import CrashReport, GuestError
 from repro.guestos.kernel import Kernel
 from repro.vm.machine import Machine
+from repro.vm.snapshot import SnapshotCorruption
 
 #: Handler signature: (executor, op, resolved connection id) -> None.
 OpHandler = Callable[["NyxExecutor", object, Optional[int]], None]
@@ -142,12 +143,17 @@ class NyxExecutor:
                  max_ops: int = 512,
                  exec_timeout: Optional[float] = None,
                  max_snapshot_rebuilds: int = 3,
-                 trace_elision: bool = True) -> None:
+                 trace_elision: bool = True,
+                 max_chain_depth: int = 1) -> None:
         self.machine = machine
         self.kernel = kernel
         self.interceptor = interceptor
         self.tracer = tracer
         self.max_ops = max_ops
+        #: Deepest overlay chain this executor will stack (1 = the
+        #: classic single incremental snapshot; markers and multi-point
+        #: placements only chain when this allows it).
+        self.max_chain_depth = max_chain_depth
         #: Watchdog budget: simulated seconds one execution may burn
         #: before it is stopped and classified as a timeout.  ``None``
         #: disables the watchdog (trusted targets).
@@ -172,6 +178,9 @@ class NyxExecutor:
         self.elision_invalidations = 0  # nyx: state[ephemeral]
         self._rebuild_failures = 0
         self._suffix: Optional[_SuffixState] = None
+        #: Chain nodes, shallow to deep; node ``i`` is chain depth
+        #: ``i + 1`` and ``_suffix`` aliases the deepest one.
+        self._chain_nodes: List[_SuffixState] = []
         self._recordings: "OrderedDict[int, TraceRecording]" = OrderedDict()
         self.recording_cache_limit = RECORDING_CACHE_LIMIT
         self._rec_in_progress: Optional[TraceRecording] = None
@@ -189,22 +198,38 @@ class NyxExecutor:
 
     def run_full(self, input_: FuzzInput,  # nyx: hot
                  snapshot_after_packet: Optional[int] = None,
-                 parent_key: Optional[int] = None) -> ExecResult:
+                 parent_key: Optional[int] = None,
+                 snapshot_after_packets: Optional[List[int]] = None
+                 ) -> ExecResult:
         """Execute the whole input from the active snapshot (root).
 
         ``snapshot_after_packet`` is a 0-based position into the
         input's packet list; the incremental snapshot is created right
         after that packet is consumed, and subsequent ``run_suffix``
-        calls replay only the remainder.
+        calls replay only the remainder.  ``snapshot_after_packets``
+        generalizes it to an ascending list of positions: the first
+        becomes the incremental snapshot, each later one a chain
+        overlay stacked on top (a one-element list is byte-identical to
+        the scalar form).
 
         ``parent_key`` names a recording registered through
         :meth:`remember_trace`; any op prefix the input shares with it
         replays with the tracer elided.
         """
         self._suffix = None
+        self._chain_nodes = []
         self.machine.snapshots.discard_incremental()
         snapshot_op_index = None
-        if snapshot_after_packet is not None:
+        later_ops: List[int] = []
+        if snapshot_after_packets:
+            packets = input_.packet_indices()
+            points = sorted({packets[pos] for pos in snapshot_after_packets
+                             if 0 <= pos < len(packets)})
+            points = points[:self.max_chain_depth]
+            if points:
+                snapshot_op_index = points[0]
+                later_ops = points[1:]
+        elif snapshot_after_packet is not None:
             packets = input_.packet_indices()
             if 0 <= snapshot_after_packet < len(packets):
                 snapshot_op_index = packets[snapshot_after_packet]
@@ -214,25 +239,56 @@ class NyxExecutor:
             if parent_rec is not None:
                 self._recordings.move_to_end(parent_key)
         return self._run(input_, start=0, snapshot_op_index=snapshot_op_index,
+                         later_snapshot_ops=later_ops,
                          parent_rec=parent_rec, record=True)
 
-    def run_suffix(self, input_: FuzzInput) -> ExecResult:  # nyx: hot
-        """Execute only the ops after the incremental snapshot point.
+    def run_suffix(self, input_: FuzzInput,  # nyx: hot
+                   depth: Optional[int] = None) -> ExecResult:
+        """Execute only the ops after a chain node's snapshot point.
 
-        Self-healing: if the last reset found the incremental snapshot
-        corrupted (it validates its CoW pages by checksum), the prefix
-        is replayed from the root to rebuild it.  After
-        ``max_snapshot_rebuilds`` consecutive failures the executor
-        degrades to root-only execution instead of thrashing.
+        ``depth`` picks the chain node to resume from (1 = the
+        incremental snapshot; default: the deepest node).  The executor
+        then upgrades to the *deepest* node at or above ``depth`` whose
+        op prefix the input still matches — resuming closer to the
+        mutation site executes strictly fewer ops for the same result.
+        Switching nodes between runs costs one chain restore; staying
+        on the previous node costs nothing extra.
+
+        Self-healing: if the last reset found a snapshot layer
+        corrupted (each validates its CoW pages by checksum), the
+        prefix is replayed from the root to rebuild the whole chain.
+        After ``max_snapshot_rebuilds`` consecutive failures the
+        executor degrades to root-only execution instead of thrashing.
         """
-        state = self._suffix
-        if state is None:
+        nodes = self._chain_nodes
+        if not nodes:
             raise RuntimeError("no incremental snapshot to fuzz from")
         if not self.degraded_root_only:
-            state = self._heal_incremental(state)
-        if self.degraded_root_only:
+            self._heal_incremental(nodes[-1])
+            nodes = self._chain_nodes
+        if self.degraded_root_only or not nodes:
             # Bottom of the ladder: run the whole input from the root.
             return self._run(input_, start=0, snapshot_op_index=None)
+        if depth is None or depth > len(nodes):
+            depth = len(nodes)
+        elif depth < 1:
+            depth = 1
+        depth = self._deepest_matching(input_, depth)
+        state = nodes[depth - 1]
+        snapshots = self.machine.snapshots
+        if snapshots.chain_depth > 1 and snapshots.base_depth != depth:
+            # Hop to the requested node; the next end-of-run reset then
+            # returns here for free (it restores the current base).
+            try:
+                self.machine.restore_to_depth(depth)
+            except SnapshotCorruption:
+                # A layer failed validation mid-hop: the manager tore
+                # the whole chain down.  Fall back to the trustworthy
+                # root and re-enter the heal/rebuild/degrade ladder,
+                # exactly like a corrupted end-of-run reset.
+                self.machine.snapshot_corruptions += 1
+                self.machine.restore_root()
+                return self.run_suffix(input_, depth=depth)
         # Rebind the interceptor's host-side view of the guest sockets
         # exactly as it was at the snapshot point.  Suffix runs skip
         # reset_for_test (the snapshot point is mid-test), so stale
@@ -246,6 +302,31 @@ class NyxExecutor:
                            parent_rec=state.capture_rec)
         result.suffix_run = True
         return result
+
+    def _deepest_matching(self, input_: FuzzInput, depth: int) -> int:
+        """Deepest chain depth >= ``depth`` whose captured op prefix the
+        input still matches (mutations past a node's snapshot point
+        leave its prefix valid)."""
+        nodes = self._chain_nodes
+        ops = input_.ops
+        n_ops = len(ops)
+        for i in range(len(nodes) - 1, depth - 1, -1):
+            node = nodes[i]
+            base = node.base_input
+            resume = node.resume_index
+            if base is None or n_ops < resume:
+                continue
+            base_ops = base.ops
+            match = True
+            for k in range(resume):
+                a = ops[k]
+                b = base_ops[k]
+                if a is not b and a != b:
+                    match = False
+                    break
+            if match:
+                return i + 1
+        return depth
 
     # ------------------------------------------------------------------
     # trace recordings (prefix elision)
@@ -283,6 +364,8 @@ class NyxExecutor:
         affected.
         """
         self._recordings.clear()
+        for node in self._chain_nodes:
+            node.capture_rec = None
         if self._suffix is not None:
             self._suffix.capture_rec = None
         self.elision_invalidations += 1
@@ -305,7 +388,7 @@ class NyxExecutor:
                 "snapshot_rebuilds": self.snapshot_rebuilds,
                 "degraded_root_only": self.degraded_root_only,
                 "rebuild_failures": self._rebuild_failures,
-                "snapshots": self.machine.snapshots.host_cursor_state()}
+                "snapshots": self.machine.snapshots.snapshot_state()}
 
     def restore_durable_state(self, state: dict) -> None:
         """Adopt a checkpointed executor state (inverse of
@@ -314,8 +397,9 @@ class NyxExecutor:
         self.snapshot_rebuilds = int(state["snapshot_rebuilds"])
         self.degraded_root_only = bool(state["degraded_root_only"])
         self._rebuild_failures = int(state["rebuild_failures"])
-        self.machine.snapshots.restore_host_cursor_state(state["snapshots"])
+        self.machine.snapshots.restore_state(state["snapshots"])
         self._suffix = None
+        self._chain_nodes = []
         self._recordings.clear()
         self._rec_in_progress = None
 
@@ -385,8 +469,13 @@ class NyxExecutor:
         self.prefix_elided_ops += elided
 
     def _heal_incremental(self, state: _SuffixState) -> _SuffixState:
-        """Ensure a valid incremental snapshot exists, rebuilding from
-        the root as often as the rebuild budget allows."""
+        """Ensure a valid snapshot chain exists, rebuilding from the
+        root as often as the rebuild budget allows.
+
+        ``state`` is the deepest chain node; the replay re-creates
+        every node's snapshot point (overlay corruption tears down the
+        whole chain, so rebuilds always start from nothing).
+        """
         snapshots = self.machine.snapshots
         invalidated = False
         while not snapshots.incremental_active:
@@ -399,12 +488,18 @@ class NyxExecutor:
                 self.degraded_root_only = True
                 return state
             self.snapshot_rebuilds += 1
-            # Replay exactly the prefix that produced the snapshot; the
-            # trailing reset restores the fresh incremental snapshot
+            points = [node.resume_index - 1 for node in self._chain_nodes
+                      if node.resume_index > 0]
+            if not points and state.snapshot_op_index is not None:
+                points = [state.snapshot_op_index]
+            self._chain_nodes = []
+            # Replay exactly the prefix that produced the chain; the
+            # trailing reset restores the fresh deepest snapshot
             # (or corrupts it again, in which case we loop).  The
             # replay's trace is discarded, so it runs untraced.
             self._run(state.base_input, start=0,
-                      snapshot_op_index=state.snapshot_op_index,
+                      snapshot_op_index=points[0] if points else None,
+                      later_snapshot_ops=points[1:],
                       stop_index=state.resume_index, traced=False)
             state = self._suffix or state
         self._rebuild_failures = 0
@@ -424,7 +519,8 @@ class NyxExecutor:
              stop_index: Optional[int] = None,
              parent_rec: Optional[TraceRecording] = None,
              record: bool = False,
-             traced: bool = True) -> ExecResult:
+             traced: bool = True,
+             later_snapshot_ops: Optional[List[int]] = None) -> ExecResult:
         machine = self.machine
         kernel = self.kernel
         result = ExecResult()
@@ -479,6 +575,8 @@ class NyxExecutor:
         self._rec_in_progress = rec
         if start == 0:
             self.interceptor.reset_for_test()
+        later_points = list(later_snapshot_ops) if later_snapshot_ops else []
+        took_first_point = False
         values = values_preassigned
         spec_nodes = self.op_handlers
         reached = start
@@ -496,7 +594,19 @@ class NyxExecutor:
                 suspended = False
             op = ops[index]
             if op.is_snapshot_marker():
-                self._take_incremental(input_, index + 1, values)
+                snapshots = machine.snapshots
+                if (self.max_chain_depth > 1 and snapshots.incremental_active
+                        and self._chain_nodes
+                        and snapshots.base_depth == snapshots.chain_depth):
+                    # Chain-enabled marker: stack instead of replacing;
+                    # past the depth cap, fold the deepest layer first
+                    # so the chain stays bounded.
+                    if snapshots.chain_depth >= self.max_chain_depth:
+                        snapshots.commit_overlay()
+                        self._chain_nodes.pop(-2)
+                    self._push_chain_node(input_, index + 1, values)
+                else:
+                    self._take_incremental(input_, index + 1, values)
                 reached = index + 1
                 continue
             handler = spec_nodes.get(op.node)
@@ -523,10 +633,17 @@ class NyxExecutor:
                 result.timed_out = True
                 break
             if snapshot_op_index is not None and index == snapshot_op_index:
-                self._take_incremental(input_, index + 1, values)
-                snapshot_op_index = None
-                if rec is not None:
-                    rec.charge_index = index + 1
+                if took_first_point:
+                    # A later placement point: stack a chain overlay on
+                    # the snapshot below it.
+                    self._push_chain_node(input_, index + 1, values)
+                else:
+                    self._take_incremental(input_, index + 1, values)
+                    took_first_point = True
+                    if rec is not None:
+                        rec.charge_index = index + 1
+                snapshot_op_index = (later_points.pop(0) if later_points
+                                     else None)
         if rec is not None:
             # Final boundary: where the op loop exited.
             if suspended:
@@ -577,10 +694,11 @@ class NyxExecutor:
 
     def _take_incremental(self, input_: FuzzInput, resume_index: int,
                           values: int) -> None:
-        """Create the secondary snapshot at the current position."""
+        """Create the secondary snapshot at the current position
+        (replacing any existing chain)."""
         self.kernel.flush_to_memory()
         self.machine.create_incremental()
-        self._suffix = _SuffixState(
+        state = _SuffixState(
             resume_index=resume_index,
             conns=copy.deepcopy(self.interceptor._conns),
             sid_to_conn=dict(self.interceptor._sid_to_conn),
@@ -589,12 +707,44 @@ class NyxExecutor:
             snapshot_op_index=resume_index - 1,
             capture_rec=self._rec_in_progress,
         )
+        self._suffix = state
+        self._chain_nodes = [state]
+
+    def _push_chain_node(self, input_: FuzzInput, resume_index: int,
+                         values: int) -> None:
+        """Stack a chain overlay at the current position (a deeper
+        sibling of :meth:`_take_incremental`)."""
+        self.kernel.flush_to_memory()
+        self.machine.push_overlay()
+        state = _SuffixState(
+            resume_index=resume_index,
+            conns=copy.deepcopy(self.interceptor._conns),
+            sid_to_conn=dict(self.interceptor._sid_to_conn),
+            values_produced=values,
+            base_input=input_.copy(),
+            snapshot_op_index=resume_index - 1,
+            capture_rec=self._rec_in_progress,
+        )
+        self._suffix = state
+        self._chain_nodes.append(state)
+
+    @property
+    def chain_node_count(self) -> int:
+        """Live chain nodes available to resume from."""
+        return len(self._chain_nodes)
+
+    def chain_resume_index(self, depth: int) -> Optional[int]:
+        """Op index suffix runs from node ``depth`` resume at."""
+        if 1 <= depth <= len(self._chain_nodes):
+            return self._chain_nodes[depth - 1].resume_index
+        return None
 
     def finish_snapshot_cycle(self) -> None:  # nyx: hot
-        """Discard the incremental snapshot and return to the root
+        """Discard the snapshot chain and return to the root
         ("as soon as Nyx-Net wants to schedule another input, the
         incremental snapshot is discarded", §3.4)."""
         self._suffix = None
+        self._chain_nodes = []
         self.machine.snapshots.discard_incremental()
         self.kernel.flush_to_memory()
         self.machine.restore_root()

@@ -58,6 +58,11 @@ class FuzzerConfig:
     #: against the post-root-snapshot baseline) every N executions.
     #: ``None`` disables it.  See docs/robustness.md.
     sanitize_every: Optional[int] = None
+    #: Maximum snapshot chain depth (base + overlays).  1 keeps the
+    #: paper's single incremental snapshot (the classic byte-identical
+    #: path); >1 lets policies stack overlay snapshots along an input
+    #: and steer suffix runs between them (see docs/snapshots.md).
+    max_chain_depth: int = 1
 
 
 class NyxNetFuzzer:
@@ -67,6 +72,10 @@ class NyxNetFuzzer:
                  config: Optional[FuzzerConfig] = None) -> None:
         self.executor = executor
         self.config = config or FuzzerConfig()
+        # The config is authoritative for chain depth: the executor
+        # truncates placement lists against its own copy, so the two
+        # must agree or points would be dropped silently.
+        self.executor.max_chain_depth = max(1, self.config.max_chain_depth)
         self.rng = DeterministicRandom(self.config.seed)
         self.policy: SnapshotPolicy = make_policy(self.config.policy)
         self.coverage = CoverageMap()
@@ -148,6 +157,11 @@ class NyxNetFuzzer:
         self.stats.prefix_elisions = self.executor.prefix_elisions
         self.stats.prefix_elided_ops = self.executor.prefix_elided_ops
         self.stats.elision_invalidations = self.executor.elision_invalidations
+        snap_stats = self.executor.machine.snapshots.stats
+        self.stats.chain_pushes = snap_stats.overlay_pushes
+        self.stats.chain_commits = snap_stats.overlay_commits
+        self.stats.chain_restores = snap_stats.chain_restores
+        self.stats.chain_deepest = snap_stats.deepest_chain
         tracer = self.executor.tracer
         if tracer is not None:
             self.stats.fold_memo_evictions = tracer.fold_evictions
@@ -196,7 +210,9 @@ class NyxNetFuzzer:
     #: Version stamp inside every checkpointed fuzzer state; bumped on
     #: any incompatible change so resume fails loudly, never subtly.
     #: 2: sanitizer_findings joined the capture set (NYX060 fix).
-    STATE_FORMAT = 2
+    #: 3: overlay chains — queue entries carry bandit arm statistics
+    #: and the executor's durable state gained chain-cursor keys.
+    STATE_FORMAT = 3
 
     def snapshot_state(self) -> dict:
         """Full resumable state, valid at a step boundary only.
@@ -294,6 +310,16 @@ class NyxNetFuzzer:
     # ------------------------------------------------------------------
 
     def _fuzz_entry(self, entry: QueueEntry) -> None:
+        if self.config.max_chain_depth > 1:
+            points = self.policy.choose_chain(entry, self.rng,
+                                              self.config.max_chain_depth)
+            if len(points) > 1:
+                self._fuzz_with_chain(entry, points)
+            elif points:
+                self._fuzz_with_incremental(entry, points[0])
+            else:
+                self._fuzz_from_root(entry)
+            return
         snapshot_packet = self.policy.choose(entry, self.rng)
         if snapshot_packet is None:
             self._fuzz_from_root(entry)
@@ -350,6 +376,51 @@ class NyxNetFuzzer:
                 found_new = True
         self.policy.feedback(entry, found_new, iterations)
         # Scheduling moves on: drop the secondary snapshot.
+        self.executor.finish_snapshot_cycle()
+
+    def _fuzz_with_chain(self, entry: QueueEntry,
+                         points: Sequence[int]) -> None:
+        """Multi-point variant of :meth:`_fuzz_with_incremental`: one
+        capture run stacks a chain node after each chosen packet, then
+        each suffix iteration asks the policy which node (arm) to
+        resume from and reports the arm's coverage yield back."""
+        base = entry.input
+        result = self.executor.run_full(base,
+                                        snapshot_after_packets=list(points),
+                                        parent_key=entry.entry_id)
+        self._process_result(base, result, count_as_new_input=False)
+        self.executor.remember_trace(entry.entry_id, result, replace=False)
+        if self.executor.chain_node_count == 0:
+            # Snapshot creation failed (e.g. crash before the first
+            # point); fall back to root fuzzing for this schedule.
+            self.policy.feedback(entry, False, 0)
+            self.executor.finish_snapshot_cycle()
+            return
+        found_new = False
+        iterations = self.config.iterations_per_snapshot
+        for _ in range(iterations):
+            if self._budget_exhausted():
+                break
+            # The chain can shrink mid-cycle (self-healing after a
+            # corrupted layer), so re-read the arm count every pull.
+            depth_count = self.executor.chain_node_count
+            if depth_count == 0:
+                break
+            arm = self.policy.pick_arm(entry, self.rng, depth_count)
+            resume = self.executor.chain_resume_index(arm)
+            if resume is None:
+                break
+            child = self.mutator.mutate(
+                base, from_index=resume,
+                splice_donor=self.corpus.splice_donor(entry))
+            result = self.executor.run_suffix(child, depth=arm)
+            self.stats.suffix_execs += 1
+            hit = self._process_result(child, result)
+            if hit:
+                found_new = True
+            self.policy.arm_feedback(entry, arm, hit,
+                                     sim_cost=result.exec_time)
+        self.policy.feedback(entry, found_new, iterations)
         self.executor.finish_snapshot_cycle()
 
     def _budget_exhausted(self) -> bool:

@@ -320,7 +320,8 @@ def campaign_manifest(kind: str, target: str, *, policy: str, seed: int,
                       coverage_backend: str = "auto",
                       workers: int = 1,
                       sync_interval: float = 5.0,
-                      verify_checkpoints: Optional[int] = None) -> dict:
+                      verify_checkpoints: Optional[int] = None,
+                      max_chain_depth: int = 1) -> dict:
     """Everything needed to rebuild this campaign deterministically."""
     from repro.spec.nodes import default_network_spec
     spec = default_network_spec()
@@ -343,6 +344,7 @@ def campaign_manifest(kind: str, target: str, *, policy: str, seed: int,
         "workers": workers,
         "sync_interval": sync_interval,
         "verify_checkpoints": verify_checkpoints,
+        "max_chain_depth": max_chain_depth,
         "spec_name": spec.name,
         "spec_digest": spec.checksum(),
     }

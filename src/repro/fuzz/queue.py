@@ -40,6 +40,14 @@ class QueueEntry:
     #: from the end on first schedule) and fruitless-iteration count.
     aggr_cursor: Optional[int] = None
     aggr_fruitless: int = 0
+    #: Bandit-policy state: per-chain-depth pull counts, accumulated
+    #: coverage reward and accumulated sim cost (None until the entry
+    #: is first fuzzed over a chain).  Travels with the entry through
+    #: corpus checkpoints, so a resumed campaign keeps its learned arm
+    #: preferences.
+    arm_pulls: Optional[Dict[int, int]] = None
+    arm_reward: Optional[Dict[int, float]] = None
+    arm_cost: Optional[Dict[int, float]] = None
     #: Coverage checksum of the discovering execution (dedup key for
     #: cross-instance corpus sync).
     checksum: Optional[int] = None

@@ -87,6 +87,19 @@ class CampaignStats:
     #: NYX065/NYX066 findings those verifications reported (0 = every
     #: checkpoint restored to a divergence-free replica).
     checkpoint_divergences: int = 0
+    #: --- overlay-chain telemetry (``--max-chain-depth`` > 1) ---------
+    #: Reported next to, never inside, :meth:`as_dict`: a depth-1
+    #: campaign must hash identically to a pre-chain build.  The chain
+    #: *operations* do charge the sim clock (they are real snapshot
+    #: work); only these counters stay out of the canonical view.
+    #: Overlay snapshots stacked on the incremental base.
+    chain_pushes: int = 0
+    #: Overlays folded into their parent (depth-cap commits).
+    chain_commits: int = 0
+    #: Restores that targeted a chain node below the deepest.
+    chain_restores: int = 0
+    #: Deepest chain (base + overlays) the campaign ever held.
+    chain_deepest: int = 0
 
     def record_coverage(self, now: float, edges: int) -> None:
         if not self.coverage_series or self.coverage_series[-1][1] != edges:
@@ -197,6 +210,10 @@ class CampaignStats:
             "checkpoint_epochs_pruned": self.checkpoint_epochs_pruned,
             "checkpoint_verifications": self.checkpoint_verifications,
             "checkpoint_divergences": self.checkpoint_divergences,
+            "chain_pushes": self.chain_pushes,
+            "chain_commits": self.chain_commits,
+            "chain_restores": self.chain_restores,
+            "chain_deepest": self.chain_deepest,
         }
 
     # -- multi-worker rollup ------------------------------------------------
@@ -243,6 +260,11 @@ class CampaignStats:
             merged.checkpoint_epochs_pruned += part.checkpoint_epochs_pruned
             merged.checkpoint_verifications += part.checkpoint_verifications
             merged.checkpoint_divergences += part.checkpoint_divergences
+            merged.chain_pushes += part.chain_pushes
+            merged.chain_commits += part.chain_commits
+            merged.chain_restores += part.chain_restores
+            merged.chain_deepest = max(merged.chain_deepest,
+                                       part.chain_deepest)
             if part.coverage_backend and not merged.coverage_backend:
                 merged.coverage_backend = part.coverage_backend
             for key, when in part.crash_times.items():

@@ -16,10 +16,10 @@ Two clocks matter and must never be conflated:
 See docs/performance.md for how to run and read the reports.
 """
 
-from repro.perf.macro import run_macro
+from repro.perf.macro import run_chain_macro, run_macro
 from repro.perf.micro import run_micro
 from repro.perf.profiler import run_profile
 from repro.perf.report import (compare_reports, load_report, write_report)
 
-__all__ = ["run_macro", "run_micro", "run_profile", "compare_reports",
-           "load_report", "write_report"]
+__all__ = ["run_macro", "run_chain_macro", "run_micro", "run_profile",
+           "compare_reports", "load_report", "write_report"]

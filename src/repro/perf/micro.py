@@ -2,8 +2,9 @@
 
 Each benchmark isolates one operation the fuzzing loop performs
 thousands of times per second — sub-page guest writes, single-page
-reads, root/incremental resets, incremental snapshot churn, coverage
-novelty checks and kernel state-blob flushes — and reports its
+reads, root/incremental resets, incremental snapshot churn,
+overlay-chain restores and folds, coverage novelty checks and kernel
+state-blob flushes — and reports its
 wall-clock rate.  The workloads are fully deterministic (fixed
 payloads, fixed page patterns), so rate changes between runs measure
 the implementation, not the input.
@@ -121,6 +122,59 @@ def _bench_resets(min_seconds: float) -> List[Dict[str, object]]:
     return rows
 
 
+def _bench_chains(min_seconds: float) -> List[Dict[str, object]]:
+    """Overlay-chain restore and fold cycles (docs/snapshots.md).
+
+    ``chain_restore_depth{1,2,4}`` measure the suffix-iteration reset
+    at increasing chain depth — depth 1 is the classic incremental
+    restore, so the depth-2/4 rows show what the extra layers cost.
+    ``chain_commit_fold`` measures the push + commit churn of the
+    executor's commit-at-cap path.
+    """
+    rows: List[Dict[str, object]] = []
+    payload = b"dirty-page-payload"
+    for depth in (1, 2, 4):
+        machine = Machine(memory_bytes=_BENCH_PAGES * PAGE_SIZE,
+                          disk_sectors=64)
+        machine.capture_root()
+        # One chain layer per 8-page prefix band: the shape a
+        # multi-packet exchange leaves behind (each handled packet
+        # dirties a slice of guest state, then a node is pushed).
+        for level in range(depth):
+            for page in range(level * 8, level * 8 + 8):
+                machine.memory.write(page * PAGE_SIZE, b"prefix state")
+            if level == 0:
+                machine.create_incremental()
+            else:
+                machine.push_overlay()
+
+        def chain_cycle(i: int, machine=machine, depth=depth) -> None:
+            for page in range(40, 48):
+                machine.memory.write(page * PAGE_SIZE + (i % 256), payload)
+            machine.restore_to_depth(depth)
+
+        iterations, elapsed = bench_loop(chain_cycle,
+                                         min_seconds=min_seconds)
+        rows.append(rate_entry("chain_restore_depth%d" % depth,
+                               iterations, elapsed))
+
+    machine = Machine(memory_bytes=_BENCH_PAGES * PAGE_SIZE,
+                      disk_sectors=64)
+    machine.capture_root()
+    machine.memory.write(0, b"prefix state")
+    machine.create_incremental()
+
+    def commit_fold(i: int) -> None:
+        machine.memory.write((8 + i % 8) * PAGE_SIZE, payload)
+        machine.push_overlay()
+        machine.memory.write(30 * PAGE_SIZE, payload)
+        machine.snapshots.commit_overlay()
+
+    iterations, elapsed = bench_loop(commit_fold, min_seconds=min_seconds)
+    rows.append(rate_entry("chain_commit_fold", iterations, elapsed))
+    return rows
+
+
 def _bench_blobs(min_seconds: float) -> List[Dict[str, object]]:
     """Kernel state-blob flush pattern over :class:`RegionAllocator`."""
     rows: List[Dict[str, object]] = []
@@ -192,6 +246,7 @@ def run_micro(quick: bool = False) -> Dict[str, object]:
     rows: List[Dict[str, object]] = []
     rows.extend(_bench_memory(min_seconds))
     rows.extend(_bench_resets(min_seconds))
+    rows.extend(_bench_chains(min_seconds))
     rows.extend(_bench_blobs(min_seconds))
     rows.extend(_bench_coverage(min_seconds))
     return {

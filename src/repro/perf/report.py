@@ -1,8 +1,9 @@
 """Benchmark reports: JSON persistence, baseline comparison, the gate.
 
-``repro bench`` emits two machine-readable files — ``BENCH_micro.json``
-and ``BENCH_fuzz.json`` — and, with ``--check <pct>``, compares them
-against a committed ``BENCH_baseline.json``:
+``repro bench`` emits three machine-readable files —
+``BENCH_micro.json``, ``BENCH_fuzz.json`` and ``BENCH_chain.json`` —
+and, with ``--check <pct>``, compares them against a committed
+``BENCH_baseline.json``:
 
 * **wall-clock rates** regress when they fall more than ``pct`` percent
   below the baseline (faster is always fine — the gate is one-sided);
@@ -65,13 +66,17 @@ def load_report(path: str) -> Dict[str, object]:
 
 
 def make_baseline(micro: Optional[Dict[str, object]],
-                  macro: Optional[Dict[str, object]]) -> Dict[str, object]:
+                  macro: Optional[Dict[str, object]],
+                  chain: Optional[Dict[str, object]] = None
+                  ) -> Dict[str, object]:
     """Bundle fresh results into the committed-baseline format."""
     payload: Dict[str, object] = {"kind": "baseline"}
     if micro is not None:
         payload["micro"] = micro
     if macro is not None:
         payload["macro"] = macro
+    if chain is not None:
+        payload["chain"] = chain
     return payload
 
 
@@ -162,7 +167,7 @@ def compare_macro(current: Dict[str, object], baseline: Dict[str, object],
     # configuration; comparing them across different configurations
     # (e.g. a 400-exec quick run vs a 2000-exec baseline) would flag
     # drift that is really a config difference, not a behaviour change.
-    config_keys = ("target", "seed", "policy", "execs")
+    config_keys = ("target", "seed", "policy", "execs", "max_chain_depth")
     same_config = all(current.get(k) == baseline.get(k)
                       for k in config_keys)
     if not same_config:
@@ -197,16 +202,87 @@ def compare_macro(current: Dict[str, object], baseline: Dict[str, object],
                     "(informational; sim rates above are the gate)")
 
 
+def compare_chain(current: Dict[str, object], baseline: Dict[str, object],
+                  pct: float, out: Comparison) -> None:
+    """Gate the deep-state chain scenario (``run_chain_macro``).
+
+    ``chain_speedup`` is a ratio of two wall rates measured back to
+    back on the same host, so it is gated like a wall metric (one-sided
+    and only on the baseline's host).  The per-leg sim metrics and
+    stats checksums are deterministic: when the scenario config matches
+    the baseline, a checksum mismatch is a hard regression — chains
+    (or the bandit) changed sim-visible behaviour.
+    """
+    cur_speedup = float(current.get("chain_speedup", 0.0))
+    base_speedup = float(baseline.get("chain_speedup", 0.0))
+    line = ("chain speedup (bandit depth %s vs single-incremental): "
+            "%.2fx vs %.2fx baseline"
+            % (current.get("depth"), cur_speedup, base_speedup))
+    same_host = (current.get("host") is not None
+                 and current.get("host") == baseline.get("host"))
+    if not same_host:
+        _skip_wall_gates(out, current.get("host"), baseline.get("host"))
+    below = _pct_below(cur_speedup, base_speedup)
+    if below > pct and same_host:
+        out.regress(line + "  << regressed beyond %.0f%%" % pct)
+    elif below > pct:
+        out.add(line + "  (different host: speedup not gated)")
+    else:
+        out.add(line)
+
+    config_keys = ("target", "seed", "execs", "depth")
+    same_config = all(current.get(k) == baseline.get(k)
+                      for k in config_keys)
+    if not same_config:
+        out.add("chain sim metrics: skipped (scenario config differs "
+                "from baseline: %s)"
+                % ", ".join("%s=%r vs %r" % (k, current.get(k),
+                                             baseline.get(k))
+                            for k in config_keys
+                            if current.get(k) != baseline.get(k)))
+        return
+
+    for leg in ("ref", "chain"):
+        cur_leg = current.get(leg) or {}
+        base_leg = baseline.get(leg) or {}
+        for key, label in (("sim_execs_per_sec", "sim execs/s"),
+                           ("final_edges", "final edges")):
+            cur_v = float(cur_leg.get(key, 0.0))
+            base_v = float(base_leg.get(key, 0.0))
+            drift = _pct_drift(cur_v, base_v)
+            line = ("chain %s %s: %.4g vs %.4g baseline"
+                    % (leg, label, cur_v, base_v))
+            if drift > pct:
+                out.regress(line + "  << sim drift %.1f%% beyond %.0f%%"
+                            % (drift, pct))
+            else:
+                out.add(line)
+        cur_sum = cur_leg.get("stats_checksum")
+        base_sum = base_leg.get("stats_checksum")
+        if base_sum is None:
+            continue
+        if cur_sum == base_sum:
+            out.add("chain %s stats checksum: identical" % leg)
+        else:
+            out.regress("chain %s stats checksum: differs from baseline"
+                        "  << sim-visible behaviour changed" % leg)
+
+
 def compare_reports(micro: Optional[Dict[str, object]],
                     macro: Optional[Dict[str, object]],
                     baseline: Dict[str, object],
-                    pct: float) -> Comparison:
-    """Gate fresh micro/macro payloads against a committed baseline."""
+                    pct: float,
+                    chain: Optional[Dict[str, object]] = None
+                    ) -> Comparison:
+    """Gate fresh micro/macro/chain payloads against a committed
+    baseline."""
     out = Comparison()
     if micro is not None and "micro" in baseline:
         compare_micro(micro, baseline["micro"], pct, out)
     if macro is not None and "macro" in baseline:
         compare_macro(macro, baseline["macro"], pct, out)
+    if chain is not None and "chain" in baseline:
+        compare_chain(chain, baseline["chain"], pct, out)
     if not out.lines:
         out.add("baseline has no comparable sections")
     return out

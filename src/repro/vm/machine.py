@@ -106,18 +106,34 @@ class Machine:
         self._notify_restore()
         return n
 
-    def reset_for_next_test(self) -> int:
-        """Reset to whichever snapshot is active (incremental if any).
+    def push_overlay(self) -> int:
+        """Stack a new chain layer on the current state; returns pages
+        captured."""
+        return self.snapshots.push_overlay()
 
-        Self-healing: an incremental snapshot that fails checksum
-        validation is discarded and the VM falls back to the (immutable,
-        trustworthy) root snapshot instead of propagating corrupt state
-        into the next execution.  Callers holding suffix state notice
-        via :attr:`SnapshotManager.incremental_active` going False and
+    def restore_to_depth(self, depth: int) -> int:
+        """Reset to chain node ``depth``; returns pages reset."""
+        n = self.snapshots.restore_to_depth(depth)
+        self._notify_restore()
+        return n
+
+    def reset_for_next_test(self) -> int:
+        """Reset to whichever snapshot is active (deepest chain node,
+        else the incremental snapshot, else root).
+
+        Self-healing: a snapshot layer that fails checksum validation
+        is discarded (overlay chains are torn down wholesale) and the
+        VM falls back to the (immutable, trustworthy) root snapshot
+        instead of propagating corrupt state into the next execution.
+        Callers holding suffix state notice via
+        :attr:`SnapshotManager.incremental_active` going False and
         rebuild from the root.
         """
-        if self.snapshots.incremental_active:
+        snaps = self.snapshots
+        if snaps.incremental_active:
             try:
+                if snaps.chain_depth > 1:
+                    return self.restore_to_depth(snaps.base_depth)
                 return self.restore_incremental()
             except SnapshotCorruption:
                 self.snapshot_corruptions += 1

@@ -29,7 +29,7 @@ docs/performance.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 PAGE_SIZE = 4096
 #: ``PAGE_SIZE == 1 << PAGE_SHIFT``; the hot paths use shifts/masks
@@ -144,6 +144,27 @@ class GuestMemory:  # nyx: allow[reset]
         else:
             for idx in indices:
                 pages[idx] = source[idx]
+
+    def sealed_pages(self, indices) -> Dict[int, bytes]:  # nyx: hot
+        """``{idx: sealed page}`` for every page in ``indices`` — the
+        batch form of :meth:`page` used when a chain overlay captures
+        its write delta (one call instead of one per touched page).
+        """
+        pages = self._pages
+        unsealed = self._unsealed
+        out: Dict[int, bytes] = {}
+        if unsealed:
+            for idx in indices:
+                page = pages[idx]
+                if idx in unsealed:
+                    page = bytes(page)
+                    pages[idx] = page
+                    unsealed.discard(idx)
+                out[idx] = page
+        else:
+            for idx in indices:
+                out[idx] = pages[idx]
+        return out
 
     def pages_snapshot(self) -> List[bytes]:
         """Shallow copy of the page array (CoW view of all memory).

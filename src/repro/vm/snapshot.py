@@ -19,6 +19,22 @@ Incremental snapshots add a second level:
 * Only one incremental snapshot exists at any time; scheduling a new
   input discards it (§3.4).
 
+**Overlay chains** generalize the second level to a QCOW2-style
+backing chain: base → overlay₁ → overlay₂ → … (docs/snapshots.md).
+The paper's single incremental snapshot is chain depth 1 and keeps its
+exact code path (same charges, byte for byte); deeper layers are
+:class:`ChainOverlay` records pushed on top of it:
+
+* each overlay holds a dense CoW mirror of its parent's view plus real
+  copies of the pages written since the parent's capture, with its own
+  incremental CRC table and private-page accounting;
+* ``restore_to_depth(k)`` resets the VM to any chain node, resolving
+  page identity newest-to-oldest through the per-layer ``touched``
+  sets and reusing the dirty-write-avoidance batch reset;
+* ``commit_overlay`` folds the deepest overlay into its parent (the
+  QCOW2 *commit*, bounding chain length); ``discard_deepest`` drops
+  the deepest layer for free (the QCOW2 *discard*).
+
 Cost accounting: every operation charges the machine clock through the
 cost model, so Table 3 and Figure 6 reproduce the structural costs of
 the paper (per-dirty-page work + a fixed hypercall/device cost).  The
@@ -111,9 +127,45 @@ class SnapshotStats:
         self.pages_reset = 0
         self.pages_captured = 0
         self.corruption_detected = 0
+        # Overlay-chain activity (0 for single-incremental campaigns).
+        self.overlay_pushes = 0
+        self.overlay_commits = 0
+        self.chain_restores = 0
+        self.deepest_chain = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
+
+
+class ChainOverlay:
+    """One layer of an overlay chain (depth >= 2).
+
+    A dense page mirror that *looks like* a complete snapshot of the VM
+    at push time without the full memory cost: entries for pages
+    untouched since the parent's capture are CoW references into the
+    parent's mirror; ``touched`` pages are real copies with their own
+    CRC32s.  Frozen after push — restores read it, never write it.
+    """
+
+    __slots__ = ("mirror", "touched", "checksums", "verified_ids",
+                 "device_state", "disk_overlay", "disk_touched")
+
+    def __init__(self, mirror: List[bytes], touched: set,
+                 checksums: Dict[int, int], verified_ids: Dict[int, int],
+                 device_state: Dict[str, Tuple],
+                 disk_overlay: Dict[int, bytes], disk_touched: set) -> None:
+        self.mirror = mirror
+        self.touched = touched
+        self.checksums = checksums
+        self.verified_ids = verified_ids
+        self.device_state = device_state
+        self.disk_overlay = disk_overlay
+        #: Sectors written between the parent's capture and this one —
+        #: the disk-level ``touched`` set cross-depth restores resolve.
+        self.disk_touched = disk_touched
+
+    def private_pages(self) -> int:
+        return len(self.touched)
 
 
 class SnapshotManager:  # nyx: allow[reset]
@@ -131,6 +183,9 @@ class SnapshotManager:  # nyx: allow[reset]
     snapshot, so an injected fault is never outrun by the amortization.
     """
 
+    #: Layout version of :meth:`snapshot_state` (durability lint NYX062).
+    STATE_FORMAT = 1
+
     def __init__(self, memory: GuestMemory, devices: DeviceBoard,
                  disk: EmulatedDisk, clock: SimClock, costs: CostModel,
                  verify_every: int = 1) -> None:
@@ -142,41 +197,66 @@ class SnapshotManager:  # nyx: allow[reset]
         self._clock = clock
         self._costs = costs
         self.verify_every = verify_every
-        self.stats = SnapshotStats()
+        #: Perf counters; recounted by the resumed campaign's fresh
+        #: machine (CampaignStats travels independently).
+        self.stats = SnapshotStats()  # nyx: state[ephemeral]
 
-        self._root: Optional[RootSnapshot] = None
-        #: Pages that may differ from the root snapshot.
-        self._diverged: set = set()
-        #: Pages (re)written since the last create_incremental — the
-        #: subset of ``_diverged`` whose mirror entry is out of date.
-        #: Fed by ``_absorb_dirty``; drained at snapshot boundaries.
-        self._since_create: set = set()
+        #: Rebuilt by ``capture_root`` on the resumed machine.
+        self._root: Optional[RootSnapshot] = None  # nyx: state[ephemeral]
+        #: Pages that may differ from the root snapshot.  Rebuilt from
+        #: scratch each cycle; checkpoints happen at root boundaries.
+        self._diverged: set = set()  # nyx: state[ephemeral]
+        #: Pages (re)written since the deepest snapshot capture (or,
+        #: after a chain restore, since the restored-to node) — the
+        #: subset of ``_diverged`` whose deepest-view entry is out of
+        #: date.  Fed by ``_absorb_dirty``; drained at boundaries.
+        self._since_create: set = set()  # nyx: state[ephemeral]
         #: Pages whose live memory object differs (by identity) from
         #: the root page — maintained incrementally so footprint
         #: queries never scan the whole page array.
-        self._private: set = set()
+        self._private: set = set()  # nyx: state[ephemeral]
         #: Disk sectors that may differ from the root overlay.
-        self._disk_diverged: set = set()
+        self._disk_diverged: set = set()  # nyx: state[ephemeral]
 
-        # Incremental snapshot state.
-        self._mirror: Optional[List[bytes]] = None
+        # Incremental snapshot state.  Checkpoints happen at step
+        # boundaries (root restored, no incremental active): the page
+        # mirror and fast device/disk captures are rebuilt by the next
+        # ``create_incremental`` on the resumed machine; only the
+        # sim-charge cursors below travel (see ``snapshot_state``).
+        self._mirror: Optional[List[bytes]] = None  # nyx: state[ephemeral]
         self._mirror_touched: set = set()
-        self._inc_device_state: Optional[Dict[str, Tuple]] = None
-        self._inc_disk_overlay: Optional[Dict[int, bytes]] = None
-        self._inc_active = False
+        self._inc_device_state: Optional[Dict[str, Tuple]] = None  # nyx: state[ephemeral]
+        self._inc_disk_overlay: Optional[Dict[int, bytes]] = None  # nyx: state[ephemeral]
+        self._inc_active = False  # nyx: state[ephemeral]
         self._creates_since_remirror = 0
         #: CRC32 of every real-copy mirror page at create time, checked
         #: before restores (self-healing snapshots).  Maintained
         #: incrementally: only pages copied by a create are re-CRC'd.
-        self._inc_checksums: Dict[int, int] = {}
+        #: Host-side cache, rebuilt by the next create (never travels).
+        self._inc_checksums: Dict[int, int] = {}  # nyx: state[ephemeral]
         #: ``id()`` of each real-copy page at the time its CRC last
         #: validated.  Mirror pages are immutable ``bytes`` — any
         #: corruption vector in this simulation replaces the object —
         #: so an unchanged identity lets verification skip the CRC
         #: recompute while still charging the modelled validation cost.
-        self._verified_ids: Dict[int, int] = {}
+        #: Process-local ``id()``s: must never cross a checkpoint.
+        self._verified_ids: Dict[int, int] = {}  # nyx: state[ephemeral]
         #: Restores until the next amortized verification is due.
         self._verify_countdown = 0
+
+        # Overlay-chain state (depth >= 2).  Chains live inside one
+        # snapshot cycle — every cycle ends back at the root — so none
+        # of this survives to a checkpoint boundary.
+        #: Layers above the depth-1 incremental snapshot; element ``i``
+        #: is chain depth ``i + 2``.
+        self._overlays: List[ChainOverlay] = []  # nyx: state[ephemeral]
+        #: Chain depth the live VM state currently descends from
+        #: (0 = root).  Restores and captures move it.
+        self._base_depth = 0  # nyx: state[ephemeral]
+        #: Sectors written since the current base's capture — the disk
+        #: counterpart of ``_since_create`` for cross-depth restores.
+        self._disk_since_base: set = set()  # nyx: state[ephemeral]
+
         #: Optional :class:`~repro.faults.injector.FaultInjector` hooked
         #: into the restore paths (fault-injection campaigns).
         self.injector: Optional[Any] = None
@@ -185,7 +265,7 @@ class SnapshotManager:  # nyx: allow[reset]
         #: root).  Restore consumers (the guest kernel's reload) use it
         #: to skip re-reading state regions whose pages provably kept
         #: their bytes across the reset.
-        self.last_reset_pages: Optional[set] = None
+        self.last_reset_pages: Optional[set] = None  # nyx: state[ephemeral]
 
     # -- root snapshot ------------------------------------------------------
 
@@ -196,6 +276,18 @@ class SnapshotManager:  # nyx: allow[reset]
     @property
     def incremental_active(self) -> bool:
         return self._inc_active
+
+    @property
+    def chain_depth(self) -> int:
+        """Number of snapshot layers above the root (0 = none active)."""
+        if not self._inc_active:
+            return 0
+        return 1 + len(self._overlays)
+
+    @property
+    def base_depth(self) -> int:
+        """Chain depth the live VM state currently descends from."""
+        return self._base_depth
 
     @property
     def root(self) -> RootSnapshot:
@@ -234,6 +326,9 @@ class SnapshotManager:  # nyx: allow[reset]
         self._inc_checksums = {}
         self._verified_ids = {}
         self._verify_countdown = 0
+        self._overlays = []
+        self._base_depth = 0
+        self._disk_since_base = set()
         return root
 
     def adopt_root(self, root: RootSnapshot) -> None:
@@ -264,6 +359,9 @@ class SnapshotManager:  # nyx: allow[reset]
         self._inc_checksums = {}
         self._verified_ids = {}
         self._verify_countdown = 0
+        self._overlays = []
+        self._base_depth = 0
+        self._disk_since_base = set()
 
     def restore_root(self) -> int:  # nyx: hot
         """Reset the VM to the root snapshot; returns pages reset."""
@@ -292,9 +390,14 @@ class SnapshotManager:  # nyx: allow[reset]
             + nsect * self._costs.sector_copy)
         self.stats.root_restores += 1
         self.stats.pages_reset += n
-        # Discarding any incremental snapshot is free: the mirror is
-        # lazily re-populated on the next create.
+        # Discarding any incremental snapshot (and its overlay chain)
+        # is free: the mirror is lazily re-populated on the next create
+        # and overlays die with their cycle.
         self._inc_active = False
+        if self._overlays:
+            self._overlays = []
+        self._base_depth = 0
+        self._disk_since_base = set()
         return n
 
     # -- incremental snapshot --------------------------------------------------
@@ -311,6 +414,14 @@ class SnapshotManager:  # nyx: allow[reset]
         """
         root = self.root
         self._absorb_dirty()
+        if self._overlays:
+            # Replacing the snapshot while a chain is live: every page a
+            # chain layer captured privately may leave its depth-1
+            # mirror entry stale, so fold the layers' touched sets into
+            # the must-recopy set before rebuilding.
+            for overlay in self._overlays:
+                self._since_create |= overlay.touched
+            self._overlays = []
 
         remirrored = False
         if self._creates_since_remirror >= REMIRROR_PERIOD:
@@ -357,6 +468,9 @@ class SnapshotManager:  # nyx: allow[reset]
         self._inc_device_state = self._devices.capture_fast()
         self._inc_disk_overlay = self._disk.capture_overlay()
         self._inc_active = True
+        self._overlays = []
+        self._base_depth = 1
+        self._disk_since_base = set()
         self._creates_since_remirror += 1
         # A freshly (re)built snapshot always gets a full validation on
         # its first restore, even under an amortized verify_every.
@@ -380,6 +494,9 @@ class SnapshotManager:  # nyx: allow[reset]
         """
         if not self._inc_active:
             raise SnapshotError("no incremental snapshot is active")
+        if self._overlays:
+            raise SnapshotError("overlay chain active; restore through "
+                                "restore_to_depth")
         if self.injector is not None:
             self.injector.on_incremental_restore(self)
         self._verify_incremental()
@@ -409,7 +526,12 @@ class SnapshotManager:  # nyx: allow[reset]
         self._since_create = set()
         assert self._inc_device_state is not None
         self._devices.restore_fast(self._inc_device_state)
-        dirty_sectors = self._disk.take_dirty()
+        dirty_sectors = set(self._disk.take_dirty())
+        # Same absorbed-writes rule as the page path above: sectors
+        # drained into the since-base set mid-cycle (or parked there by
+        # a commit the live state did not descend from) still differ
+        # from the capture and must be reset too.
+        dirty_sectors |= self._disk_since_base
         assert self._inc_disk_overlay is not None
         self._disk.restore_overlay(self._inc_disk_overlay, dirty_sectors)
         self._disk_diverged.update(dirty_sectors)
@@ -421,11 +543,272 @@ class SnapshotManager:  # nyx: allow[reset]
             + len(dirty_sectors) * self._costs.sector_copy)
         self.stats.incremental_restores += 1
         self.stats.pages_reset += n
+        self._base_depth = 1
+        self._disk_since_base = set()
         return n
 
     def discard_incremental(self) -> None:
-        """Drop the secondary snapshot (scheduling a new input, §3.4)."""
+        """Drop the secondary snapshot and any overlay chain above it
+        (scheduling a new input, §3.4)."""
         self._inc_active = False
+        if self._overlays:
+            self._overlays = []
+        self._base_depth = 0
+        self._disk_since_base = set()
+
+    # -- overlay chains (QCOW2-style backing chain) ---------------------------
+
+    def push_overlay(self) -> int:
+        """Snapshot the *current* state as a new deepest chain layer.
+
+        Returns the number of pages captured (real copies).  The new
+        overlay's mirror is a CoW view of its parent's mirror with the
+        pages written since the parent's capture copied in — so it
+        looks like a complete snapshot at a per-delta cost, exactly
+        like the depth-1 mirror looks like a root snapshot.  Charged
+        like an incremental create without the stale-revert term (a
+        fresh overlay has no stale entries to revert).
+        """
+        if not self._inc_active:
+            raise SnapshotError("push_overlay needs an active incremental "
+                                "snapshot below it")
+        if self._base_depth != self.chain_depth:
+            raise SnapshotError(
+                "live state descends from depth %d, not the deepest layer "
+                "%d; restore there before pushing"
+                % (self._base_depth, self.chain_depth))
+        self._absorb_dirty()
+        parent_mirror = (self._overlays[-1].mirror if self._overlays
+                         else self._mirror)
+        assert parent_mirror is not None
+        mirror = list(parent_mirror)
+        delta = self._since_create
+        checksums: Dict[int, int] = {}
+        verified: Dict[int, int] = {}
+        pages = self._memory.sealed_pages(delta)
+        crc32 = zlib.crc32
+        for idx, page in pages.items():
+            mirror[idx] = page
+            checksums[idx] = crc32(page)
+            verified[idx] = id(page)
+        overlay = ChainOverlay(
+            mirror=mirror,
+            touched=set(delta),
+            checksums=checksums,
+            verified_ids=verified,
+            device_state=self._devices.capture_fast(),
+            disk_overlay=self._disk.capture_overlay(),
+            disk_touched=set(self._disk_since_base),
+        )
+        self._overlays.append(overlay)
+        self._since_create = set()
+        self._disk_since_base = set()
+        self._base_depth = self.chain_depth
+        n = len(delta)
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + self._costs.device_reset_fast
+            + n * self._costs.page_copy)
+        self.stats.overlay_pushes += 1
+        self.stats.pages_captured += n
+        if self.chain_depth > self.stats.deepest_chain:
+            self.stats.deepest_chain = self.chain_depth
+        return n
+
+    def restore_to_depth(self, depth: int) -> int:  # nyx: hot
+        """Reset the VM to chain node ``depth`` (1 = the incremental
+        snapshot); returns pages reset.
+
+        Page identity resolves newest-to-oldest: the reset set is the
+        pages written since the current base plus the symmetric
+        difference between the base's view and the target's view (the
+        union of the ``touched`` sets of every layer strictly between
+        them), each restored from the target's dense mirror in one
+        dirty-write-avoiding batch.  Deeper layers stay alive, so the
+        placement bandit can hop between nodes restore-by-restore.
+        """
+        top = self.chain_depth
+        if depth < 1 or depth > top:
+            raise SnapshotError("no chain node at depth %d (chain depth %d)"
+                                % (depth, top))
+        if depth == 1 and top == 1:
+            return self.restore_incremental()
+        if self.injector is not None:
+            self.injector.on_incremental_restore(self)
+        self._verify_incremental()
+        for overlay in self._overlays[:depth - 1]:
+            self._verify_overlay(overlay)
+        dirty = self._memory.take_dirty()
+        since = self._since_create
+        since.update(dirty)
+        reset = since
+        base = self._base_depth
+        lo = min(base, depth)
+        hi = max(base, depth)
+        overlays = self._overlays
+        for d in range(lo + 1, hi + 1):
+            reset |= overlays[d - 2].touched
+        if depth == 1:
+            view = self._mirror
+            device_state = self._inc_device_state
+            disk_overlay = self._inc_disk_overlay
+        else:
+            target = overlays[depth - 2]
+            view = target.mirror
+            device_state = target.device_state
+            disk_overlay = target.disk_overlay
+        assert view is not None
+        self._memory.restore_pages(reset, view)
+        self.last_reset_pages = set(reset)
+        diverged = self._diverged
+        private = self._private
+        root_pages = self.root.pages
+        for idx in reset:
+            diverged.add(idx)
+            # A CoW reference all the way down to the root image
+            # restores the page to shared-root identity; anything else
+            # is a private copy.
+            if view[idx] is root_pages[idx]:
+                private.discard(idx)
+            else:
+                private.add(idx)
+        self._since_create = set()
+        assert device_state is not None
+        self._devices.restore_fast(device_state)
+        sectors = set(self._disk.take_dirty())
+        sectors |= self._disk_since_base
+        for d in range(lo + 1, hi + 1):
+            sectors |= overlays[d - 2].disk_touched
+        assert disk_overlay is not None
+        self._disk.restore_overlay(disk_overlay, sectors)
+        self._disk_diverged.update(sectors)
+        self._disk_since_base = set()
+        self._base_depth = depth
+        n = len(reset)
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + self._costs.device_reset_fast
+            + n * self._costs.page_copy
+            + len(sectors) * self._costs.sector_copy)
+        self.stats.chain_restores += 1
+        self.stats.pages_reset += n
+        return n
+
+    def commit_overlay(self) -> int:
+        """Fold the deepest overlay into its parent (QCOW2 *commit*).
+
+        Bounds chain length without losing the deepest state: the
+        parent's mirror adopts the child's real copies (and their
+        CRCs), its touched/disk sets absorb the child's, and its
+        device/disk captures are replaced by the child's — after which
+        the parent *is* the child's snapshot, one level shallower.
+        Returns the number of pages folded; charged per folded page
+        plus the fixed hypercall cost.
+        """
+        if not self._overlays:
+            raise SnapshotError("no overlay to commit")
+        child = self._overlays.pop()
+        n = len(child.touched)
+        if self._overlays:
+            parent = self._overlays[-1]
+            mirror = parent.mirror
+            for idx in child.touched:
+                mirror[idx] = child.mirror[idx]
+                parent.checksums[idx] = child.checksums[idx]
+                parent.verified_ids[idx] = child.verified_ids[idx]
+            parent.touched |= child.touched
+            parent.disk_touched |= child.disk_touched
+            parent.device_state = child.device_state
+            parent.disk_overlay = child.disk_overlay
+        else:
+            mirror = self._mirror
+            assert mirror is not None
+            for idx in child.touched:
+                mirror[idx] = child.mirror[idx]
+                self._inc_checksums[idx] = child.checksums[idx]
+                self._verified_ids[idx] = child.verified_ids[idx]
+            self._mirror_touched |= child.touched
+            self._inc_device_state = child.device_state
+            self._inc_disk_overlay = child.disk_overlay
+        if self._base_depth > self.chain_depth:
+            # The live state descended from the committed child; its
+            # view now lives one level down, contents unchanged.
+            self._base_depth = self.chain_depth
+        elif self._base_depth == self.chain_depth:
+            # The live state descends from the parent, whose captured
+            # view just adopted the child's content: every page (and
+            # sector) the child held may now differ between the live
+            # state and its base, so they join the written-since-base
+            # sets for the next restore to reset.
+            self._since_create |= child.touched
+            self._disk_since_base |= child.disk_touched
+        self._clock.charge(
+            self._costs.snapshot_fixed
+            + n * self._costs.page_copy)
+        self.stats.overlay_commits += 1
+        return n
+
+    def discard_deepest(self) -> None:
+        """Drop the deepest chain layer (QCOW2 *discard*; free).
+
+        At depth 1 this is :meth:`discard_incremental`.  When the live
+        state descends from the dropped layer, the pages that layer
+        held privately rejoin the written-since-base set — the next
+        restore resets them against the new base's view.
+        """
+        if not self._overlays:
+            self.discard_incremental()
+            return
+        dropped = self._overlays.pop()
+        if self._base_depth > self.chain_depth:
+            self._since_create |= dropped.touched
+            self._disk_since_base |= dropped.disk_touched
+            self._base_depth = self.chain_depth
+
+    def _verify_overlay(self, overlay: ChainOverlay) -> None:
+        """Checksum-validate one overlay's real copies before a restore.
+
+        Overlay layers always validate (the depth-1 ``verify_every``
+        amortization stays scoped to the depth-1 snapshot).  On
+        mismatch the whole chain is torn down — overlays build on each
+        other, so one corrupt layer poisons everything deeper — and
+        :class:`SnapshotCorruption` sends the caller down the usual
+        rebuild-from-root ladder.
+        """
+        mirror = overlay.mirror
+        checksums = overlay.checksums
+        verified = overlay.verified_ids
+        crc32 = zlib.crc32
+        bad = []
+        for idx, crc in checksums.items():
+            page = mirror[idx]
+            if verified.get(idx) == id(page):
+                continue
+            if crc32(page) != crc:
+                bad.append(idx)
+            else:
+                verified[idx] = id(page)
+        self._clock.charge(len(checksums) * self._costs.page_copy)
+        if not bad:
+            return
+        self._teardown_chain()
+        self.stats.corruption_detected += 1
+        raise SnapshotCorruption(
+            "chain overlay failed validation on %d page(s): %s"
+            % (len(bad), sorted(bad)[:8]))
+
+    def _teardown_chain(self) -> None:
+        """Deactivate the whole chain after a corruption finding.
+
+        Live memory is untouched; the caller falls back to the
+        (immutable, trustworthy) root snapshot, whose restore path
+        resets every diverged page.
+        """
+        self._inc_active = False
+        self._overlays = []
+        self._base_depth = 0
+        self._disk_since_base = set()
+        self._verify_countdown = 0
 
     def _verify_incremental(self) -> None:
         """Checksum-validate the mirror's real copies before a restore.
@@ -473,6 +856,10 @@ class SnapshotManager:  # nyx: allow[reset]
             del self._inc_checksums[idx]
             self._verified_ids.pop(idx, None)
         self._inc_active = False
+        # Overlays stack on the now-untrusted depth-1 layer; drop them.
+        self._overlays = []
+        self._base_depth = 0
+        self._disk_since_base = set()
         # Force a full validation on the first restore of the rebuilt
         # snapshot regardless of the amortization schedule.
         self._verify_countdown = 0
@@ -483,25 +870,29 @@ class SnapshotManager:  # nyx: allow[reset]
 
     # -- durability (checkpoint/resume) ----------------------------------------
 
-    def host_cursor_state(self) -> dict:
+    def snapshot_state(self) -> dict:
         """Sim-charge-relevant cursors for a campaign checkpoint.
 
-        Taken at a step boundary (root restored, no incremental
-        active), the only snapshot state that influences *future* sim
-        charges is: which mirror entries are real copies (the stale
-        revert at the next create charges per page), how far the
-        re-mirror period has advanced, and where the amortized
+        Taken at a step boundary (root restored, no incremental active,
+        no overlay chain), the only snapshot state that influences
+        *future* sim charges is: which mirror entries are real copies
+        (the stale revert at the next create charges per page), how far
+        the re-mirror period has advanced, and where the amortized
         validation schedule stands.  Page contents, per-page CRCs and
         the verified-identity memo are deliberately excluded — they are
         host-side caches rebuilt by the next ``create_incremental``
         (and ``_verified_ids`` holds process-local ``id()``s that must
-        never cross a checkpoint).
+        never cross a checkpoint).  ``chain_overlays``/``base_depth``
+        are captured only to *assert* the boundary invariant on
+        restore: a chain never survives to a checkpoint.
         """
-        return {"mirror_touched": self._mirror_touched,
+        return {"mirror_touched": sorted(self._mirror_touched),
                 "creates_since_remirror": self._creates_since_remirror,
-                "verify_countdown": self._verify_countdown}
+                "verify_countdown": self._verify_countdown,
+                "base_depth": self._base_depth,
+                "chain_overlays": len(self._overlays)}
 
-    def restore_host_cursor_state(self, state: dict) -> None:
+    def restore_state(self, state: dict) -> None:
         """Adopt checkpointed cursors on a freshly (re)built machine.
 
         The restored ``mirror_touched`` entries point at CoW root
@@ -510,11 +901,22 @@ class SnapshotManager:  # nyx: allow[reset]
         (charging exactly what the original run would have), so the
         invariant heals before any restore can observe the difference.
         """
+        if int(state.get("chain_overlays", 0)):
+            raise SnapshotError(
+                "checkpoint captured a live overlay chain; checkpoints "
+                "must land on step boundaries")
         self._mirror_touched = set(state["mirror_touched"])
         self._creates_since_remirror = int(state["creates_since_remirror"])
         self._verify_countdown = int(state["verify_countdown"])
         self._inc_checksums = {}
         self._verified_ids = {}
+        self._overlays = []
+        self._base_depth = int(state.get("base_depth", 0))
+        self._disk_since_base = set()
+
+    #: Pre-chain spelling of the pair, kept for older call sites.
+    host_cursor_state = snapshot_state
+    restore_host_cursor_state = restore_state
 
     # -- fault-injection surface (see repro.faults) ---------------------------
 
@@ -596,3 +998,4 @@ class SnapshotManager:  # nyx: allow[reset]
         dirty_sectors = self._disk.take_dirty()
         if dirty_sectors:
             self._disk_diverged.update(dirty_sectors)
+            self._disk_since_base.update(dirty_sectors)

@@ -180,7 +180,9 @@ class TestHostCounterPurity:
     HOST_KEYS = ("coverage_backend", "prefix_elisions", "prefix_elided_ops",
                  "elision_invalidations", "fold_memo_evictions",
                  "checkpoints_written", "checkpoint_epochs_pruned",
-                 "checkpoint_verifications", "checkpoint_divergences")
+                 "checkpoint_verifications", "checkpoint_divergences",
+                 "chain_pushes", "chain_commits", "chain_restores",
+                 "chain_deepest")
 
     def test_as_dict_excludes_host_counters(self):
         stats = CampaignStats()

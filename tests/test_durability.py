@@ -245,6 +245,19 @@ class TestKillResumeDeterminism:
         final = json.loads((tmp_path / "final.json").read_text())
         assert final["stats_checksum"] == golden[0]
 
+    @pytest.mark.parametrize("kill_after", [2, 8])
+    def test_chain_campaign_resume_matches(self, tmp_path, kill_after):
+        # Overlay chains + bandit placement: the checkpoint must carry
+        # the chain cursors and per-entry arm statistics, or the
+        # resumed bandit diverges from the uninterrupted run.
+        manifest = _manifest(7, policy="bandit", max_chain_depth=3)
+        golden = _golden(manifest)
+        _run_killed(manifest, tmp_path, kill_after)
+        durable, result = _resume_and_finish(tmp_path)
+        assert result == golden
+        final = json.loads((tmp_path / "final.json").read_text())
+        assert final["stats_checksum"] == golden[0]
+
     def test_resume_before_first_checkpoint(self, tmp_path):
         # Killed during the very first steps: no checkpoint exists yet,
         # so resume restarts from the manifest and still matches.

@@ -222,7 +222,7 @@ class TestStateInventory:
                 "FaultInjector"} <= set(inventory)
         fuzzer = inventory["NyxNetFuzzer"]
         assert fuzzer["module"] == "fuzz/fuzzer.py"
-        assert fuzzer["state_format"] == 2
+        assert fuzzer["state_format"] == 3
         assert "sanitizer_findings" in fuzzer["keys"]
 
     def test_golden_matches_the_tree(self):
